@@ -1,0 +1,143 @@
+#include "corpus/ProgramBuilder.h"
+
+#include "elf/ElfReader.h"
+
+namespace hglift::corpus {
+
+using x86::Asm;
+
+uint64_t ProgramBuilder::plt(const std::string &FuncName) {
+  auto It = PltStubs.find(FuncName);
+  if (It != PltStubs.end())
+    return It->second;
+  // 16-byte stubs; content is never analyzed (calls into the PLT are
+  // classified external by symbol before decoding), but keep it a real
+  // endbr64+ud2 so the file disassembles sanely.
+  uint64_t Addr = PltBase + PltStubs.size() * 16;
+  PltStubs.emplace(FuncName, Addr);
+  return Addr;
+}
+
+uint64_t ProgramBuilder::rodataAlloc(size_t N, size_t Align) {
+  while (Rodata.size() % Align != 0)
+    Rodata.push_back(0);
+  uint64_t Addr = RodataBase + Rodata.size();
+  Rodata.resize(Rodata.size() + N, 0);
+  return Addr;
+}
+
+void ProgramBuilder::rodataBytes(uint64_t Addr,
+                                 const std::vector<uint8_t> &Bytes) {
+  size_t Off = Addr - RodataBase;
+  for (size_t I = 0; I < Bytes.size(); ++I)
+    Rodata[Off + I] = Bytes[I];
+}
+
+void ProgramBuilder::rodataU64(uint64_t Addr, uint64_t V) {
+  size_t Off = Addr - RodataBase;
+  for (int I = 0; I < 8; ++I)
+    Rodata[Off + I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+uint64_t ProgramBuilder::dataAlloc(size_t N, size_t Align) {
+  while (Data.size() % Align != 0)
+    Data.push_back(0);
+  uint64_t Addr = DataBase + Data.size();
+  Data.resize(Data.size() + N, 0);
+  return Addr;
+}
+
+void ProgramBuilder::dataU64(uint64_t Addr, uint64_t V) {
+  size_t Off = Addr - DataBase;
+  for (int I = 0; I < 8; ++I)
+    Data[Off + I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+uint64_t ProgramBuilder::jumpTable(const std::vector<Asm::Label> &Entries) {
+  uint64_t Addr = rodataAlloc(Entries.size() * 8, 8);
+  Tables.push_back({Addr, Entries});
+  return Addr;
+}
+
+void ProgramBuilder::exportFunc(const std::string &FuncName, Asm::Label L) {
+  Exports.push_back({FuncName, L});
+}
+
+std::optional<BuiltBinary> ProgramBuilder::build(
+    std::optional<Asm::Label> Entry, bool SharedObject) {
+  if (!Text.finalize())
+    return std::nullopt;
+
+  for (auto &[Addr, Entries] : Tables)
+    for (size_t I = 0; I < Entries.size(); ++I)
+      rodataU64(Addr + I * 8, Text.labelAddr(Entries[I]));
+
+  elf::ElfSpec Spec;
+  Spec.Entry = Entry ? Text.labelAddr(*Entry) : TextBase;
+  Spec.SharedObject = SharedObject;
+
+  elf::OutSection TextSec;
+  TextSec.Name = ".text";
+  TextSec.VAddr = TextBase;
+  TextSec.Bytes = Text.code();
+  TextSec.Exec = true;
+  Spec.Sections.push_back(std::move(TextSec));
+
+  if (!PltStubs.empty()) {
+    elf::OutSection Plt;
+    Plt.Name = ".plt";
+    Plt.VAddr = PltBase;
+    Plt.Bytes.resize(PltStubs.size() * 16, 0);
+    for (auto &[FuncName, Addr] : PltStubs) {
+      size_t Off = Addr - PltBase;
+      // endbr64; ud2; padding.
+      const uint8_t Stub[] = {0xf3, 0x0f, 0x1e, 0xfa, 0x0f, 0x0b};
+      for (size_t I = 0; I < sizeof(Stub); ++I)
+        Plt.Bytes[Off + I] = Stub[I];
+      elf::OutSymbol Sym;
+      Sym.Name = FuncName;
+      Sym.Addr = Addr;
+      Sym.Size = 16;
+      Sym.IsPltStub = true;
+      Spec.Symbols.push_back(Sym);
+    }
+    Plt.Exec = true;
+    Spec.Sections.push_back(std::move(Plt));
+  }
+
+  if (!Rodata.empty()) {
+    elf::OutSection Ro;
+    Ro.Name = ".rodata";
+    Ro.VAddr = RodataBase;
+    Ro.Bytes = Rodata;
+    Spec.Sections.push_back(std::move(Ro));
+  }
+
+  if (!Data.empty()) {
+    elf::OutSection D;
+    D.Name = ".data";
+    D.VAddr = DataBase;
+    D.Bytes = Data;
+    D.Write = true;
+    Spec.Sections.push_back(std::move(D));
+  }
+
+  for (auto &[FuncName, L] : Exports) {
+    elf::OutSymbol Sym;
+    Sym.Name = FuncName;
+    Sym.Addr = Text.labelAddr(L);
+    Sym.IsFunc = true;
+    Spec.Symbols.push_back(Sym);
+  }
+
+  BuiltBinary BB;
+  BB.Name = Name;
+  BB.ElfBytes = elf::writeElf(Spec);
+  auto Img = elf::readElf(BB.ElfBytes, Name);
+  if (!Img)
+    return std::nullopt;
+  BB.Img = std::move(*Img);
+  return BB;
+}
+
+} // namespace hglift::corpus

@@ -1,0 +1,798 @@
+#include "corpus/Programs.h"
+
+namespace hglift::corpus {
+
+using x86::Asm;
+using x86::Cond;
+using x86::MemOperand;
+using x86::Mnemonic;
+using x86::Reg;
+
+namespace {
+
+MemOperand memB(Reg Base, int32_t Disp = 0) {
+  MemOperand M;
+  M.Base = Base;
+  M.Disp = Disp;
+  return M;
+}
+
+MemOperand memBIS(Reg Base, Reg Index, uint8_t Scale, int32_t Disp = 0) {
+  MemOperand M;
+  M.Base = Base;
+  M.Index = Index;
+  M.Scale = Scale;
+  M.Disp = Disp;
+  return M;
+}
+
+MemOperand memAbs(uint64_t Addr) {
+  MemOperand M;
+  M.Disp = static_cast<int32_t>(Addr);
+  return M;
+}
+
+/// _start: set up arguments, call Func, exit(0) via syscall.
+void emitStart(ProgramBuilder &PB, Asm::Label Func) {
+  Asm &A = PB.text();
+  A.endbr64();
+  A.movRI(Reg::RDI, 5, 4);
+  A.movRI(Reg::RSI, 0x1000, 4);
+  A.movRI(Reg::RDX, 0x2000, 4);
+  A.callL(Func);
+  A.movRI(Reg::RAX, 60, 4); // exit(0)
+  A.xorRR(Reg::RDI, Reg::RDI, 4);
+  A.syscall();
+}
+
+} // namespace
+
+std::optional<BuiltBinary> weirdEdgeBinary() {
+  ProgramBuilder PB("weird_edge");
+  Asm &A = PB.text();
+
+  Asm::Label Start = A.newLabel(), F = A.newLabel(), End = A.newLabel();
+  Asm::Label CaseA = A.newLabel(), CaseB = A.newLabel();
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  // The §2 example, 64-bit. The cmp immediate plants the 0xc3 (ret) byte;
+  // under rsi==rdx aliasing the final jmp lands on it: a ROP gadget.
+  A.bind(F);
+  uint64_t CmpAddr = A.currentAddr();
+  A.cmpRI(Reg::RDI, 0xc3, 4); // 81 ff c3 00 00 00 : ret byte at +2
+  uint64_t RetByteAddr = CmpAddr + 2;
+  A.jccL(Cond::A, End);
+  A.movRR(Reg::RAX, Reg::RDI, 4); // rax = zext(edi)
+
+  std::vector<Asm::Label> Entries;
+  for (unsigned I = 0; I <= 0xc3; ++I)
+    Entries.push_back(I % 3 == 0 ? CaseA : (I % 3 == 1 ? CaseB : End));
+  uint64_t Table = PB.jumpTable(Entries);
+
+  A.movRM(Reg::RAX, memBIS(Reg::None, Reg::RAX, 8,
+                           static_cast<int32_t>(Table)),
+          8);                          // rax = a_jt
+  A.movMR(memB(Reg::RSI), Reg::RAX, 8); // *[rsi] = a_jt
+  A.movMI(memB(Reg::RDX), static_cast<int32_t>(RetByteAddr), 8);
+  A.jmpM(memB(Reg::RSI)); // jmp *[rsi]
+
+  A.bind(CaseA);
+  A.movRI(Reg::RAX, 1, 4);
+  A.ret();
+  A.bind(CaseB);
+  A.movRI(Reg::RAX, 2, 4);
+  A.ret();
+  A.bind(End);
+  A.xorRR(Reg::RAX, Reg::RAX, 4);
+  A.ret();
+
+  return PB.build(Start);
+}
+
+std::optional<BuiltBinary> jumpTableBinary(unsigned Cases,
+                                           unsigned GuardSlack) {
+  ProgramBuilder PB("jump_table");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), F = A.newLabel(), Default = A.newLabel();
+  Asm::Label Done = A.newLabel();
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  std::vector<Asm::Label> CaseLabels;
+  for (unsigned I = 0; I < Cases; ++I)
+    CaseLabels.push_back(A.newLabel());
+  uint64_t Table = PB.jumpTable(CaseLabels);
+
+  // int f(unsigned x) { switch (x) { case 0..N-1: ...; default: -1; } }
+  A.bind(F);
+  A.endbr64();
+  A.cmpRI(Reg::RDI, static_cast<int32_t>(Cases - 1 + GuardSlack), 4);
+  A.jccL(Cond::A, Default);
+  A.movRR(Reg::RAX, Reg::RDI, 4); // zero-extend the index
+  A.jmpM(memBIS(Reg::None, Reg::RAX, 8, static_cast<int32_t>(Table)));
+  for (unsigned I = 0; I < Cases; ++I) {
+    A.bind(CaseLabels[I]);
+    A.movRI(Reg::RAX, static_cast<int64_t>(I * I + 1), 4);
+    A.jmpL(Done);
+  }
+  A.bind(Default);
+  A.movRI(Reg::RAX, -1, 4);
+  A.bind(Done);
+  A.ret();
+
+  return PB.build(Start);
+}
+
+std::optional<BuiltBinary> straightlineBinary() {
+  ProgramBuilder PB("straightline");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), F = A.newLabel();
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  // long f(long a, long b, long c) { return (a + 3*b) ^ (c >> 2); }
+  A.bind(F);
+  A.endbr64();
+  A.leaRM(Reg::RAX, memBIS(Reg::RDI, Reg::RSI, 2), 8); // a + 2b
+  A.addRR(Reg::RAX, Reg::RSI, 8);                      // a + 3b
+  A.movRR(Reg::RCX, Reg::RDX, 8);
+  A.shiftRI(Mnemonic::Sar, Reg::RCX, 2, 8);
+  A.arithRR(Mnemonic::Xor, Reg::RAX, Reg::RCX, 8);
+  A.ret();
+
+  return PB.build(Start);
+}
+
+std::optional<BuiltBinary> branchLoopBinary() {
+  ProgramBuilder PB("branch_loop");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), F = A.newLabel();
+  Asm::Label Loop = A.newLabel(), LoopEnd = A.newLabel();
+  Asm::Label Else = A.newLabel(), Join = A.newLabel();
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  // long f(long n) { long s = 0; for (int i = 8; i != 0; --i) s += n;
+  //                  if (n > 3) s += 1; else s -= 1; return s; }
+  A.bind(F);
+  A.endbr64();
+  A.pushR(Reg::RBP);
+  A.movRR(Reg::RBP, Reg::RSP, 8);
+  A.xorRR(Reg::RAX, Reg::RAX, 8); // s = 0
+  A.movRI(Reg::RCX, 8, 4);        // i = 8
+  A.bind(Loop);
+  A.addRR(Reg::RAX, Reg::RDI, 8);
+  A.decR(Reg::RCX, 4);
+  A.jccL(Cond::NE, Loop);
+  A.bind(LoopEnd);
+  A.cmpRI(Reg::RDI, 3, 8);
+  A.jccL(Cond::LE, Else);
+  A.addRI(Reg::RAX, 1, 8);
+  A.jmpL(Join);
+  A.bind(Else);
+  A.subRI(Reg::RAX, 1, 8);
+  A.bind(Join);
+  A.popR(Reg::RBP);
+  A.ret();
+
+  return PB.build(Start);
+}
+
+std::optional<BuiltBinary> callChainBinary() {
+  ProgramBuilder PB("call_chain");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), F = A.newLabel(), G = A.newLabel(),
+             H = A.newLabel();
+  uint64_t Puts = PB.plt("puts");
+  uint64_t Msg = PB.rodataAlloc(16);
+  PB.rodataBytes(Msg, {'h', 'i', 0});
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  // f: spills a callee-saved register, calls puts and g.
+  A.bind(F);
+  A.endbr64();
+  A.pushR(Reg::RBX);
+  A.movRR(Reg::RBX, Reg::RDI, 8);
+  A.movRI(Reg::RDI, static_cast<int64_t>(Msg), 8);
+  A.callAbs(Puts);
+  A.movRR(Reg::RDI, Reg::RBX, 8);
+  A.callL(G);
+  A.addRR(Reg::RAX, Reg::RBX, 8);
+  A.popR(Reg::RBX);
+  A.ret();
+
+  // g: stack frame with locals, calls h.
+  A.bind(G);
+  A.endbr64();
+  A.subRI(Reg::RSP, 0x18, 8);
+  A.movMR(memB(Reg::RSP, 0x8), Reg::RDI, 8);
+  A.callL(H);
+  A.arithRM(Mnemonic::Add, Reg::RAX, memB(Reg::RSP, 0x8), 8);
+  A.addRI(Reg::RSP, 0x18, 8);
+  A.ret();
+
+  // h: leaf.
+  A.bind(H);
+  A.endbr64();
+  A.leaRM(Reg::RAX, memBIS(Reg::RDI, Reg::RDI, 4), 8); // 5*x
+  A.ret();
+
+  return PB.build(Start);
+}
+
+namespace {
+
+/// The callback program, parameterized by the callback's address (0 on the
+/// first pass). The layout is deterministic, so building twice — once to
+/// learn cb's address, once with the pointers filled in — is exact.
+std::optional<BuiltBinary> buildCallback(uint64_t CbAddr, uint64_t &CbOut) {
+  ProgramBuilder PB("callback");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), F = A.newLabel(), CB = A.newLabel();
+
+  uint64_t MutableFptr = PB.dataAlloc(8);
+  uint64_t RoFptr = PB.rodataAlloc(8);
+  PB.dataU64(MutableFptr, CbAddr);
+  PB.rodataU64(RoFptr, CbAddr);
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  // f: calls through a mutable global (unresolved, column C), then
+  // through a read-only global (resolved, column A).
+  A.bind(F);
+  A.endbr64();
+  A.subRI(Reg::RSP, 8, 8);
+  A.movRM(Reg::RAX, memAbs(MutableFptr), 8);
+  A.callR(Reg::RAX); // unresolvable: the global may have been rewritten
+  A.movRM(Reg::RAX, memAbs(RoFptr), 8);
+  A.callR(Reg::RAX); // resolvable: .rodata content is a known constant
+  A.addRI(Reg::RSP, 8, 8);
+  A.ret();
+
+  A.bind(CB);
+  A.endbr64();
+  A.movRI(Reg::RAX, 42, 4);
+  A.ret();
+
+  auto Built = PB.build(Start);
+  if (Built)
+    CbOut = PB.text().labelAddr(CB);
+  return Built;
+}
+
+} // namespace
+
+std::optional<BuiltBinary> callbackBinary() {
+  uint64_t CbAddr = 0;
+  if (!buildCallback(0, CbAddr))
+    return std::nullopt;
+  uint64_t Unused = 0;
+  return buildCallback(CbAddr, Unused);
+}
+
+std::optional<BuiltBinary> ret2winBinary() {
+  ProgramBuilder PB("ret2win");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), F = A.newLabel();
+  uint64_t Memset = PB.plt("memset");
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  // f: char buf[32]; memset(buf, 0, 48);   // 48 > 32: obligation violated
+  A.bind(F);
+  A.endbr64();
+  A.subRI(Reg::RSP, 0x28, 8);
+  A.leaRM(Reg::RDI, memB(Reg::RSP, 0), 8);
+  A.xorRR(Reg::RSI, Reg::RSI, 4);
+  A.movRI(Reg::RDX, 48, 4);
+  A.callAbs(Memset);
+  A.addRI(Reg::RSP, 0x28, 8);
+  A.ret();
+
+  return PB.build(Start);
+}
+
+std::optional<BuiltBinary> overflowBinary() {
+  ProgramBuilder PB("overflow");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), F = A.newLabel();
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  // f: long buf[4]; buf[x] = 7;   // unbounded index: may hit the return
+  // address; lifting must reject the function.
+  A.bind(F);
+  A.endbr64();
+  A.subRI(Reg::RSP, 0x20, 8);
+  A.movMI(memBIS(Reg::RSP, Reg::RDI, 8, 0), 7, 8);
+  A.addRI(Reg::RSP, 0x20, 8);
+  A.ret();
+
+  return PB.build(Start);
+}
+
+std::optional<BuiltBinary> stackProbeBinary() {
+  ProgramBuilder PB("stack_probe");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), F = A.newLabel(), Probe = A.newLabel();
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  // The §5.3 zip shape: rax is set, an internal call happens (the probe),
+  // then rax is used to move rsp. The lifter cannot establish that the
+  // call preserved rax, so the stack pointer is no longer rsp0-linear.
+  A.bind(F);
+  A.endbr64();
+  A.movRI(Reg::RAX, 0x1400, 4);
+  A.callL(Probe);
+  A.subRR(Reg::RSP, Reg::RAX, 8);
+  A.movMI(memB(Reg::RSP, 0), 0, 8);
+  A.addRI(Reg::RSP, 0x1400, 8);
+  A.ret();
+
+  A.bind(Probe);
+  A.endbr64();
+  A.ret();
+
+  return PB.build(Start);
+}
+
+std::optional<BuiltBinary> nonstandardRspBinary() {
+  ProgramBuilder PB("nonstandard_rsp");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), F = A.newLabel();
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  // The §5.3 ssh shape: rsp is reloaded from memory.
+  A.bind(F);
+  A.endbr64();
+  A.subRI(Reg::RSP, 0x190, 8);
+  A.movMR(memB(Reg::RSP, 0x40), Reg::RSP, 8);
+  A.movRM(Reg::RSP, memB(Reg::RSP, 0x40), 8);
+  A.addRI(Reg::RSP, 0x190 + 56, 8);
+  A.ret();
+
+  return PB.build(Start);
+}
+
+std::optional<BuiltBinary> concurrencyBinary() {
+  ProgramBuilder PB("spawns_thread");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), F = A.newLabel();
+  uint64_t PthreadCreate = PB.plt("pthread_create");
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  A.bind(F);
+  A.endbr64();
+  A.subRI(Reg::RSP, 0x18, 8);
+  A.leaRM(Reg::RDI, memB(Reg::RSP, 8), 8);
+  A.xorRR(Reg::RSI, Reg::RSI, 4);
+  A.callAbs(PthreadCreate);
+  A.addRI(Reg::RSP, 0x18, 8);
+  A.ret();
+
+  return PB.build(Start);
+}
+
+std::optional<BuiltBinary> explodingBinary(unsigned Stages) {
+  ProgramBuilder PB("exploding");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), F = A.newLabel();
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  // K stages; each stores one of two distinct function pointers into its
+  // own stack slot. States holding different text pointers are never
+  // joined (§4's exception), so the state count doubles per stage: the
+  // paper's "large number of states that could not be joined".
+  std::vector<Asm::Label> Dummies;
+  for (unsigned I = 0; I < 2 * Stages; ++I)
+    Dummies.push_back(A.newLabel());
+
+  A.bind(F);
+  A.endbr64();
+  int32_t Frame = static_cast<int32_t>(8 * Stages + 8);
+  A.subRI(Reg::RSP, Frame, 8);
+  for (unsigned I = 0; I < Stages; ++I) {
+    Asm::Label Else = A.newLabel(), Join = A.newLabel();
+    A.testRR(Reg::RDI, Reg::RDI, 4);
+    A.jccL(Cond::E, Else);
+    A.leaRL(Reg::RAX, Dummies[2 * I]);
+    A.jmpL(Join);
+    A.bind(Else);
+    A.leaRL(Reg::RAX, Dummies[2 * I + 1]);
+    A.bind(Join);
+    A.movMR(memB(Reg::RSP, static_cast<int32_t>(8 * I)), Reg::RAX, 8);
+    A.shiftRI(Mnemonic::Shr, Reg::RDI, 1, 4);
+  }
+  A.addRI(Reg::RSP, Frame, 8);
+  A.ret();
+
+  for (Asm::Label D : Dummies) {
+    A.bind(D);
+    A.ret();
+  }
+
+  return PB.build(Start);
+}
+
+std::optional<BuiltBinary> recursionBinary() {
+  ProgramBuilder PB("recursion");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), Fact = A.newLabel(), Base = A.newLabel();
+  Asm::Label IsEven = A.newLabel(), IsOdd = A.newLabel();
+  Asm::Label EvenT = A.newLabel(), OddF = A.newLabel();
+
+  A.bind(Start);
+  emitStart(PB, Fact);
+
+  // long fact(long n) { return n <= 1 ? 1 : n * fact(n - 1); }
+  A.bind(Fact);
+  A.endbr64();
+  A.cmpRI(Reg::RDI, 1, 8);
+  A.jccL(Cond::LE, Base);
+  A.pushR(Reg::RBX);
+  A.movRR(Reg::RBX, Reg::RDI, 8);
+  A.leaRM(Reg::RDI, memB(Reg::RDI, -1), 8);
+  A.callL(Fact);
+  A.imulRR(Reg::RAX, Reg::RBX, 8);
+  A.popR(Reg::RBX);
+  A.ret();
+  A.bind(Base);
+  A.movRI(Reg::RAX, 1, 4);
+  A.ret();
+
+  // Mutual recursion: is_even(n) = n ? is_odd(n-1) : 1.
+  A.bind(IsEven);
+  A.endbr64();
+  A.testRR(Reg::RDI, Reg::RDI, 8);
+  A.jccL(Cond::E, EvenT);
+  A.subRI(Reg::RDI, 1, 8);
+  A.subRI(Reg::RSP, 8, 8);
+  A.callL(IsOdd);
+  A.addRI(Reg::RSP, 8, 8);
+  A.ret();
+  A.bind(EvenT);
+  A.movRI(Reg::RAX, 1, 4);
+  A.ret();
+
+  A.bind(IsOdd);
+  A.endbr64();
+  A.testRR(Reg::RDI, Reg::RDI, 8);
+  A.jccL(Cond::E, OddF);
+  A.subRI(Reg::RDI, 1, 8);
+  A.subRI(Reg::RSP, 8, 8);
+  A.callL(IsEven);
+  A.addRI(Reg::RSP, 8, 8);
+  A.ret();
+  A.bind(OddF);
+  A.xorRR(Reg::RAX, Reg::RAX, 4);
+  A.ret();
+
+  PB.exportFunc("fact", Fact);
+  PB.exportFunc("is_even", IsEven);
+  PB.exportFunc("is_odd", IsOdd);
+  return PB.build(Start);
+}
+
+std::optional<BuiltBinary> overlappingBinary() {
+  ProgramBuilder PB("overlapping");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), F = A.newLabel(), Dispatch = A.newLabel();
+  Asm::Label Container = A.newLabel();
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  A.bind(F);
+  A.endbr64();
+  A.jmpL(Dispatch);
+
+  // movabs rax, imm64 whose immediate starts with "31 c0 c3": decoded from
+  // offset +2 this is `xor eax, eax; ret` -- two valid decodings of the
+  // same bytes, the hand-obfuscated shape the paper's abstract alludes to.
+  A.bind(Container);
+  uint64_t ContainerAddr = A.currentAddr();
+  A.bytes({0x48, 0xb8, 0x31, 0xc0, 0xc3, 0x90, 0x90, 0x90, 0x90, 0x90});
+  A.movRI(Reg::RAX, 1, 4);
+  A.ret();
+
+  A.bind(Dispatch);
+  A.testRR(Reg::RDI, Reg::RDI, 4);
+  A.jccL(Cond::NE, Container); // rdi != 0: execute the movabs, return 1
+  // rdi == 0: jump *into* the movabs immediate: xor eax,eax; ret.
+  uint64_t GadgetAddr = ContainerAddr + 2;
+  A.byte(0xe9);
+  A.u32(static_cast<uint32_t>(
+      static_cast<int32_t>(static_cast<int64_t>(GadgetAddr) -
+                           static_cast<int64_t>(A.currentAddr() + 4))));
+
+  return PB.build(Start);
+}
+
+// --- random program generation ---------------------------------------------
+
+namespace {
+
+const Reg Scratch[] = {Reg::RAX, Reg::RCX, Reg::RDX, Reg::RSI,
+                       Reg::R8,  Reg::R9,  Reg::R10, Reg::R11};
+
+Reg pickReg(Rng &R) { return Scratch[R.below(std::size(Scratch))]; }
+
+} // namespace
+
+Asm::Label emitRandomFunction(ProgramBuilder &PB, Rng &R,
+                              const GenOptions &Opts,
+                              const std::vector<Asm::Label> &Callees) {
+  Asm &A = PB.text();
+  Asm::Label Entry = A.newLabel();
+  A.bind(Entry);
+  A.endbr64();
+
+  bool SaveRbx = R.chance(1, 2);
+  int32_t Frame = static_cast<int32_t>(16 * R.range(1, 6));
+  A.pushR(Reg::RBP);
+  A.movRR(Reg::RBP, Reg::RSP, 8);
+  if (SaveRbx)
+    A.pushR(Reg::RBX);
+  A.subRI(Reg::RSP, Frame, 8);
+  if (SaveRbx)
+    A.movRR(Reg::RBX, Reg::RDI, 8);
+
+  // Valid spill slots: [rbp - k] for k in the frame (below the saved rbx).
+  auto Slot = [&]() {
+    int32_t Lo = SaveRbx ? 16 : 8;
+    return -static_cast<int32_t>(
+        Lo + 8 * R.range(0, Frame / 8 - 1));
+  };
+
+  int64_t Budget = static_cast<int64_t>(Opts.TargetInstrs);
+  bool DidTable = false, DidExternal = false, DidCallback = false;
+  while (Budget > 0) {
+    unsigned Kind = static_cast<unsigned>(R.below(100));
+    if (Kind < 35) {
+      // Arithmetic / data-movement run over the whole supported subset.
+      unsigned N = static_cast<unsigned>(R.range(2, 6));
+      for (unsigned I = 0; I < N; ++I) {
+        Reg D = pickReg(R), S = pickReg(R);
+        switch (R.below(12)) {
+        case 0:
+          A.movRI(D, R.range(-1000, 1000), 8);
+          break;
+        case 1:
+          A.addRR(D, S, 8);
+          break;
+        case 2:
+          A.arithRR(Mnemonic::Xor, D, S, 8);
+          break;
+        case 3:
+          A.imulRRI(D, S, static_cast<int32_t>(R.range(2, 9)), 8);
+          break;
+        case 4:
+          A.leaRM(D, memBIS(S, pickReg(R), 4, static_cast<int32_t>(R.range(0, 64))), 8);
+          break;
+        case 5:
+          A.shiftRI(R.chance(1, 2) ? Mnemonic::Shl : Mnemonic::Sar, D,
+                    static_cast<uint8_t>(R.range(1, 7)), 8);
+          break;
+        case 6:
+          A.rotRI(R.chance(1, 2) ? Mnemonic::Rol : Mnemonic::Ror, D,
+                  static_cast<uint8_t>(R.range(1, 31)), 8);
+          break;
+        case 7:
+          A.bswapR(D, 8);
+          break;
+        case 8: { // conditional move on a fresh comparison
+          A.cmpRI(S, static_cast<int32_t>(R.range(-4, 4)), 8);
+          static const Cond CC[] = {Cond::E, Cond::NE, Cond::L, Cond::GE};
+          A.cmovRR(CC[R.below(4)], D, pickReg(R), 8);
+          break;
+        }
+        case 9: { // boolean materialization
+          A.cmpRI(S, static_cast<int32_t>(R.range(-4, 4)), 8);
+          A.setccR(Cond::A, Reg::RAX);
+          A.movzxRR(Reg::RAX, Reg::RAX, 1, 8);
+          break;
+        }
+        case 10: { // unsigned division by a nonzero constant
+          A.movRR(Reg::RAX, S, 8);
+          A.xorRR(Reg::RDX, Reg::RDX, 4);
+          A.movRI(Reg::RCX, R.range(1, 100), 8);
+          A.divR(Reg::RCX, 8);
+          break;
+        }
+        case 11:
+          A.bsfRR(D, S, 8);
+          break;
+        }
+      }
+      Budget -= N;
+    } else if (Kind < 55) {
+      // Spill / reload, occasionally sub-word.
+      Reg D = pickReg(R);
+      switch (R.below(4)) {
+      case 0:
+        A.movMR(memB(Reg::RBP, Slot()), D, 8);
+        break;
+      case 1:
+        A.movRM(D, memB(Reg::RBP, Slot()), 8);
+        break;
+      case 2: { // byte store + zero-extending reload
+        int32_t S8 = Slot();
+        A.movMR(memB(Reg::RBP, S8), D, 1);
+        A.movzxRM(D, memB(Reg::RBP, S8), 1, 8);
+        break;
+      }
+      case 3: { // word store + sign-extending reload
+        int32_t S16 = Slot();
+        A.movMR(memB(Reg::RBP, S16), D, 2);
+        A.movsxRM(D, memB(Reg::RBP, S16), 2, 8);
+        break;
+      }
+      }
+      Budget -= 1;
+    } else if (Kind < 75) {
+      // Diamond.
+      Asm::Label Else = A.newLabel(), Join = A.newLabel();
+      Reg C = pickReg(R);
+      A.cmpRI(C, static_cast<int32_t>(R.range(-8, 8)), 8);
+      static const Cond Conds[] = {Cond::E,  Cond::NE, Cond::L,
+                                   Cond::GE, Cond::B,  Cond::A};
+      A.jccL(Conds[R.below(std::size(Conds))], Else);
+      A.addRI(pickReg(R), static_cast<int32_t>(R.range(1, 9)), 8);
+      A.jmpL(Join);
+      A.bind(Else);
+      A.subRI(pickReg(R), static_cast<int32_t>(R.range(1, 9)), 8);
+      A.bind(Join);
+      Budget -= 5;
+    } else if (SaveRbx && R.chance(Opts.ArgWritePct, 100)) {
+      // Writes and reads through the saved pointer argument (rbx == rdi0):
+      // relations against the stack frame are assumption-based, relations
+      // against other pointer derivatives branch the memory model.
+      Reg V = pickReg(R);
+      int32_t Off = static_cast<int32_t>(8 * R.range(0, 3));
+      if (R.chance(2, 3))
+        A.movMR(memB(Reg::RBX, Off), V, 8);
+      else
+        A.movRM(V, memB(Reg::RBX, Off), 8);
+      Budget -= 1;
+    } else if (Kind < 85) {
+      // Bounded loop.
+      Asm::Label Loop = A.newLabel();
+      A.movRI(Reg::RCX, R.range(2, 9), 4);
+      A.bind(Loop);
+      A.addRI(Reg::RAX, 3, 8);
+      A.decR(Reg::RCX, 4);
+      A.jccL(Cond::NE, Loop);
+      Budget -= 4;
+    } else if (Kind < 90 && !Callees.empty()) {
+      A.callL(R.pick(Callees));
+      Budget -= 1;
+    } else if (Kind < 95 && !DidExternal &&
+               R.chance(Opts.ExternalPct, 100)) {
+      DidExternal = true;
+      uint64_t Ext = PB.plt("lib_fn_" + std::to_string(R.below(6)));
+      A.callAbs(Ext);
+      Budget -= 1;
+    } else if (!DidTable && R.chance(Opts.JumpTablePct, 100)) {
+      // switch (x & bounded) via jump table.
+      DidTable = true;
+      unsigned Cases = static_cast<unsigned>(R.range(3, 9));
+      std::vector<Asm::Label> CaseL;
+      for (unsigned I = 0; I < Cases; ++I)
+        CaseL.push_back(A.newLabel());
+      Asm::Label Default = A.newLabel(), Done = A.newLabel();
+      uint64_t Table = PB.jumpTable(CaseL);
+      Reg X = pickReg(R);
+      A.movRR(Reg::RAX, X, 4);
+      A.cmpRI(Reg::RAX, static_cast<int32_t>(Cases - 1), 4);
+      A.jccL(Cond::A, Default);
+      A.movRR(Reg::RAX, Reg::RAX, 4); // re-zero-extend
+      A.jmpM(memBIS(Reg::None, Reg::RAX, 8, static_cast<int32_t>(Table)));
+      for (unsigned I = 0; I < Cases; ++I) {
+        A.bind(CaseL[I]);
+        A.movRI(Reg::RDX, static_cast<int64_t>(I + 1), 8);
+        A.jmpL(Done);
+      }
+      A.bind(Default);
+      A.xorRR(Reg::RDX, Reg::RDX, 8);
+      A.bind(Done);
+      Budget -= Cases + 5;
+    } else if (!DidCallback && R.chance(Opts.CallbackPct, 100)) {
+      // Unresolvable callback through a mutable global.
+      DidCallback = true;
+      uint64_t Fptr = PB.dataAlloc(8);
+      A.movRM(Reg::RAX, memAbs(Fptr), 8);
+      A.callR(Reg::RAX);
+      Budget -= 2;
+    } else if (R.chance(Opts.UnresJumpPct, 100)) {
+      // Unresolvable computed goto through a mutable global (annotation B);
+      // the taken path cannot be explored, the guard keeps the function
+      // otherwise verifiable.
+      Asm::Label Skip = A.newLabel();
+      uint64_t Gptr = PB.dataAlloc(8);
+      Reg C = pickReg(R);
+      A.cmpRI(C, 0, 8);
+      A.jccL(Cond::NE, Skip);
+      A.movRM(Reg::RAX, memAbs(Gptr), 8);
+      A.jmpR(Reg::RAX);
+      A.bind(Skip);
+      Budget -= 4;
+      // Only one per function: the annotation stops that path anyway.
+      Budget = Budget > 0 ? Budget : 0;
+      break;
+    } else {
+      A.nop();
+      Budget -= 1;
+    }
+  }
+
+  A.addRI(Reg::RSP, Frame, 8);
+  if (SaveRbx)
+    A.popR(Reg::RBX);
+  A.popR(Reg::RBP);
+  A.ret();
+  return Entry;
+}
+
+std::optional<BuiltBinary> randomBinary(const GenOptions &Opts) {
+  ProgramBuilder PB(Opts.Name);
+  Rng R(Opts.Seed);
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel();
+  Asm::Label Main = A.newLabel();
+
+  A.bind(Start);
+  emitStart(PB, Main);
+
+  // Leaf-first so earlier functions can be callees of later ones.
+  std::vector<Asm::Label> Funcs;
+  for (unsigned I = 0; I + 1 < Opts.NumFuncs; ++I)
+    Funcs.push_back(emitRandomFunction(PB, R, Opts, Funcs));
+
+  A.bind(Main);
+  A.endbr64();
+  A.subRI(Reg::RSP, 8, 8);
+  for (Asm::Label F : Funcs)
+    A.callL(F);
+  if (Funcs.empty()) {
+    Rng R2(Opts.Seed + 1);
+    static_cast<void>(R2);
+    A.movRI(Reg::RAX, 0, 4);
+  }
+  A.addRI(Reg::RSP, 8, 8);
+  A.ret();
+
+  return PB.build(Start);
+}
+
+std::optional<BuiltBinary> randomLibrary(const GenOptions &Opts) {
+  ProgramBuilder PB(Opts.Name);
+  Rng R(Opts.Seed);
+  std::vector<Asm::Label> Funcs;
+  for (unsigned I = 0; I < Opts.NumFuncs; ++I) {
+    Asm::Label F = emitRandomFunction(PB, R, Opts, Funcs);
+    Funcs.push_back(F);
+    PB.exportFunc("fn_" + std::to_string(I), F);
+  }
+  return PB.build(Funcs.empty() ? std::optional<Asm::Label>{} : Funcs[0],
+                  /*SharedObject=*/true);
+}
+
+} // namespace hglift::corpus

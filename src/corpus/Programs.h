@@ -1,0 +1,95 @@
+//===- Programs.h - Handcrafted and generated corpus programs --*- C++ -*-===//
+//
+// The concrete programs of the evaluation corpus:
+//
+//   * weirdEdgeBinary       — the §2 / Figure 1 example (64-bit port) with
+//                             overlapping instructions and a reachable ROP
+//                             gadget under pointer aliasing;
+//   * jumpTableBinary       — a compiler-style switch (bounded indirect jmp);
+//   * straightlineBinary    — quickstart arithmetic;
+//   * branchLoopBinary      — diamonds and bounded loops (join/widening);
+//   * callChainBinary       — internal call chain + an external call;
+//   * callbackBinary        — function pointer through mutable global
+//                             (unresolved call, column C) and through
+//                             .rodata (resolved, column A);
+//   * ret2winBinary         — §5.3 stack overflow via memset obligation;
+//   * overflowBinary        — return address clobbered: lifting must fail;
+//   * stackProbeBinary      — §5.3 stack probing: verification error;
+//   * nonstandardRspBinary  — §5.3 ssh-style rsp restoration: error;
+//   * concurrencyBinary     — pthread_create: out of scope;
+//   * explodingBinary       — unjoinable text-pointer states: timeout;
+//   * randomBinary/Library  — seeded generators for the Table 1 / Figure 3
+//                             population.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_CORPUS_PROGRAMS_H
+#define HGLIFT_CORPUS_PROGRAMS_H
+
+#include "corpus/ProgramBuilder.h"
+#include "support/Rng.h"
+
+namespace hglift::corpus {
+
+std::optional<BuiltBinary> weirdEdgeBinary();
+/// Switch over a jump table. GuardSlack loosens the bounds check by that
+/// many indices (a buggy "patch"): the lifter then reads past the table
+/// and must annotate the indirection instead of resolving it.
+std::optional<BuiltBinary> jumpTableBinary(unsigned Cases = 8,
+                                           unsigned GuardSlack = 0);
+std::optional<BuiltBinary> straightlineBinary();
+std::optional<BuiltBinary> branchLoopBinary();
+std::optional<BuiltBinary> callChainBinary();
+std::optional<BuiltBinary> callbackBinary();
+std::optional<BuiltBinary> ret2winBinary();
+std::optional<BuiltBinary> overflowBinary();
+std::optional<BuiltBinary> stackProbeBinary();
+std::optional<BuiltBinary> nonstandardRspBinary();
+std::optional<BuiltBinary> concurrencyBinary();
+std::optional<BuiltBinary> explodingBinary(unsigned Stages = 14);
+/// Direct recursion (factorial) and mutual recursion (even/odd): the
+/// context-free call treatment (§4.2) handles cycles in the call graph.
+std::optional<BuiltBinary> recursionBinary();
+/// Obfuscated overlapping instructions: a *direct* jump into the middle of
+/// a movabs whose immediate bytes encode a hidden `xor eax,eax; ret`
+/// gadget. Both decodings coexist in the HG (weird edge on a direct jmp).
+std::optional<BuiltBinary> overlappingBinary();
+
+/// Options for the random program generators.
+struct GenOptions {
+  uint64_t Seed = 1;
+  /// Number of functions to generate.
+  unsigned NumFuncs = 4;
+  /// Rough size of each function in instructions (pre-noise).
+  unsigned TargetInstrs = 60;
+  /// Fraction (percent) of functions that contain a jump table.
+  unsigned JumpTablePct = 20;
+  /// Fraction (percent) of functions that call an external function.
+  unsigned ExternalPct = 30;
+  /// Fraction (percent) of functions containing an unresolved callback.
+  unsigned CallbackPct = 0;
+  /// Fraction (percent) of functions containing an unresolvable indirect
+  /// jump (annotation B): a jump through a mutable global.
+  unsigned UnresJumpPct = 0;
+  /// Weight (percent points out of 100 block picks) of writes through the
+  /// first pointer argument — these exercise the nondeterministic memory
+  /// model (alias/separation branching) and the stack-frame separation
+  /// obligations; they are the dominant verification cost.
+  unsigned ArgWritePct = 8;
+  std::string Name = "random";
+};
+
+/// An executable whose _start calls the first generated function.
+std::optional<BuiltBinary> randomBinary(const GenOptions &Opts);
+/// A shared object exporting every generated function (fn_0, fn_1, ...).
+std::optional<BuiltBinary> randomLibrary(const GenOptions &Opts);
+
+/// Emit one random function body into PB; returns its entry label.
+/// Callees may be called (context-free) from the generated body.
+x86::Asm::Label emitRandomFunction(ProgramBuilder &PB, Rng &R,
+                                   const GenOptions &Opts,
+                                   const std::vector<x86::Asm::Label> &Callees);
+
+} // namespace hglift::corpus
+
+#endif // HGLIFT_CORPUS_PROGRAMS_H

@@ -1,0 +1,173 @@
+#include "corpus/Suites.h"
+
+namespace hglift::corpus {
+
+namespace {
+
+/// Scale a paper count down, keeping at least One if the original was
+/// nonzero.
+unsigned scaleCount(unsigned Paper, unsigned Div) {
+  if (Paper == 0)
+    return 0;
+  unsigned S = Paper / Div;
+  return S == 0 ? 1 : S;
+}
+
+BuiltBinary mustBuild(std::optional<BuiltBinary> BB) {
+  // Corpus construction is deterministic; a failure here is a programming
+  // error surfaced immediately by the suite tests.
+  return BB ? std::move(*BB) : BuiltBinary{};
+}
+
+/// A binary designed to fail return-address verification (§5.1's
+/// "unprovable return address" column); variants keep the row diverse.
+BuiltBinary unprovableVariant(Rng &R) {
+  switch (R.below(3)) {
+  case 0:
+    return mustBuild(overflowBinary());
+  case 1:
+    return mustBuild(stackProbeBinary());
+  default:
+    return mustBuild(nonstandardRspBinary());
+  }
+}
+
+} // namespace
+
+std::vector<SuiteRow> buildXenSuite(const SuiteOptions &Opts) {
+  Rng R(Opts.Seed);
+  std::vector<SuiteRow> Rows;
+
+  struct RowSpec {
+    const char *Dir;
+    bool Lib;
+    SuiteRow::Mix Paper;
+    unsigned PaperInstrs; // for sizing
+  };
+  // Table 1 of the paper (w + x + y + z per row).
+  const RowSpec Specs[] = {
+      {".../bin", false, {12, 2, 1, 0}, 6751},
+      {".../xen/bin", false, {7, 1, 8, 1}, 2433},
+      {".../libexec", false, {1, 0, 0, 0}, 82},
+      {".../sbin", false, {25, 1, 4, 0}, 8858},
+      {".../lib", true, {1874, 29, 0, 4}, 353433},
+      {".../xenfsimage", true, {106, 3, 0, 0}, 17184},
+      {".../dist-packages", true, {16, 0, 0, 0}, 379},
+      {".../lowlevel", true, {119, 0, 0, 0}, 10651},
+  };
+
+  for (const RowSpec &Spec : Specs) {
+    SuiteRow Row;
+    Row.Directory = Spec.Dir;
+    Row.IsLibrary = Spec.Lib;
+    Row.Paper = Spec.Paper;
+
+    unsigned Div = Spec.Lib ? Opts.LibraryScale : 1;
+    Row.Ours.Lifted = scaleCount(Spec.Paper.Lifted, Div);
+    Row.Ours.Unprovable = scaleCount(Spec.Paper.Unprovable, Div);
+    Row.Ours.Concurrency = scaleCount(Spec.Paper.Concurrency, Div);
+    Row.Ours.Timeout = scaleCount(Spec.Paper.Timeout, Div);
+
+    if (!Spec.Lib) {
+      // Binary rows: one ELF per unit, mix of handcrafted + random.
+      unsigned MeanSize =
+          Spec.Paper.total() ? Spec.PaperInstrs / Spec.Paper.total() : 60;
+      for (unsigned I = 0; I < Row.Ours.Lifted; ++I) {
+        switch (I % 6) {
+        case 0:
+          Row.Binaries.push_back(mustBuild(jumpTableBinary(
+              static_cast<unsigned>(R.range(4, 12)))));
+          break;
+        case 1:
+          Row.Binaries.push_back(mustBuild(callChainBinary()));
+          break;
+        case 2:
+          Row.Binaries.push_back(mustBuild(callbackBinary()));
+          break;
+        case 3:
+          Row.Binaries.push_back(mustBuild(
+              I % 2 ? recursionBinary() : overlappingBinary()));
+          break;
+        default: {
+          GenOptions G;
+          G.Seed = R.next();
+          G.NumFuncs = static_cast<unsigned>(R.range(2, 6));
+          G.TargetInstrs =
+              static_cast<unsigned>(MeanSize / G.NumFuncs + R.below(40));
+          G.Name = std::string(Spec.Dir) + "/prog_" + std::to_string(I);
+          Row.Binaries.push_back(mustBuild(randomBinary(G)));
+        }
+        }
+      }
+      for (unsigned I = 0; I < Row.Ours.Unprovable; ++I)
+        Row.Binaries.push_back(unprovableVariant(R));
+      for (unsigned I = 0; I < Row.Ours.Concurrency; ++I)
+        Row.Binaries.push_back(mustBuild(concurrencyBinary()));
+      for (unsigned I = 0; I < Row.Ours.Timeout; ++I)
+        Row.Binaries.push_back(mustBuild(explodingBinary(14)));
+    } else {
+      // Library rows: shared objects exporting the functions. One .so per
+      // outcome category keeps the bookkeeping simple: the lifted row is a
+      // single library with Ours.Lifted exported functions.
+      if (Row.Ours.Lifted) {
+        GenOptions G;
+        G.Seed = R.next();
+        G.NumFuncs = Row.Ours.Lifted;
+        G.TargetInstrs = Opts.MeanFuncSize;
+        G.JumpTablePct = 8;
+        G.ExternalPct = 30;
+        // The paper's library columns are dominated by callbacks (C) and
+        // unresolvable computed jumps (B) in .../lib and xenfsimage.
+        if (std::string(Spec.Dir).find("lib") != std::string::npos ||
+            std::string(Spec.Dir).find("fsimage") != std::string::npos) {
+          G.CallbackPct = 25;
+          G.UnresJumpPct = 12;
+        }
+        G.Name = std::string(Spec.Dir) + "/libgen.so";
+        Row.Binaries.push_back(mustBuild(randomLibrary(G)));
+      }
+      for (unsigned I = 0; I < Row.Ours.Unprovable; ++I)
+        Row.Binaries.push_back(unprovableVariant(R));
+      for (unsigned I = 0; I < Row.Ours.Timeout; ++I)
+        Row.Binaries.push_back(mustBuild(explodingBinary(14)));
+    }
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
+std::vector<Table2Entry> buildCoreutilsSuite(uint64_t Seed, unsigned Scale) {
+  // Table 2 of the paper: binaries, instruction counts, indirections.
+  struct Spec {
+    const char *Name;
+    unsigned Instrs;
+    unsigned Indirections;
+  };
+  const Spec Specs[] = {{"hexdump", 2515, 11}, {"od", 3040, 11},
+                        {"wc", 445, 0},        {"tar", 5730, 5},
+                        {"du", 883, 3},        {"gzip", 3465, 7}};
+
+  Rng R(Seed);
+  std::vector<Table2Entry> Out;
+  for (const Spec &S : Specs) {
+    Table2Entry E;
+    E.Name = S.Name;
+    E.PaperInstrs = S.Instrs;
+    E.PaperIndirections = S.Indirections;
+
+    GenOptions G;
+    G.Seed = R.next();
+    unsigned Target = S.Instrs / Scale;
+    G.NumFuncs = std::max(2u, Target / 60);
+    G.TargetInstrs = std::max(20u, Target / G.NumFuncs);
+    // Indirections come from jump tables; wc has none.
+    G.JumpTablePct = S.Indirections == 0 ? 0 : 40;
+    G.ExternalPct = 30;
+    G.Name = S.Name;
+    E.Binary = mustBuild(randomBinary(G));
+    Out.push_back(std::move(E));
+  }
+  return Out;
+}
+
+} // namespace hglift::corpus

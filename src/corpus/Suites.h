@@ -1,0 +1,68 @@
+//===- Suites.h - The synthetic Xen-shaped evaluation suite ----*- C++ -*-===//
+//
+// Builds the full Table 1 population: the same eight directory rows as the
+// paper's Xen 4.12 case study, with the same *mix of outcomes* per row
+// (lifted / unprovable return address / concurrency / timeout), scaled by
+// a configurable factor so the bench fits a workstation budget. Binaries
+// are lifted from their entry points; "shared objects" expose function
+// symbols lifted individually, like the paper's use of nm (§5.1).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_CORPUS_SUITES_H
+#define HGLIFT_CORPUS_SUITES_H
+
+#include "corpus/Programs.h"
+
+namespace hglift::corpus {
+
+/// One row of Table 1.
+struct SuiteRow {
+  std::string Directory; ///< e.g. ".../bin"
+  bool IsLibrary = false;
+
+  /// Paper's counts for this row (printed alongside ours).
+  struct Mix {
+    unsigned Lifted = 0;
+    unsigned Unprovable = 0;
+    unsigned Concurrency = 0;
+    unsigned Timeout = 0;
+    unsigned total() const {
+      return Lifted + Unprovable + Concurrency + Timeout;
+    }
+  };
+  Mix Paper;
+  Mix Ours; ///< scaled target mix
+
+  /// The binaries (or, for library rows, shared objects whose exported
+  /// functions are the units).
+  std::vector<BuiltBinary> Binaries;
+};
+
+struct SuiteOptions {
+  /// Divisor applied to the paper's library-row counts (the binary rows
+  /// are kept at full count; they are small).
+  unsigned LibraryScale = 20;
+  /// Target instructions per generated function (paper: ~185 instrs per
+  /// library function).
+  unsigned MeanFuncSize = 110;
+  uint64_t Seed = 0xce5;
+};
+
+/// Build all eight rows of the Table 1 suite.
+std::vector<SuiteRow> buildXenSuite(const SuiteOptions &Opts);
+
+/// The six CoreUtils-shaped binaries of Table 2 (hexdump, od, wc, tar, du,
+/// gzip), sized proportionally to the paper's instruction counts.
+struct Table2Entry {
+  std::string Name;
+  unsigned PaperInstrs;
+  unsigned PaperIndirections;
+  BuiltBinary Binary;
+};
+std::vector<Table2Entry> buildCoreutilsSuite(uint64_t Seed = 0xc0de,
+                                             unsigned Scale = 10);
+
+} // namespace hglift::corpus
+
+#endif // HGLIFT_CORPUS_SUITES_H

@@ -1,0 +1,80 @@
+#include "driver/Report.h"
+
+#include "support/Format.h"
+
+namespace hglift::driver {
+
+using hg::BinaryResult;
+using hg::Edge;
+using hg::FunctionResult;
+
+void printHoareGraph(std::ostream &OS, const FunctionResult &F,
+                     const expr::ExprContext &Ctx) {
+  OS << "function " << hexStr(F.Entry) << " ("
+     << hg::liftOutcomeName(F.Outcome) << "), " << F.Graph.numStates()
+     << " states, " << F.Graph.Edges.size() << " edges\n";
+  for (const auto &[Key, V] : F.Graph.Vertices) {
+    OS << "  [" << hexStr(Key.Rip) << "] ";
+    if (V.Instr.isValid())
+      OS << V.Instr.str();
+    OS << "\n";
+    std::string P = V.State.P.str(Ctx);
+    if (!P.empty())
+      OS << "      P: " << P << "\n";
+    std::string M = V.State.M.str(Ctx);
+    if (!M.empty()) {
+      // Indent the forest dump.
+      OS << "      M: ";
+      for (char C : M) {
+        OS << C;
+        if (C == '\n')
+          OS << "         ";
+      }
+      OS << "\n";
+    }
+  }
+  for (const Edge &E : F.Graph.Edges) {
+    OS << "  " << hexStr(E.From.Rip) << " -> ";
+    if (E.To.Rip == hg::RetTargetRip)
+      OS << "RET";
+    else if (E.To.Rip == hg::UnresolvedTargetRip)
+      OS << "UNRESOLVED";
+    else
+      OS << hexStr(E.To.Rip);
+    OS << "   (" << E.Instr.str() << ")\n";
+  }
+}
+
+void printBinaryReport(std::ostream &OS, const BinaryResult &R,
+                       const expr::ExprContext &Ctx, bool Verbose) {
+  OS << "binary: " << R.Name << "\n";
+  OS << "outcome: " << hg::liftOutcomeName(R.Outcome);
+  if (!R.FailReason.empty())
+    OS << "  (" << R.FailReason << ")";
+  OS << "\n";
+  OS << "functions: " << R.Functions.size()
+     << "  instructions: " << R.totalInstructions()
+     << "  symbolic states: " << R.totalStates() << "\n";
+  OS << "resolved indirections (A): " << R.totalA()
+     << "  unresolved jumps (B): " << R.totalB()
+     << "  unresolved calls (C): " << R.totalC() << "\n";
+
+  size_t Weird = 0;
+  for (const FunctionResult &F : R.Functions)
+    Weird += F.Graph.weirdEdges().size();
+  if (Weird)
+    OS << "WEIRD edges (overlapping instructions): " << Weird << "\n";
+
+  auto Obls = R.allObligations();
+  if (!Obls.empty()) {
+    OS << "proof obligations / assumptions (" << Obls.size() << "):\n";
+    for (const std::string &O : Obls)
+      OS << "  " << O << "\n";
+  }
+
+  if (Verbose)
+    for (const FunctionResult &F : R.Functions)
+      printHoareGraph(OS, F, Ctx);
+}
+
+} // namespace hglift::driver

@@ -1,0 +1,24 @@
+//===- Report.h - Human-readable lifting reports ---------------*- C++ -*-===//
+
+#ifndef HGLIFT_DRIVER_REPORT_H
+#define HGLIFT_DRIVER_REPORT_H
+
+#include "hg/Lifter.h"
+
+#include <ostream>
+
+namespace hglift::driver {
+
+/// Print the per-binary report: outcome, statistics (the Table 1 columns),
+/// annotations, obligations, weird edges.
+void printBinaryReport(std::ostream &OS, const hg::BinaryResult &R,
+                       const expr::ExprContext &Ctx, bool Verbose = false);
+
+/// Print a function's Hoare Graph: vertices with invariants, edges with
+/// instructions (the Figure 1 view).
+void printHoareGraph(std::ostream &OS, const hg::FunctionResult &F,
+                     const expr::ExprContext &Ctx);
+
+} // namespace hglift::driver
+
+#endif // HGLIFT_DRIVER_REPORT_H

@@ -1,0 +1,103 @@
+//===- hglift_main.cpp - The hglift command-line tool --------------------===//
+//
+// Usage:
+//   hglift <binary.elf> [options]
+//     --library            lift every exported function symbol instead of
+//                          the entry point (shared-object mode, §5.1)
+//     --check              run the Step-2 Hoare-triple checker
+//     --export-isabelle F  write the Isabelle/HOL theory to F
+//     --export-dot F       write the Hoare Graphs as Graphviz dot to F
+//     --dump-hg            print the full Hoare Graph
+//     --no-join            ablation: disable state joining
+//     --destroy-always     ablation: no alias/separation branching
+//     --max-seconds N      per-function wall budget (default 60)
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Report.h"
+#include "elf/ElfReader.h"
+#include "export/HoareChecker.h"
+#include "export/DotExport.h"
+#include "export/IsabelleExport.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+using namespace hglift;
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::cerr << "usage: hglift <binary.elf> [--library] [--check] "
+                 "[--export-isabelle FILE] [--dump-hg] [--no-join] "
+                 "[--destroy-always] [--max-seconds N]\n";
+    return 2;
+  }
+
+  std::string Path = argv[1];
+  bool Library = false, Check = false, DumpHG = false;
+  std::string IsabelleOut, DotOut;
+  hg::LiftConfig Cfg;
+  for (int I = 2; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--library")
+      Library = true;
+    else if (A == "--check")
+      Check = true;
+    else if (A == "--dump-hg")
+      DumpHG = true;
+    else if (A == "--no-join")
+      Cfg.EnableJoin = false;
+    else if (A == "--destroy-always")
+      Cfg.Sym.Policy = mem::UnknownPolicy::DestroyAlways;
+    else if (A == "--export-isabelle" && I + 1 < argc)
+      IsabelleOut = argv[++I];
+    else if (A == "--export-dot" && I + 1 < argc)
+      DotOut = argv[++I];
+    else if (A == "--max-seconds" && I + 1 < argc)
+      Cfg.MaxSeconds = std::atof(argv[++I]);
+    else {
+      std::cerr << "unknown option: " << A << "\n";
+      return 2;
+    }
+  }
+
+  auto Img = elf::readElfFile(Path);
+  if (!Img) {
+    std::cerr << "error: cannot parse ELF file " << Path << "\n";
+    return 1;
+  }
+
+  hg::Lifter L(*Img, Cfg);
+  hg::BinaryResult R = Library ? L.liftLibrary() : L.liftBinary();
+  driver::printBinaryReport(std::cout, R, L.exprContext(), DumpHG);
+
+  if (Check) {
+    exporter::CheckResult C = exporter::checkBinary(L, R);
+    std::cout << "step 2: " << C.Proven << "/" << C.Theorems
+              << " Hoare triples proven\n";
+    for (const std::string &F : C.Failures)
+      std::cout << "  FAILED: " << F << "\n";
+    if (!C.allProven())
+      return 1;
+  }
+
+  if (!IsabelleOut.empty()) {
+    exporter::IsabelleOptions Opts;
+    Opts.TheoryName = R.Name.empty() ? "lifted_binary" : R.Name;
+    size_t Lemmas = 0;
+    std::string Thy = exporter::exportBinary(L.exprContext(), R, Opts, &Lemmas);
+    std::ofstream Out(IsabelleOut);
+    Out << Thy;
+    std::cout << "wrote " << Lemmas << " Hoare-triple lemmas to "
+              << IsabelleOut << "\n";
+  }
+
+  if (!DotOut.empty()) {
+    std::ofstream Out(DotOut);
+    Out << exporter::exportDotBinary(L.exprContext(), R);
+    std::cout << "wrote Graphviz graph to " << DotOut << "\n";
+  }
+
+  return R.Outcome == hg::LiftOutcome::Lifted ? 0 : 1;
+}

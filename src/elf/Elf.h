@@ -1,0 +1,92 @@
+//===- Elf.h - ELF64 on-disk structures ------------------------*- C++ -*-===//
+//
+// Minimal ELF64 definitions (we implement the format from the spec rather
+// than depending on <elf.h>, so the writer/reader pair is self-contained
+// and testable on any host).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_ELF_ELF_H
+#define HGLIFT_ELF_ELF_H
+
+#include <cstdint>
+
+namespace hglift::elf {
+
+constexpr uint8_t ElfMag[4] = {0x7f, 'E', 'L', 'F'};
+constexpr uint8_t ElfClass64 = 2;
+constexpr uint8_t ElfData2Lsb = 1;
+constexpr uint16_t EtExec = 2;
+constexpr uint16_t EtDyn = 3;
+constexpr uint16_t EmX8664 = 62;
+
+constexpr uint32_t PtLoad = 1;
+constexpr uint32_t PfX = 1, PfW = 2, PfR = 4;
+
+constexpr uint32_t ShtNull = 0, ShtProgbits = 1, ShtSymtab = 2, ShtStrtab = 3,
+                   ShtNobits = 8;
+constexpr uint64_t ShfWrite = 1, ShfAlloc = 2, ShfExecinstr = 4;
+
+constexpr uint8_t SttFunc = 2;
+constexpr uint8_t StbGlobal = 1;
+
+#pragma pack(push, 1)
+struct Ehdr {
+  uint8_t Ident[16];
+  uint16_t Type;
+  uint16_t Machine;
+  uint32_t Version;
+  uint64_t Entry;
+  uint64_t Phoff;
+  uint64_t Shoff;
+  uint32_t Flags;
+  uint16_t Ehsize;
+  uint16_t Phentsize;
+  uint16_t Phnum;
+  uint16_t Shentsize;
+  uint16_t Shnum;
+  uint16_t Shstrndx;
+};
+
+struct Phdr {
+  uint32_t Type;
+  uint32_t Flags;
+  uint64_t Offset;
+  uint64_t Vaddr;
+  uint64_t Paddr;
+  uint64_t Filesz;
+  uint64_t Memsz;
+  uint64_t Align;
+};
+
+struct Shdr {
+  uint32_t Name;
+  uint32_t Type;
+  uint64_t Flags;
+  uint64_t Addr;
+  uint64_t Offset;
+  uint64_t Size;
+  uint32_t Link;
+  uint32_t Info;
+  uint64_t Addralign;
+  uint64_t Entsize;
+};
+
+struct Sym {
+  uint32_t Name;
+  uint8_t Info;
+  uint8_t Other;
+  uint16_t Shndx;
+  uint64_t Value;
+  uint64_t Size;
+};
+#pragma pack(pop)
+
+static_assert(sizeof(Ehdr) == 64);
+static_assert(sizeof(Phdr) == 56);
+static_assert(sizeof(Shdr) == 64);
+static_assert(sizeof(Sym) == 24);
+
+} // namespace hglift::elf
+
+#endif // HGLIFT_ELF_ELF_H

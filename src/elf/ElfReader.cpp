@@ -1,0 +1,122 @@
+#include "elf/ElfReader.h"
+
+#include "elf/Elf.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace hglift::elf {
+
+namespace {
+
+/// Bounds-checked structure read.
+template <typename T>
+bool readAt(const std::vector<uint8_t> &Bytes, uint64_t Off, T &Out) {
+  if (Off > Bytes.size() || Bytes.size() - Off < sizeof(T))
+    return false;
+  std::memcpy(&Out, Bytes.data() + Off, sizeof(T));
+  return true;
+}
+
+/// NUL-terminated string from a string table region; empty on overflow.
+std::string strAt(const std::vector<uint8_t> &Bytes, uint64_t TabOff,
+                  uint64_t TabSize, uint32_t Idx) {
+  if (Idx >= TabSize)
+    return "";
+  uint64_t Off = TabOff + Idx;
+  std::string S;
+  while (Off < Bytes.size() && Off < TabOff + TabSize && Bytes[Off] != 0)
+    S.push_back(static_cast<char>(Bytes[Off++]));
+  return S;
+}
+
+} // namespace
+
+std::optional<BinaryImage> readElf(const std::vector<uint8_t> &Bytes,
+                                   const std::string &Name) {
+  Ehdr E;
+  if (!readAt(Bytes, 0, E))
+    return std::nullopt;
+  if (std::memcmp(E.Ident, ElfMag, 4) != 0 || E.Ident[4] != ElfClass64 ||
+      E.Ident[5] != ElfData2Lsb)
+    return std::nullopt;
+  if (E.Machine != EmX8664)
+    return std::nullopt;
+  if (E.Phentsize != sizeof(Phdr) && E.Phnum != 0)
+    return std::nullopt;
+  if (E.Shentsize != sizeof(Shdr) && E.Shnum != 0)
+    return std::nullopt;
+
+  BinaryImage Img;
+  Img.Entry = E.Entry;
+  Img.Name = Name;
+
+  // Loadable segments.
+  for (uint16_t I = 0; I < E.Phnum; ++I) {
+    Phdr P;
+    if (!readAt(Bytes, E.Phoff + static_cast<uint64_t>(I) * sizeof(Phdr), P))
+      return std::nullopt;
+    if (P.Type != PtLoad)
+      continue;
+    if (P.Offset > Bytes.size() || Bytes.size() - P.Offset < P.Filesz)
+      return std::nullopt;
+    if (P.Memsz < P.Filesz || P.Memsz > (uint64_t(1) << 32))
+      return std::nullopt;
+    Segment S;
+    S.VAddr = P.Vaddr;
+    S.Exec = P.Flags & PfX;
+    S.Write = P.Flags & PfW;
+    S.Bytes.assign(Bytes.begin() + static_cast<ptrdiff_t>(P.Offset),
+                   Bytes.begin() + static_cast<ptrdiff_t>(P.Offset + P.Filesz));
+    S.Bytes.resize(P.Memsz, 0); // zero-fill .bss-style tail
+    Img.Segments.push_back(std::move(S));
+  }
+
+  // Symbols: find SHT_SYMTAB and its linked string table.
+  for (uint16_t I = 0; I < E.Shnum; ++I) {
+    Shdr H;
+    if (!readAt(Bytes, E.Shoff + static_cast<uint64_t>(I) * sizeof(Shdr), H))
+      return std::nullopt;
+    if (H.Type != ShtSymtab || H.Entsize != sizeof(Sym))
+      continue;
+    Shdr StrH;
+    if (!readAt(Bytes, E.Shoff + static_cast<uint64_t>(H.Link) * sizeof(Shdr),
+                StrH))
+      return std::nullopt;
+    uint64_t Count = H.Size / sizeof(Sym);
+    for (uint64_t J = 1; J < Count; ++J) {
+      Sym Y;
+      if (!readAt(Bytes, H.Offset + J * sizeof(Sym), Y))
+        return std::nullopt;
+      std::string SymName = strAt(Bytes, StrH.Offset, StrH.Size, Y.Name);
+      if (SymName.empty())
+        continue;
+      bool IsFunc = (Y.Info & 0xf) == SttFunc;
+      // "name@plt" marks an external-function stub.
+      size_t At = SymName.rfind("@plt");
+      if (At != std::string::npos && At == SymName.size() - 4) {
+        Img.PltStubs[Y.Value] = SymName.substr(0, At);
+        continue;
+      }
+      if (IsFunc)
+        Img.Functions.push_back(Symbol{SymName, Y.Value, Y.Size, true});
+    }
+  }
+
+  return Img;
+}
+
+std::optional<BinaryImage> readElfFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                             std::istreambuf_iterator<char>());
+  std::string Base = Path;
+  size_t Slash = Base.find_last_of('/');
+  if (Slash != std::string::npos)
+    Base = Base.substr(Slash + 1);
+  return readElf(Bytes, Base);
+}
+
+} // namespace hglift::elf

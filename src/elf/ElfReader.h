@@ -1,0 +1,25 @@
+//===- ElfReader.h - Parse ELF64 into a BinaryImage ------------*- C++ -*-===//
+
+#ifndef HGLIFT_ELF_ELFREADER_H
+#define HGLIFT_ELF_ELFREADER_H
+
+#include "elf/Binary.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hglift::elf {
+
+/// Parse ELF64 bytes into a BinaryImage. Returns nullopt on malformed
+/// input (bad magic, truncated headers, out-of-range offsets). The parser
+/// is defensive: a hostile binary must produce a parse error, never UB.
+std::optional<BinaryImage> readElf(const std::vector<uint8_t> &Bytes,
+                                   const std::string &Name = "");
+
+/// Convenience: read an ELF from a file on disk.
+std::optional<BinaryImage> readElfFile(const std::string &Path);
+
+} // namespace hglift::elf
+
+#endif // HGLIFT_ELF_ELFREADER_H

@@ -1,0 +1,173 @@
+#include "elf/ElfWriter.h"
+
+#include "elf/Elf.h"
+
+#include <cstring>
+
+namespace hglift::elf {
+
+namespace {
+
+void append(std::vector<uint8_t> &Out, const void *P, size_t N) {
+  const uint8_t *B = static_cast<const uint8_t *>(P);
+  Out.insert(Out.end(), B, B + N);
+}
+
+void padTo(std::vector<uint8_t> &Out, size_t Align) {
+  while (Out.size() % Align != 0)
+    Out.push_back(0);
+}
+
+} // namespace
+
+std::vector<uint8_t> writeElf(const ElfSpec &Spec) {
+  // Layout:
+  //   Ehdr | Phdrs | section contents... | .symtab | .strtab | .shstrtab
+  //   | Shdrs
+  const size_t NumSections = Spec.Sections.size();
+  const size_t NumPhdrs = NumSections; // one PT_LOAD per section (simple)
+
+  std::vector<uint8_t> Out;
+  Out.resize(sizeof(Ehdr) + NumPhdrs * sizeof(Phdr));
+
+  // Section contents.
+  std::vector<uint64_t> SecOffsets;
+  for (const OutSection &S : Spec.Sections) {
+    padTo(Out, 16);
+    SecOffsets.push_back(Out.size());
+    append(Out, S.Bytes.data(), S.Bytes.size());
+  }
+
+  // String table for symbols.
+  std::string Strtab;
+  Strtab.push_back('\0');
+  std::vector<Sym> Syms;
+  Syms.push_back(Sym{}); // null symbol
+  for (const OutSymbol &S : Spec.Symbols) {
+    Sym Y{};
+    Y.Name = static_cast<uint32_t>(Strtab.size());
+    std::string N = S.Name + (S.IsPltStub ? "@plt" : "");
+    Strtab += N;
+    Strtab.push_back('\0');
+    Y.Info = static_cast<uint8_t>((StbGlobal << 4) | (S.IsFunc ? SttFunc : 0));
+    Y.Shndx = 1; // not used by our reader beyond "defined"
+    Y.Value = S.Addr;
+    Y.Size = S.Size;
+    Syms.push_back(Y);
+  }
+
+  padTo(Out, 8);
+  uint64_t SymtabOff = Out.size();
+  append(Out, Syms.data(), Syms.size() * sizeof(Sym));
+  uint64_t StrtabOff = Out.size();
+  append(Out, Strtab.data(), Strtab.size());
+
+  // Section-header string table.
+  std::string Shstr;
+  Shstr.push_back('\0');
+  auto shstrAdd = [&](const std::string &N) {
+    uint32_t Off = static_cast<uint32_t>(Shstr.size());
+    Shstr += N;
+    Shstr.push_back('\0');
+    return Off;
+  };
+  std::vector<uint32_t> SecNameOffs;
+  for (const OutSection &S : Spec.Sections)
+    SecNameOffs.push_back(shstrAdd(S.Name));
+  uint32_t SymtabName = shstrAdd(".symtab");
+  uint32_t StrtabName = shstrAdd(".strtab");
+  uint32_t ShstrName = shstrAdd(".shstrtab");
+  uint64_t ShstrOff = Out.size();
+  append(Out, Shstr.data(), Shstr.size());
+
+  // Section headers: null + sections + symtab + strtab + shstrtab.
+  padTo(Out, 8);
+  uint64_t ShdrOff = Out.size();
+  std::vector<Shdr> Shdrs;
+  Shdrs.push_back(Shdr{}); // null
+  for (size_t I = 0; I < NumSections; ++I) {
+    const OutSection &S = Spec.Sections[I];
+    Shdr H{};
+    H.Name = SecNameOffs[I];
+    H.Type = ShtProgbits;
+    H.Flags = ShfAlloc | (S.Exec ? ShfExecinstr : 0) | (S.Write ? ShfWrite : 0);
+    H.Addr = S.VAddr;
+    H.Offset = SecOffsets[I];
+    H.Size = S.Bytes.size();
+    H.Addralign = 16;
+    Shdrs.push_back(H);
+  }
+  uint32_t StrtabIndex = static_cast<uint32_t>(Shdrs.size() + 1);
+  {
+    Shdr H{};
+    H.Name = SymtabName;
+    H.Type = ShtSymtab;
+    H.Offset = SymtabOff;
+    H.Size = Syms.size() * sizeof(Sym);
+    H.Link = StrtabIndex;
+    H.Info = 1;
+    H.Entsize = sizeof(Sym);
+    H.Addralign = 8;
+    Shdrs.push_back(H);
+  }
+  {
+    Shdr H{};
+    H.Name = StrtabName;
+    H.Type = ShtStrtab;
+    H.Offset = StrtabOff;
+    H.Size = Strtab.size();
+    H.Addralign = 1;
+    Shdrs.push_back(H);
+  }
+  uint16_t ShstrIndex = static_cast<uint16_t>(Shdrs.size());
+  {
+    Shdr H{};
+    H.Name = ShstrName;
+    H.Type = ShtStrtab;
+    H.Offset = ShstrOff;
+    H.Size = Shstr.size();
+    H.Addralign = 1;
+    Shdrs.push_back(H);
+  }
+  append(Out, Shdrs.data(), Shdrs.size() * sizeof(Shdr));
+
+  // Program headers.
+  std::vector<Phdr> Phdrs;
+  for (size_t I = 0; I < NumSections; ++I) {
+    const OutSection &S = Spec.Sections[I];
+    Phdr P{};
+    P.Type = PtLoad;
+    P.Flags = PfR | (S.Exec ? PfX : 0) | (S.Write ? PfW : 0);
+    P.Offset = SecOffsets[I];
+    P.Vaddr = P.Paddr = S.VAddr;
+    P.Filesz = P.Memsz = S.Bytes.size();
+    P.Align = 0x1000;
+    Phdrs.push_back(P);
+  }
+  std::memcpy(Out.data() + sizeof(Ehdr), Phdrs.data(),
+              Phdrs.size() * sizeof(Phdr));
+
+  // ELF header.
+  Ehdr E{};
+  std::memcpy(E.Ident, ElfMag, 4);
+  E.Ident[4] = ElfClass64;
+  E.Ident[5] = ElfData2Lsb;
+  E.Ident[6] = 1; // EV_CURRENT
+  E.Type = Spec.SharedObject ? EtDyn : EtExec;
+  E.Machine = EmX8664;
+  E.Version = 1;
+  E.Entry = Spec.Entry;
+  E.Phoff = sizeof(Ehdr);
+  E.Shoff = ShdrOff;
+  E.Ehsize = sizeof(Ehdr);
+  E.Phentsize = sizeof(Phdr);
+  E.Phnum = static_cast<uint16_t>(Phdrs.size());
+  E.Shentsize = sizeof(Shdr);
+  E.Shnum = static_cast<uint16_t>(Shdrs.size());
+  E.Shstrndx = ShstrIndex;
+  std::memcpy(Out.data(), &E, sizeof(Ehdr));
+
+  return Out;
+}
+
+} // namespace hglift::elf

@@ -1,0 +1,51 @@
+//===- ElfWriter.h - Build ELF64 executables -------------------*- C++ -*-===//
+//
+// Serializes a set of sections + symbols into a valid ELF64 file. The
+// corpus generator uses this to synthesize the evaluation binaries; the
+// reader parses them back, and examples write them to disk so they can be
+// inspected with standard tools (readelf/objdump).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_ELF_ELFWRITER_H
+#define HGLIFT_ELF_ELFWRITER_H
+
+#include "elf/Binary.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hglift::elf {
+
+struct OutSection {
+  std::string Name; // ".text", ".plt", ".rodata", ".data"
+  uint64_t VAddr = 0;
+  std::vector<uint8_t> Bytes;
+  bool Exec = false;
+  bool Write = false;
+};
+
+struct OutSymbol {
+  std::string Name;
+  uint64_t Addr = 0;
+  uint64_t Size = 0;
+  bool IsFunc = true;
+  /// True for symbols describing PLT stubs of external functions; they are
+  /// emitted with an "@plt" suffix, which the reader recognizes.
+  bool IsPltStub = false;
+};
+
+struct ElfSpec {
+  uint64_t Entry = 0;
+  bool SharedObject = false; // ET_DYN vs ET_EXEC
+  std::vector<OutSection> Sections;
+  std::vector<OutSymbol> Symbols;
+};
+
+/// Serialize Spec into ELF64 file bytes.
+std::vector<uint8_t> writeElf(const ElfSpec &Spec);
+
+} // namespace hglift::elf
+
+#endif // HGLIFT_ELF_ELFWRITER_H

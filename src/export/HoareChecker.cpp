@@ -1,0 +1,110 @@
+#include "export/HoareChecker.h"
+
+#include "support/Format.h"
+
+namespace hglift::exporter {
+
+using hg::Edge;
+using hg::FunctionResult;
+using hg::HoareGraph;
+using hg::Vertex;
+using hg::VertexKey;
+using sem::CtrlKind;
+using sem::StepOut;
+using sem::Succ;
+using sem::SymExec;
+
+namespace {
+
+/// Does some vertex at address Rip entail the post-state S, with an edge
+/// From -> that address present?
+bool covered(const HoareGraph &G, const VertexKey &From, uint64_t Rip,
+             const sem::SymState &S) {
+  bool EdgeExists = false;
+  for (const Edge &E : G.Edges)
+    if (E.From == From && E.To.Rip == Rip) {
+      EdgeExists = true;
+      break;
+    }
+  if (!EdgeExists)
+    return false;
+  for (auto It = G.Vertices.lower_bound(VertexKey{Rip, 0});
+       It != G.Vertices.end() && It->first.Rip == Rip; ++It) {
+    if (pred::Pred::leq(S.P, It->second.State.P) &&
+        mem::MemModel::leq(S.M, It->second.State.M))
+      return true;
+  }
+  return false;
+}
+
+bool edgeTo(const HoareGraph &G, const VertexKey &From, uint64_t SpecialRip) {
+  for (const Edge &E : G.Edges)
+    if (E.From == From && E.To.Rip == SpecialRip)
+      return true;
+  return false;
+}
+
+} // namespace
+
+CheckResult checkFunction(hg::Lifter &L, const FunctionResult &F) {
+  CheckResult R;
+  if (F.Outcome != hg::LiftOutcome::Lifted)
+    return R;
+
+  // A fresh symbolic executor over the same expression context: the check
+  // shares the semantics but none of Algorithm 1's state.
+  SymExec Exec(L.exprContext(), L.solver(), L.image(),
+               L.config().Sym);
+
+  for (const auto &[Key, V] : F.Graph.Vertices) {
+    if (!V.Explored || !V.Instr.isValid())
+      continue;
+
+    StepOut Out = Exec.step(V.State, V.Instr, F.RetSym);
+    if (Out.VerifError) {
+      ++R.Theorems;
+      R.Failures.push_back("vertex " + hexStr(Key.Rip) +
+                           ": semantics rejected: " + Out.VerifReason);
+      continue;
+    }
+
+    for (const Succ &S : Out.Succs) {
+      ++R.Theorems;
+      bool OK = false;
+      switch (S.K) {
+      case CtrlKind::Fall:
+      case CtrlKind::CallInternal:
+      case CtrlKind::CallExternal:
+      case CtrlKind::UnresCall:
+        OK = covered(F.Graph, Key, S.NextAddr, S.S);
+        break;
+      case CtrlKind::Ret:
+        OK = edgeTo(F.Graph, Key, hg::RetTargetRip);
+        break;
+      case CtrlKind::UnresJump:
+        OK = edgeTo(F.Graph, Key, hg::UnresolvedTargetRip);
+        break;
+      case CtrlKind::Terminal:
+        OK = true; // no proof obligation: execution stops
+        break;
+      }
+      if (OK)
+        ++R.Proven;
+      else
+        R.Failures.push_back(
+            "vertex " + hexStr(Key.Rip) + " (" + V.Instr.str() +
+            "): post-state at " + hexStr(S.NextAddr) +
+            " not entailed by any target invariant");
+    }
+  }
+  return R;
+}
+
+CheckResult checkBinary(hg::Lifter &L, const hg::BinaryResult &B) {
+  CheckResult R;
+  for (const FunctionResult &F : B.Functions)
+    R.merge(checkFunction(L, F));
+  return R;
+}
+
+} // namespace hglift::exporter

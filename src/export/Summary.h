@@ -1,0 +1,65 @@
+//===- Summary.h - Persistable HG summaries + patch diffing ----*- C++ -*-===//
+//
+// §7 ("Patching"): "lifting both an original binary and its patched
+// version to HGs would increase the trustworthiness of the patch effort.
+// Both the HGs — but also the assumptions required for lifting the
+// binaries — could be mutually compared, and this comparison may expose
+// unexpected effects of the patch."
+//
+// HgSummary is the comparable artifact: the graph structure (instruction
+// text per vertex, edges, annotations), the generated proof obligations,
+// and the per-function outcome, with a stable text serialization and a
+// structural diff. Invariants are captured as rendered text (they are
+// re-derivable by re-lifting; the summary is for comparison and archival).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_EXPORT_SUMMARY_H
+#define HGLIFT_EXPORT_SUMMARY_H
+
+#include "hg/Lifter.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hglift::exporter {
+
+struct FunctionSummary {
+  uint64_t Entry = 0;
+  std::string Outcome;
+  bool MayReturn = false;
+  unsigned A = 0, B = 0, C = 0;
+  /// addr -> disassembled instruction text.
+  std::map<uint64_t, std::string> Instrs;
+  /// "from -> to" edges; special targets render as "ret"/"unresolved".
+  std::set<std::string> Edges;
+  std::set<std::string> Obligations;
+};
+
+struct HgSummary {
+  std::string Name;
+  std::string Outcome;
+  std::map<uint64_t, FunctionSummary> Functions;
+};
+
+/// Build a summary from a lifting result.
+HgSummary summarize(const hg::BinaryResult &R);
+
+/// Stable text serialization (one line per fact; diff-friendly).
+std::string writeSummary(const HgSummary &S);
+/// Parse writeSummary's output. nullopt on malformed input.
+std::optional<HgSummary> parseSummary(const std::string &Text);
+
+/// Structural comparison of two summaries (original vs patched).
+struct SummaryDiff {
+  std::vector<std::string> Lines; ///< human-readable findings
+  bool identical() const { return Lines.empty(); }
+};
+SummaryDiff diffSummaries(const HgSummary &Old, const HgSummary &New);
+
+} // namespace hglift::exporter
+
+#endif // HGLIFT_EXPORT_SUMMARY_H

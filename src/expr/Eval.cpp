@@ -1,0 +1,119 @@
+#include "expr/Eval.h"
+
+#include <cassert>
+
+namespace hglift::expr {
+
+namespace {
+
+std::optional<uint64_t> evalRec(const Expr *E, const VarValuation &Vars,
+                                const MemOracle &Mem) {
+  switch (E->kind()) {
+  case ExprKind::Const:
+    return E->constVal();
+  case ExprKind::Var:
+    return maskToWidth(Vars(E->varId()), E->width());
+  case ExprKind::Deref: {
+    auto A = evalRec(E->derefAddr(), Vars, Mem);
+    if (!A || !Mem)
+      return std::nullopt;
+    return maskToWidth(Mem(*A, E->derefSize()), E->width());
+  }
+  case ExprKind::Op:
+    break;
+  }
+
+  unsigned W = E->width();
+  const auto &Ops = E->operands();
+  std::vector<uint64_t> V;
+  V.reserve(Ops.size());
+  for (const Expr *Op : Ops) {
+    auto R = evalRec(Op, Vars, Mem);
+    if (!R)
+      return std::nullopt;
+    V.push_back(*R);
+  }
+  unsigned OW = Ops[0]->width(); // operand width for comparisons/casts
+  int64_t S0 = V.size() >= 1 ? signExtend(V[0], OW) : 0;
+  int64_t S1 = V.size() >= 2 ? signExtend(V[1], OW) : 0;
+
+  auto Ret = [&](uint64_t X) -> std::optional<uint64_t> {
+    return maskToWidth(X, W);
+  };
+
+  switch (E->opcode()) {
+  case Opcode::Add:
+    return Ret(V[0] + V[1]);
+  case Opcode::Sub:
+    return Ret(V[0] - V[1]);
+  case Opcode::Mul:
+    return Ret(V[0] * V[1]);
+  case Opcode::UDiv:
+    if (V[1] == 0)
+      return std::nullopt;
+    return Ret(V[0] / V[1]);
+  case Opcode::URem:
+    if (V[1] == 0)
+      return std::nullopt;
+    return Ret(V[0] % V[1]);
+  case Opcode::SDiv:
+    if (S1 == 0 || (S0 == INT64_MIN && S1 == -1))
+      return std::nullopt;
+    return Ret(static_cast<uint64_t>(S0 / S1));
+  case Opcode::SRem:
+    if (S1 == 0 || (S0 == INT64_MIN && S1 == -1))
+      return std::nullopt;
+    return Ret(static_cast<uint64_t>(S0 % S1));
+  case Opcode::And:
+    return Ret(V[0] & V[1]);
+  case Opcode::Or:
+    return Ret(V[0] | V[1]);
+  case Opcode::Xor:
+    return Ret(V[0] ^ V[1]);
+  case Opcode::Shl:
+    return Ret(V[0] << (V[1] % W));
+  case Opcode::LShr:
+    return Ret(V[0] >> (V[1] % W));
+  case Opcode::AShr:
+    return Ret(static_cast<uint64_t>(signExtend(V[0], W) >>
+                                     (V[1] % W)));
+  case Opcode::Not:
+    return Ret(~V[0]);
+  case Opcode::Neg:
+    return Ret(0 - V[0]);
+  case Opcode::ZExt:
+    return Ret(V[0]);
+  case Opcode::SExt:
+    return Ret(static_cast<uint64_t>(signExtend(V[0], OW)));
+  case Opcode::Trunc:
+    return Ret(V[0]);
+  case Opcode::Eq:
+    return Ret(V[0] == V[1]);
+  case Opcode::Ne:
+    return Ret(V[0] != V[1]);
+  case Opcode::ULt:
+    return Ret(V[0] < V[1]);
+  case Opcode::ULe:
+    return Ret(V[0] <= V[1]);
+  case Opcode::SLt:
+    return Ret(S0 < S1);
+  case Opcode::SLe:
+    return Ret(S0 <= S1);
+  case Opcode::Ite:
+    return Ret(V[0] ? V[1] : V[2]);
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<uint64_t> evalExpr(const Expr *E, const VarValuation &Vars,
+                                 const MemOracle &Mem) {
+  return evalRec(E, Vars, Mem);
+}
+
+std::optional<uint64_t> evalExpr(const Expr *E, const VarValuation &Vars) {
+  return evalRec(E, Vars, MemOracle());
+}
+
+} // namespace hglift::expr

@@ -1,0 +1,38 @@
+//===- Eval.h - Concrete evaluation of symbolic expressions ----*- C++ -*-===//
+//
+// Evaluates an Expr under a concrete valuation of its Var leaves and a
+// concrete initial-memory oracle for Deref leaves. This is the semantic
+// ground truth for `s ⊢ P` (Definition 4.4): the property tests use it to
+// check the simplifier, the predicate join, and the simulation relation
+// against real 64-bit arithmetic.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_EXPR_EVAL_H
+#define HGLIFT_EXPR_EVAL_H
+
+#include "expr/Expr.h"
+
+#include <functional>
+#include <optional>
+
+namespace hglift::expr {
+
+/// Maps a variable id to its concrete 64-bit value.
+using VarValuation = std::function<uint64_t(uint32_t VarId)>;
+
+/// Maps (address, size-in-bytes) to the little-endian value of the *initial*
+/// memory of the function under analysis.
+using MemOracle = std::function<uint64_t(uint64_t Addr, uint32_t Size)>;
+
+/// Evaluate E. Returns nullopt when the expression's value is undefined
+/// (division by zero). The result is masked to E->width().
+std::optional<uint64_t> evalExpr(const Expr *E, const VarValuation &Vars,
+                                 const MemOracle &Mem);
+
+/// Convenience overload for expressions without Deref leaves.
+std::optional<uint64_t> evalExpr(const Expr *E, const VarValuation &Vars);
+
+} // namespace hglift::expr
+
+#endif // HGLIFT_EXPR_EVAL_H

@@ -1,0 +1,171 @@
+//===- Expr.h - Hash-consed symbolic expressions ---------------*- C++ -*-===//
+//
+// Symbolic expressions as in §3.1 of the paper:
+//
+//   E ::= R | F | W | V | E × N | Op × [E]
+//
+// We represent the *constant-expression* fragment C (no registers or flags)
+// directly: predicates map every register to a C-expression, so register and
+// flag leaves never appear inside stored expressions. The leaves are:
+//
+//   Const   -- a word W (with a bit width)
+//   Var     -- a variable V: the initial value of a register at function
+//              entry (rdi0), a fresh unconstrained value introduced by
+//              joining or havoc, a return-address symbol S_f (§4.2.2), or
+//              the value of a malloc-style external call result
+//   Deref   -- E × N: the value read from a memory region whose content is
+//              the *initial* memory of the function (never written since
+//              entry); this is how the paper renders values such as
+//              "∗[RSP0 - 48 ...]" in §5.3
+//
+// Expressions are immutable and interned in an ExprContext: equal trees are
+// the same pointer, so syntactic equality is pointer equality.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_EXPR_EXPR_H
+#define HGLIFT_EXPR_EXPR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hglift::expr {
+
+class ExprContext;
+
+enum class ExprKind : uint8_t {
+  Const,
+  Var,
+  Op,
+  Deref,
+};
+
+/// Operators. All operate on the node's width except the width-changing
+/// casts and the comparisons (which produce width 1).
+enum class Opcode : uint8_t {
+  // Binary arithmetic / bitwise.
+  Add,
+  Sub,
+  Mul,
+  UDiv,
+  URem,
+  SDiv,
+  SRem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+  // Unary.
+  Not,
+  Neg,
+  // Width changing: one operand, node width is the target width.
+  ZExt,
+  SExt,
+  Trunc,
+  // Comparisons: two operands of equal width, node width 1.
+  Eq,
+  Ne,
+  ULt,
+  ULe,
+  SLt,
+  SLe,
+  // Ternary select: cond (width 1), then, else.
+  Ite,
+};
+
+const char *opcodeName(Opcode Opc);
+bool isCommutative(Opcode Opc);
+bool isComparison(Opcode Opc);
+
+/// What kind of variable a Var leaf is. The distinction matters to the
+/// relation solver (e.g. StackBase supports the separation assumptions of
+/// §1) and to the join (fresh variables are unconstrained by construction).
+enum class VarClass : uint8_t {
+  InitReg,   ///< Initial value of a register at function entry, e.g. rdi0.
+  StackBase, ///< rsp0 specifically: the base of the local stack frame.
+  RetSym,    ///< Return-address symbol S_f for a context-free call (§4.2.2).
+  RetAddr,   ///< The a_r symbol: the caller's return address on the stack.
+  Fresh,     ///< Unconstrained value from joining, havoc, or external calls.
+  External,  ///< Result of an external function call (e.g. rax after malloc).
+};
+
+struct VarInfo {
+  VarClass Cls;
+  std::string Name;
+  /// For RetSym: the address of the called function.
+  uint64_t Aux = 0;
+};
+
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+  uint8_t width() const { return Width; }
+
+  bool isConst() const { return Kind == ExprKind::Const; }
+  bool isVar() const { return Kind == ExprKind::Var; }
+  bool isOp() const { return Kind == ExprKind::Op; }
+  bool isDeref() const { return Kind == ExprKind::Deref; }
+
+  /// Const payload, masked to the node width.
+  uint64_t constVal() const { return ConstVal; }
+
+  /// Var payload.
+  uint32_t varId() const { return VarId; }
+
+  /// Op payload.
+  Opcode opcode() const { return Opc; }
+  const std::vector<const Expr *> &operands() const { return Ops; }
+  const Expr *operand(unsigned I) const { return Ops[I]; }
+
+  /// Deref payload: address expression and region size in bytes.
+  const Expr *derefAddr() const { return Ops[0]; }
+  uint32_t derefSize() const { return DerefSize; }
+
+  uint64_t hashValue() const { return Hash; }
+
+  /// True if any Var leaf of class Fresh/External occurs (i.e. the value is
+  /// not a function of the initial state alone).
+  bool hasFreshLeaf() const { return HasFresh; }
+
+  /// Number of nodes in this DAG counted as a tree (bounded; used to cap
+  /// expression growth like the paper's implementation does).
+  uint32_t treeSize() const { return Size; }
+
+  std::string str(const ExprContext &Ctx) const;
+
+private:
+  friend class ExprContext;
+  Expr() = default;
+
+  ExprKind Kind = ExprKind::Const;
+  uint8_t Width = 64;
+  Opcode Opc = Opcode::Add;
+  uint64_t ConstVal = 0;
+  uint32_t VarId = 0;
+  uint32_t DerefSize = 0;
+  uint64_t Hash = 0;
+  uint32_t Size = 1;
+  bool HasFresh = false;
+  std::vector<const Expr *> Ops;
+};
+
+/// Mask V to W bits (W in 1..64).
+inline uint64_t maskToWidth(uint64_t V, unsigned W) {
+  return W >= 64 ? V : (V & ((uint64_t(1) << W) - 1));
+}
+
+/// Sign-extend the low W bits of V to 64 bits.
+inline int64_t signExtend(uint64_t V, unsigned W) {
+  if (W >= 64)
+    return static_cast<int64_t>(V);
+  uint64_t M = uint64_t(1) << (W - 1);
+  V = maskToWidth(V, W);
+  return static_cast<int64_t>((V ^ M) - M);
+}
+
+} // namespace hglift::expr
+
+#endif // HGLIFT_EXPR_EXPR_H

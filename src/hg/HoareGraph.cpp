@@ -1,0 +1,26 @@
+#include "hg/HoareGraph.h"
+
+namespace hglift::hg {
+
+std::vector<Edge> HoareGraph::weirdEdges() const {
+  // An edge is "weird" when its target address lies strictly inside the
+  // byte range of some explored instruction: overlapping instructions,
+  // the §2 jump-into-the-middle ROP shape.
+  std::vector<Edge> Out;
+  for (const Edge &E : Edges) {
+    uint64_t T = E.To.Rip;
+    if (T == RetTargetRip || T == UnresolvedTargetRip)
+      continue;
+    for (const auto &[K, V] : Vertices) {
+      if (!V.Explored || !V.Instr.isValid())
+        continue;
+      if (T > V.Instr.Addr && T < V.Instr.Addr + V.Instr.Length) {
+        Out.push_back(E);
+        break;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace hglift::hg

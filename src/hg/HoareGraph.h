@@ -1,0 +1,107 @@
+//===- HoareGraph.h - Hoare Graphs (Definition 3.2) ------------*- C++ -*-===//
+//
+// A Hoare Graph ⟨Σ, σI, →Σ⟩: vertices are symbolic states ⟨P, M⟩ keyed by
+// instruction address (plus the §4 control-immediates exception), edges are
+// labeled with disassembled instructions. Every edge is one-step inductive:
+// the source vertex's state is strong enough to prove the edge's targets —
+// which is exactly what the Step-2 checker (export/HoareChecker.h)
+// re-verifies independently.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_HG_HOAREGRAPH_H
+#define HGLIFT_HG_HOAREGRAPH_H
+
+#include "semantics/SymExec.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hglift::hg {
+
+/// Compatibility key (Definition 4.3 plus the §4 exception): states are
+/// only joinable when their instruction pointers agree *and* their
+/// control-relevant immediates (text pointers in registers or memory
+/// clauses, jump-table reads) agree.
+struct VertexKey {
+  uint64_t Rip = 0;
+  uint64_t CtrlHash = 0;
+
+  auto operator<=>(const VertexKey &O) const = default;
+};
+
+/// Synthetic target addresses for non-address edge targets.
+constexpr uint64_t RetTargetRip = ~uint64_t(0);       ///< function returned
+constexpr uint64_t UnresolvedTargetRip = ~uint64_t(1); ///< annotated stop
+
+struct Vertex {
+  VertexKey Key;
+  sem::SymState State;
+  x86::Instr Instr;      ///< decoded instruction at Key.Rip (once explored)
+  bool Explored = false;
+  unsigned JoinCount = 0;
+};
+
+struct Edge {
+  VertexKey From;
+  VertexKey To; ///< Rip == RetTargetRip / UnresolvedTargetRip for specials
+  x86::Instr Instr;
+  sem::CtrlKind Kind = sem::CtrlKind::Fall;
+  uint64_t CalleeAddr = 0; ///< for CallInternal edges
+
+  auto operator<=>(const Edge &O) const {
+    if (auto C = From <=> O.From; C != 0)
+      return C;
+    if (auto C = To <=> O.To; C != 0)
+      return C;
+    return Kind <=> O.Kind;
+  }
+  bool operator==(const Edge &O) const {
+    return From == O.From && To == O.To && Kind == O.Kind;
+  }
+};
+
+class HoareGraph {
+public:
+  std::map<VertexKey, Vertex> Vertices;
+  std::vector<Edge> Edges;
+  VertexKey Initial;
+
+  Vertex *find(const VertexKey &K) {
+    auto It = Vertices.find(K);
+    return It == Vertices.end() ? nullptr : &It->second;
+  }
+  const Vertex *find(const VertexKey &K) const {
+    auto It = Vertices.find(K);
+    return It == Vertices.end() ? nullptr : &It->second;
+  }
+
+  void addEdge(const Edge &E) {
+    for (const Edge &X : Edges)
+      if (X == E)
+        return;
+    Edges.push_back(E);
+  }
+
+  /// Distinct instruction addresses with an explored vertex.
+  std::set<uint64_t> instructionAddrs() const {
+    std::set<uint64_t> S;
+    for (const auto &[K, V] : Vertices)
+      if (V.Explored)
+        S.insert(K.Rip);
+    return S;
+  }
+
+  size_t numStates() const { return Vertices.size(); }
+
+  /// Edges whose target lands strictly inside another decoded instruction
+  /// (overlapping instructions — the §2 "weird" edges).
+  std::vector<Edge> weirdEdges() const;
+};
+
+} // namespace hglift::hg
+
+#endif // HGLIFT_HG_HOAREGRAPH_H

@@ -1,0 +1,389 @@
+#include "hg/Lifter.h"
+
+#include "support/Format.h"
+
+#include <chrono>
+#include <deque>
+
+namespace hglift::hg {
+
+using expr::Expr;
+using expr::VarClass;
+using pred::Pred;
+using sem::CtrlKind;
+using sem::StepOut;
+using sem::Succ;
+using sem::SymState;
+using x86::Instr;
+using x86::Mnemonic;
+
+const char *liftOutcomeName(LiftOutcome O) {
+  switch (O) {
+  case LiftOutcome::Lifted:
+    return "lifted";
+  case LiftOutcome::UnprovableReturn:
+    return "unprovable-return";
+  case LiftOutcome::Concurrency:
+    return "concurrency";
+  case LiftOutcome::Timeout:
+    return "timeout";
+  }
+  return "?";
+}
+
+size_t BinaryResult::totalInstructions() const {
+  std::set<uint64_t> All;
+  for (const FunctionResult &F : Functions) {
+    auto A = F.Graph.instructionAddrs();
+    All.insert(A.begin(), A.end());
+  }
+  return All.size();
+}
+
+size_t BinaryResult::totalStates() const {
+  size_t N = 0;
+  for (const FunctionResult &F : Functions)
+    N += F.Graph.numStates();
+  return N;
+}
+
+unsigned BinaryResult::totalA() const {
+  unsigned N = 0;
+  for (const FunctionResult &F : Functions)
+    N += F.ResolvedIndirections;
+  return N;
+}
+unsigned BinaryResult::totalB() const {
+  unsigned N = 0;
+  for (const FunctionResult &F : Functions)
+    N += F.UnresolvedJumps;
+  return N;
+}
+unsigned BinaryResult::totalC() const {
+  unsigned N = 0;
+  for (const FunctionResult &F : Functions)
+    N += F.UnresolvedCalls;
+  return N;
+}
+
+std::vector<std::string> BinaryResult::allObligations() const {
+  std::vector<std::string> Out;
+  for (const FunctionResult &F : Functions)
+    for (const std::string &O : F.Obligations)
+      if (std::find(Out.begin(), Out.end(), O) == Out.end())
+        Out.push_back(O);
+  return Out;
+}
+
+Lifter::Lifter(const elf::BinaryImage &Img, LiftConfig Cfg)
+    : Img(Img), Cfg(Cfg), Ctx(std::make_unique<expr::ExprContext>()),
+      Solver(std::make_unique<smt::RelationSolver>(*Ctx, Cfg.Solver)),
+      Exec(std::make_unique<sem::SymExec>(*Ctx, *Solver, Img, Cfg.Sym)) {}
+
+Lifter::~Lifter() = default;
+
+uint64_t Lifter::ctrlHash(const SymState &S) const {
+  if (!Cfg.CtrlImmediateException)
+    return 0;
+  // §4: states holding *different* immediate pointers into the text
+  // section (in registers or in memory clauses) are not joined — those
+  // immediates will very likely decide future control flow. Jump-table
+  // reads (Deref values) are fingerprinted the same way.
+  uint64_t H = 0;
+  auto Mix = [&H](uint64_t A, uint64_t B) {
+    uint64_t V = A * 0x9e3779b97f4a7c15ULL + B;
+    V ^= V >> 29;
+    H ^= V * 0xbf58476d1ce4e5b9ULL;
+  };
+  for (unsigned I = 0; I < x86::NumGPRs; ++I) {
+    const Expr *V = S.P.reg64(x86::regFromNum(I));
+    if (V && V->isConst() && Img.isTextPointer(V->constVal()))
+      Mix(I + 1, V->constVal());
+  }
+  for (const pred::MemCell &C : S.P.cells()) {
+    if (C.Val->isConst() && Img.isTextPointer(C.Val->constVal())) {
+      Mix(reinterpret_cast<uintptr_t>(C.Addr), C.Val->constVal());
+    } else if (C.Val->isDeref()) {
+      // Only jump-table-shaped reads (constant read-only base) are
+      // control-relevant; fingerprinting stack-slot reads would defeat
+      // joining across ordinary diamonds.
+      expr::LinearForm LF = expr::linearize(C.Val->derefAddr());
+      if (LF.Constant != 0 &&
+          Img.isReadOnly(static_cast<uint64_t>(LF.Constant)))
+        Mix(reinterpret_cast<uintptr_t>(C.Addr),
+            reinterpret_cast<uintptr_t>(C.Val));
+    }
+  }
+  return H;
+}
+
+FunctionResult Lifter::liftFunction(uint64_t Entry) {
+  auto Start = std::chrono::steady_clock::now();
+  auto Elapsed = [&]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  };
+
+  FunctionResult FR;
+  FR.Entry = Entry;
+  FR.RetSym =
+      Ctx->mkVar(VarClass::RetSym, "S_" + hexStr(Entry), 64, Entry);
+
+  SymState Init;
+  Init.P = Pred::entry(*Ctx, FR.RetSym);
+  // Seed the memory model with the return-address region.
+  const Expr *Rsp0 = Init.P.reg64(x86::Reg::RSP);
+  Init.M.Forest.push_back(mem::MemTree{{smt::Region{Rsp0, 8}}, {}});
+
+  HoareGraph &G = FR.Graph;
+  G.Initial = VertexKey{Entry, ctrlHash(Init)};
+
+
+  std::deque<std::pair<SymState, uint64_t>> Bag;
+  Bag.emplace_back(std::move(Init), Entry);
+  uint64_t Serial = 0;
+  // Annotation/resolution sites (re-exploration of a vertex after joins
+  // must not double-count).
+  std::set<uint64_t> ResolvedSites, UnresJumpSites, UnresCallSites;
+  auto finishCounts = [&]() {
+    FR.ResolvedIndirections = static_cast<unsigned>(ResolvedSites.size());
+    FR.UnresolvedJumps = static_cast<unsigned>(UnresJumpSites.size());
+    FR.UnresolvedCalls = static_cast<unsigned>(UnresCallSites.size());
+  };
+  auto fail = [&](LiftOutcome O, const std::string &Why) {
+    FR.Outcome = O;
+    FR.FailReason = Why;
+    FR.Seconds = Elapsed();
+    finishCounts();
+    return FR;
+  };
+
+  while (!Bag.empty()) {
+    if (G.Vertices.size() > Cfg.MaxVertices ||
+        (Cfg.MaxSeconds > 0 && Elapsed() > Cfg.MaxSeconds))
+      return fail(LiftOutcome::Timeout, "fuel exhausted");
+
+    auto [Sigma, Rip] = std::move(Bag.back());
+    Bag.pop_back();
+
+#ifdef HGLIFT_TRACE_LIFT
+    fprintf(stderr,
+            "pop rip=%llx bag=%zu verts=%zu cells=%zu ranges=%zu clob=%zu "
+            "forest=%zu exprs=%zu\n",
+            (unsigned long long)Rip, Bag.size(), G.Vertices.size(),
+            Sigma.P.cells().size(), Sigma.P.ranges().size(),
+            Sigma.M.Clobbered.size(), Sigma.M.allRegions().size(),
+            Ctx->numExprs());
+#endif
+
+    // --- Algorithm 1 lines 3-9: find a compatible vertex, join -----------
+    VertexKey Key{Rip, ctrlHash(Sigma)};
+    Vertex *V = nullptr;
+    if (Cfg.EnableJoin) {
+      V = G.find(Key);
+    } else {
+      // Ablation: no joining — only exact subsumption stops exploration.
+      for (auto It = G.Vertices.lower_bound(VertexKey{Rip, 0});
+           It != G.Vertices.end() && It->first.Rip == Rip; ++It)
+        if (Pred::leq(Sigma.P, It->second.State.P) &&
+            mem::MemModel::leq(Sigma.M, It->second.State.M)) {
+          V = &It->second;
+          break;
+        }
+      if (!V)
+        Key.CtrlHash = ++Serial; // force a fresh vertex
+    }
+
+    SymState Cur;
+    if (V && V->Explored) {
+      if (Pred::leq(Sigma.P, V->State.P) &&
+          mem::MemModel::leq(Sigma.M, V->State.M))
+        continue; // line 4: already covered
+      bool Widen = V->JoinCount >= Cfg.WidenAfterJoins;
+      Cur.P = Pred::join(*Ctx, V->State.P, Sigma.P, Widen);
+      Cur.M = mem::MemModel::join(V->State.M, Sigma.M);
+      V->JoinCount++;
+      V->State = Cur;
+    } else {
+      Cur = Sigma;
+      Vertex NV;
+      NV.Key = Key;
+      NV.State = Cur;
+      auto [It, Inserted] = G.Vertices.emplace(Key, std::move(NV));
+      static_cast<void>(Inserted);
+      V = &It->second;
+    }
+
+    // --- fetch + decode ----------------------------------------------------
+    size_t Avail;
+    const uint8_t *Bytes = Img.bytesAt(Rip, Avail);
+    if (!Bytes || !Img.isExec(Rip))
+      return fail(LiftOutcome::UnprovableReturn,
+                  "control flow reaches unmapped/non-executable address " +
+                      hexStr(Rip));
+    Instr I = x86::decodeInstr(Bytes, Avail, Rip);
+    if (!I.isValid())
+      return fail(LiftOutcome::UnprovableReturn,
+                  "undecodable instruction at " + hexStr(Rip));
+    V->Instr = I;
+    V->Explored = true;
+
+    // --- Algorithm 1 lines 10-17: explore ----------------------------------
+    StepOut Out = Exec->step(Cur, I, FR.RetSym);
+    for (std::string &O : Out.Obligations)
+      if (std::find(FR.Obligations.begin(), FR.Obligations.end(), O) ==
+          FR.Obligations.end())
+        FR.Obligations.push_back(std::move(O));
+    if (Out.SawConcurrency)
+      return fail(LiftOutcome::Concurrency,
+                  "call to concurrency primitive " + Out.ExtName);
+    if (Out.VerifError)
+      return fail(LiftOutcome::UnprovableReturn, Out.VerifReason);
+
+    // Column A counts resolved indirection *sites*: an indirect jmp/call
+    // whose targets were all overapproximatively established. Re-visits of
+    // the same vertex do not re-count (the set tracks sites).
+    bool Indirect = (I.Mn == Mnemonic::Jmp || I.Mn == Mnemonic::Call) &&
+                    I.numOperands() >= 1 && !I.Ops[0].isImm();
+    bool AnyUnres = false;
+    for (const Succ &S : Out.Succs)
+      AnyUnres |= S.K == CtrlKind::UnresJump || S.K == CtrlKind::UnresCall;
+    if (Indirect && !AnyUnres && !Out.Succs.empty())
+      ResolvedSites.insert(I.Addr);
+
+    for (Succ &S : Out.Succs) {
+      Edge E;
+      E.From = Key;
+      E.Instr = I;
+      E.Kind = S.K;
+      switch (S.K) {
+      case CtrlKind::Fall:
+      case CtrlKind::CallExternal: {
+        E.To = VertexKey{S.NextAddr, ctrlHash(S.S)};
+        G.addEdge(E);
+        Bag.emplace_back(std::move(S.S), S.NextAddr);
+        break;
+      }
+      case CtrlKind::CallInternal: {
+        E.To = VertexKey{S.NextAddr, ctrlHash(S.S)};
+        E.CalleeAddr = Out.CalleeAddr;
+        FR.Callees.insert(Out.CalleeAddr);
+        G.addEdge(E);
+        Bag.emplace_back(std::move(S.S), S.NextAddr);
+        break;
+      }
+      case CtrlKind::Ret: {
+        E.To = VertexKey{RetTargetRip, 0};
+        G.addEdge(E);
+        FR.MayReturn = true;
+        break;
+      }
+      case CtrlKind::UnresJump: {
+        E.To = VertexKey{UnresolvedTargetRip, 0};
+        G.addEdge(E);
+        UnresJumpSites.insert(I.Addr);
+        // Annotation: stop exploration along this path (Algorithm 1 l.13).
+        break;
+      }
+      case CtrlKind::UnresCall: {
+        E.To = VertexKey{S.NextAddr, ctrlHash(S.S)};
+        G.addEdge(E);
+        UnresCallSites.insert(I.Addr);
+        // Treated as an unknown external function: continue (§5.1).
+        Bag.emplace_back(std::move(S.S), S.NextAddr);
+        break;
+      }
+      case CtrlKind::Terminal:
+        break;
+      }
+    }
+  }
+
+  FR.Seconds = Elapsed();
+  finishCounts();
+  return FR;
+}
+
+BinaryResult Lifter::liftFrom(std::vector<uint64_t> Roots) {
+  auto Start = std::chrono::steady_clock::now();
+  BinaryResult BR;
+  BR.Name = Img.Name;
+
+  std::set<uint64_t> Queued(Roots.begin(), Roots.end());
+  std::deque<uint64_t> Work(Roots.begin(), Roots.end());
+
+  while (!Work.empty()) {
+    uint64_t Entry = Work.front();
+    Work.pop_front();
+    FunctionResult FR = liftFunction(Entry);
+    for (uint64_t Callee : FR.Callees)
+      if (Queued.insert(Callee).second)
+        Work.push_back(Callee);
+    if (FR.Outcome != LiftOutcome::Lifted && BR.Outcome == LiftOutcome::Lifted) {
+      BR.Outcome = FR.Outcome;
+      BR.FailReason = "function " + hexStr(Entry) + ": " + FR.FailReason;
+    }
+    BR.Functions.push_back(std::move(FR));
+  }
+
+  // §4.2.2 reachability: a call's return site is only truly reachable if
+  // the callee may return. Compute the may-return fixpoint over the call
+  // graph (monotone decreasing), then drop unreachable vertices/edges.
+  std::map<uint64_t, FunctionResult *> ByEntry;
+  for (FunctionResult &F : BR.Functions)
+    ByEntry[F.Entry] = &F;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (FunctionResult &F : BR.Functions) {
+      if (!F.MayReturn)
+        continue;
+      // Recompute: is a Ret edge reachable from the entry, given callees'
+      // current may-return state?
+      std::set<VertexKey> Seen{F.Graph.Initial};
+      std::deque<VertexKey> Q{F.Graph.Initial};
+      bool RetReachable = false;
+      while (!Q.empty()) {
+        VertexKey K = Q.front();
+        Q.pop_front();
+        for (const Edge &E : F.Graph.Edges) {
+          if (!(E.From == K))
+            continue;
+          if (E.To.Rip == RetTargetRip) {
+            RetReachable = true;
+            continue;
+          }
+          if (E.Kind == CtrlKind::CallInternal) {
+            auto It = ByEntry.find(E.CalleeAddr);
+            if (It != ByEntry.end() && !It->second->MayReturn)
+              continue; // return site unreachable
+          }
+          if (Seen.insert(E.To).second)
+            Q.push_back(E.To);
+        }
+      }
+      if (!RetReachable) {
+        F.MayReturn = false;
+        Changed = true;
+      }
+    }
+  }
+
+  BR.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return BR;
+}
+
+BinaryResult Lifter::liftBinary() { return liftFrom({Img.Entry}); }
+
+BinaryResult Lifter::liftLibrary() {
+  std::vector<uint64_t> Roots;
+  for (const elf::Symbol &S : Img.Functions)
+    Roots.push_back(S.Addr);
+  return liftFrom(Roots);
+}
+
+} // namespace hglift::hg

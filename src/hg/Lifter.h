@@ -1,0 +1,114 @@
+//===- Lifter.h - Algorithm 1 + the §4.2 call extension --------*- C++ -*-===//
+//
+// The public lifting API:
+//
+//   * liftFunction(entry) runs Algorithm 1 from one entry point in a fresh
+//     context-free state (the return address is the symbol S_entry), until
+//     the bag is empty, a sanity property fails, or fuel runs out;
+//   * liftBinary() starts at the ELF entry point and lifts every internal
+//     function reachable through (resolved) calls, each exactly once;
+//   * liftLibrary() lifts every exported function symbol, the way the
+//     paper handles Xen's shared objects (§5.1, "as reported by nm").
+//
+// Outcomes mirror Table 1's columns: lifted / unprovable-return-address /
+// concurrency / timeout, with counts of resolved indirections (A),
+// unresolved jumps (B) and unresolved calls (C).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_HG_LIFTER_H
+#define HGLIFT_HG_LIFTER_H
+
+#include "hg/HoareGraph.h"
+
+#include <memory>
+
+namespace hglift::hg {
+
+enum class LiftOutcome : uint8_t {
+  Lifted,
+  UnprovableReturn, ///< any sanity-property verification error
+  Concurrency,
+  Timeout,
+};
+
+const char *liftOutcomeName(LiftOutcome O);
+
+struct LiftConfig {
+  sem::SymConfig Sym;
+  smt::RelationSolver::Config Solver;
+  /// Joins at one vertex before widening kicks in.
+  unsigned WidenAfterJoins = 3;
+  /// Fuel: maximum vertices per function before declaring a timeout.
+  size_t MaxVertices = 50000;
+  /// Wall-clock budget per function, seconds (paper: 4h; our corpus is
+  /// smaller). 0 = unlimited.
+  double MaxSeconds = 60.0;
+  /// Disable joining entirely (ablation: state explosion).
+  bool EnableJoin = true;
+  /// Disable the control-immediates compatibility exception (ablation).
+  bool CtrlImmediateException = true;
+};
+
+struct FunctionResult {
+  uint64_t Entry = 0;
+  LiftOutcome Outcome = LiftOutcome::Lifted;
+  std::string FailReason;
+  HoareGraph Graph;
+  /// The function's return-address symbol S_entry.
+  const expr::Expr *RetSym = nullptr;
+
+  bool MayReturn = false;
+  unsigned ResolvedIndirections = 0; ///< column A
+  unsigned UnresolvedJumps = 0;      ///< column B
+  unsigned UnresolvedCalls = 0;      ///< column C
+  std::vector<std::string> Obligations;
+  std::set<uint64_t> Callees;
+  double Seconds = 0;
+
+  size_t numInstructions() const { return Graph.instructionAddrs().size(); }
+};
+
+struct BinaryResult {
+  std::string Name;
+  LiftOutcome Outcome = LiftOutcome::Lifted;
+  std::string FailReason;
+  std::vector<FunctionResult> Functions;
+
+  size_t totalInstructions() const;
+  size_t totalStates() const;
+  unsigned totalA() const, totalB() const, totalC() const;
+  std::vector<std::string> allObligations() const;
+  double Seconds = 0;
+};
+
+class Lifter {
+public:
+  Lifter(const elf::BinaryImage &Img, LiftConfig Cfg);
+  ~Lifter();
+
+  FunctionResult liftFunction(uint64_t Entry);
+  /// Lift from the ELF entry point, following internal calls.
+  BinaryResult liftBinary();
+  /// Lift every exported function symbol (shared-object mode).
+  BinaryResult liftLibrary();
+
+  expr::ExprContext &exprContext() { return *Ctx; }
+  smt::RelationSolver &solver() { return *Solver; }
+  const elf::BinaryImage &image() const { return Img; }
+  const LiftConfig &config() const { return Cfg; }
+
+private:
+  BinaryResult liftFrom(std::vector<uint64_t> Roots);
+  uint64_t ctrlHash(const sem::SymState &S) const;
+
+  const elf::BinaryImage &Img;
+  LiftConfig Cfg;
+  std::unique_ptr<expr::ExprContext> Ctx;
+  std::unique_ptr<smt::RelationSolver> Solver;
+  std::unique_ptr<sem::SymExec> Exec;
+};
+
+} // namespace hglift::hg
+
+#endif // HGLIFT_HG_LIFTER_H

@@ -1,0 +1,743 @@
+#include "pred/Pred.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hglift::pred {
+
+using expr::ExprKind;
+using expr::Opcode;
+using expr::VarClass;
+using x86::Cond;
+using x86::Reg;
+
+namespace {
+/// Soft cap on stored range clauses; excess clauses are dropped, which only
+/// weakens the predicate.
+constexpr size_t MaxRanges = 64;
+} // namespace
+
+const char *relOpName(RelOp Op) {
+  switch (Op) {
+  case RelOp::Eq:
+    return "==";
+  case RelOp::Ne:
+    return "!=";
+  case RelOp::ULt:
+    return "<u";
+  case RelOp::ULe:
+    return "<=u";
+  case RelOp::UGe:
+    return ">=u";
+  case RelOp::UGt:
+    return ">u";
+  case RelOp::SLt:
+    return "<s";
+  case RelOp::SLe:
+    return "<=s";
+  case RelOp::SGe:
+    return ">=s";
+  case RelOp::SGt:
+    return ">s";
+  }
+  return "?";
+}
+
+Pred Pred::entry(ExprContext &Ctx, const Expr *RetSymTop) {
+  Pred P;
+  for (unsigned I = 0; I < x86::NumGPRs; ++I) {
+    Reg R = x86::regFromNum(I);
+    std::string Name = x86::regName(R) + "0";
+    VarClass Cls = (R == Reg::RSP) ? VarClass::StackBase : VarClass::InitReg;
+    P.Regs[I] = Ctx.mkVar(Cls, Name, 64);
+  }
+  const Expr *Rsp0 = P.Regs[x86::regNum(Reg::RSP)];
+  const Expr *Ret =
+      RetSymTop ? RetSymTop : Ctx.mkVar(VarClass::RetAddr, "a_r", 64);
+  P.Cells.push_back(MemCell{Rsp0, 8, Ret});
+  return P;
+}
+
+// --- registers --------------------------------------------------------------
+
+const Expr *Pred::readReg(ExprContext &Ctx, Reg R, unsigned SizeBytes,
+                          bool HighByte) const {
+  const Expr *Full = Regs[x86::regNum(R)];
+  if (SizeBytes == 8)
+    return Full;
+  if (HighByte) {
+    const Expr *Shifted =
+        Ctx.mkBin(Opcode::LShr, Full, Ctx.mkConst(8, 64));
+    return Ctx.mkTrunc(Shifted, 8);
+  }
+  return Ctx.mkTrunc(Full, SizeBytes * 8);
+}
+
+void Pred::writeReg(ExprContext &Ctx, Reg R, unsigned SizeBytes, bool HighByte,
+                    const Expr *V) {
+  unsigned N = x86::regNum(R);
+  const Expr *Old = Regs[N];
+  switch (SizeBytes) {
+  case 8:
+    Regs[N] = V;
+    return;
+  case 4:
+    // 32-bit writes zero the upper half.
+    Regs[N] = Ctx.mkZExt(V, 64);
+    return;
+  case 2: {
+    const Expr *Kept = Ctx.mkBin(Opcode::And, Old,
+                                 Ctx.mkConst(~uint64_t(0xffff), 64));
+    Regs[N] = Ctx.mkBin(Opcode::Or, Kept, Ctx.mkZExt(V, 64));
+    return;
+  }
+  case 1: {
+    uint64_t Mask = HighByte ? uint64_t(0xff00) : uint64_t(0xff);
+    const Expr *Kept =
+        Ctx.mkBin(Opcode::And, Old, Ctx.mkConst(~Mask, 64));
+    const Expr *New = Ctx.mkZExt(V, 64);
+    if (HighByte)
+      New = Ctx.mkBin(Opcode::Shl, New, Ctx.mkConst(8, 64));
+    Regs[N] = Ctx.mkBin(Opcode::Or, Kept, New);
+    return;
+  }
+  default:
+    Regs[N] = Ctx.mkFresh("reg");
+  }
+}
+
+// --- flags ------------------------------------------------------------------
+
+void Pred::setFlagsCmp(const Expr *L, const Expr *R, unsigned Width) {
+  Flags = FlagState{FlagState::Kind::Cmp, L, R, static_cast<uint8_t>(Width)};
+}
+
+void Pred::setFlagsTest(const Expr *L, const Expr *R, unsigned Width) {
+  Flags = FlagState{FlagState::Kind::Test, L, R, static_cast<uint8_t>(Width)};
+}
+
+void Pred::setFlagsRes(const Expr *Res, unsigned Width) {
+  Flags =
+      FlagState{FlagState::Kind::Res, Res, nullptr, static_cast<uint8_t>(Width)};
+}
+
+void Pred::setFlagsZeroOf(const Expr *L, unsigned Width) {
+  Flags = FlagState{FlagState::Kind::ZeroOf, L, nullptr,
+                    static_cast<uint8_t>(Width)};
+}
+
+const Expr *Pred::condExpr(ExprContext &Ctx, Cond CC) const {
+  auto NotB = [&](const Expr *B) {
+    return B ? Ctx.mkBin(Opcode::Xor, B, Ctx.mkTrue()) : nullptr;
+  };
+
+  if (Flags.K == FlagState::Kind::Cmp) {
+    const Expr *L = Flags.L, *R = Flags.R;
+    unsigned W = Flags.Width;
+    switch (CC) {
+    case Cond::E:
+      return Ctx.mkOp(Opcode::Eq, {L, R}, 1);
+    case Cond::NE:
+      return Ctx.mkOp(Opcode::Ne, {L, R}, 1);
+    case Cond::B:
+      return Ctx.mkOp(Opcode::ULt, {L, R}, 1);
+    case Cond::AE:
+      return NotB(Ctx.mkOp(Opcode::ULt, {L, R}, 1));
+    case Cond::BE:
+      return Ctx.mkOp(Opcode::ULe, {L, R}, 1);
+    case Cond::A:
+      return NotB(Ctx.mkOp(Opcode::ULe, {L, R}, 1));
+    case Cond::L:
+      return Ctx.mkOp(Opcode::SLt, {L, R}, 1);
+    case Cond::GE:
+      return NotB(Ctx.mkOp(Opcode::SLt, {L, R}, 1));
+    case Cond::LE:
+      return Ctx.mkOp(Opcode::SLe, {L, R}, 1);
+    case Cond::G:
+      return NotB(Ctx.mkOp(Opcode::SLe, {L, R}, 1));
+    case Cond::S:
+      // SF = sign of (L - R); not the same as L <s R under overflow.
+      return Ctx.mkOp(Opcode::SLt,
+                      {Ctx.mkOp(Opcode::Sub, {L, R}, W), Ctx.mkConst(0, W)},
+                      1);
+    case Cond::NS:
+      return NotB(condExpr(Ctx, Cond::S));
+    default:
+      return nullptr; // O/NO/P/NP unknown
+    }
+  }
+
+  if (Flags.K == FlagState::Kind::Test) {
+    unsigned W = Flags.Width;
+    const Expr *AndE = Ctx.mkOp(Opcode::And, {Flags.L, Flags.R}, W);
+    const Expr *Zero = Ctx.mkConst(0, W);
+    switch (CC) {
+    case Cond::E:
+      return Ctx.mkOp(Opcode::Eq, {AndE, Zero}, 1);
+    case Cond::NE:
+      return Ctx.mkOp(Opcode::Ne, {AndE, Zero}, 1);
+    case Cond::S:
+      return Ctx.mkOp(Opcode::SLt, {AndE, Zero}, 1);
+    case Cond::NS:
+      return NotB(Ctx.mkOp(Opcode::SLt, {AndE, Zero}, 1));
+    // After test: CF = OF = 0.
+    case Cond::B:
+      return Ctx.mkFalse();
+    case Cond::AE:
+      return Ctx.mkTrue();
+    case Cond::BE: // CF | ZF = ZF
+      return Ctx.mkOp(Opcode::Eq, {AndE, Zero}, 1);
+    case Cond::A: // !CF & !ZF
+      return Ctx.mkOp(Opcode::Ne, {AndE, Zero}, 1);
+    case Cond::L: // SF != OF = SF
+      return Ctx.mkOp(Opcode::SLt, {AndE, Zero}, 1);
+    case Cond::GE:
+      return NotB(Ctx.mkOp(Opcode::SLt, {AndE, Zero}, 1));
+    case Cond::LE: { // ZF | SF
+      const Expr *Z = Ctx.mkOp(Opcode::Eq, {AndE, Zero}, 1);
+      const Expr *S = Ctx.mkOp(Opcode::SLt, {AndE, Zero}, 1);
+      return Ctx.mkOp(Opcode::Or, {Z, S}, 1);
+    }
+    case Cond::G: {
+      const Expr *NZ = Ctx.mkOp(Opcode::Ne, {AndE, Zero}, 1);
+      const Expr *NS = NotB(Ctx.mkOp(Opcode::SLt, {AndE, Zero}, 1));
+      return Ctx.mkOp(Opcode::And, {NZ, NS}, 1);
+    }
+    default:
+      return nullptr;
+    }
+  }
+
+  if (Flags.K == FlagState::Kind::ZeroOf) {
+    unsigned W = Flags.Width;
+    const Expr *Zero = Ctx.mkConst(0, W);
+    switch (CC) {
+    case Cond::E:
+      return Ctx.mkOp(Opcode::Eq, {Flags.L, Zero}, 1);
+    case Cond::NE:
+      return Ctx.mkOp(Opcode::Ne, {Flags.L, Zero}, 1);
+    default:
+      return nullptr;
+    }
+  }
+
+  if (Flags.K == FlagState::Kind::Res) {
+    unsigned W = Flags.Width;
+    const Expr *Zero = Ctx.mkConst(0, W);
+    switch (CC) {
+    case Cond::E:
+      return Ctx.mkOp(Opcode::Eq, {Flags.L, Zero}, 1);
+    case Cond::NE:
+      return Ctx.mkOp(Opcode::Ne, {Flags.L, Zero}, 1);
+    case Cond::S:
+      return Ctx.mkOp(Opcode::SLt, {Flags.L, Zero}, 1);
+    case Cond::NS:
+      return NotB(Ctx.mkOp(Opcode::SLt, {Flags.L, Zero}, 1));
+    default:
+      return nullptr;
+    }
+  }
+
+  return nullptr;
+}
+
+// --- memory clauses ----------------------------------------------------------
+
+const MemCell *Pred::findCell(const Expr *Addr, uint32_t Size) const {
+  for (const MemCell &C : Cells)
+    if (C.Addr == Addr && C.Size == Size)
+      return &C;
+  return nullptr;
+}
+
+void Pred::setCell(const Expr *Addr, uint32_t Size, const Expr *Val) {
+  for (MemCell &C : Cells)
+    if (C.Addr == Addr && C.Size == Size) {
+      C.Val = Val;
+      return;
+    }
+  Cells.push_back(MemCell{Addr, Size, Val});
+}
+
+void Pred::removeCell(const Expr *Addr, uint32_t Size) {
+  Cells.erase(std::remove_if(Cells.begin(), Cells.end(),
+                             [&](const MemCell &C) {
+                               return C.Addr == Addr && C.Size == Size;
+                             }),
+              Cells.end());
+}
+
+void Pred::filterCells(const std::function<bool(const MemCell &)> &Keep) {
+  Cells.erase(std::remove_if(Cells.begin(), Cells.end(),
+                             [&](const MemCell &C) { return !Keep(C); }),
+              Cells.end());
+}
+
+// --- range clauses ------------------------------------------------------------
+
+void Pred::addRange(const Expr *E, RelOp Op, uint64_t Bound) {
+  if (E->isConst())
+    return; // either trivially true or the state is unreachable; keep simple
+  RangeClause C{E, Op, Bound};
+  for (const RangeClause &Existing : Ranges)
+    if (Existing == C)
+      return;
+  if (Ranges.size() < MaxRanges)
+    Ranges.push_back(C);
+}
+
+void Pred::clearRangesFor(const Expr *E) {
+  Ranges.erase(std::remove_if(Ranges.begin(), Ranges.end(),
+                              [&](const RangeClause &C) { return C.E == E; }),
+               Ranges.end());
+}
+
+namespace {
+
+/// Signed interval implied by a single clause.
+Interval clauseInterval(RelOp Op, uint64_t Bound) {
+  int64_t SB = static_cast<int64_t>(Bound);
+  switch (Op) {
+  case RelOp::Eq:
+    return Interval(SB);
+  case RelOp::ULt:
+    // x <u B with B representable as nonneg signed: x in [0, B-1].
+    if (Bound != 0 && Bound <= static_cast<uint64_t>(INT64_MAX))
+      return Interval(0, SB - 1);
+    return Interval::top();
+  case RelOp::ULe:
+    if (Bound <= static_cast<uint64_t>(INT64_MAX))
+      return Interval(0, SB);
+    return Interval::top();
+  case RelOp::UGe:
+  case RelOp::UGt:
+    // x >=u B constrains the unsigned view only; the signed interval wraps,
+    // so nothing useful without a matching upper bound.
+    return Interval::top();
+  case RelOp::SLt:
+    if (SB == INT64_MIN)
+      return Interval::empty();
+    return Interval(INT64_MIN, SB - 1);
+  case RelOp::SLe:
+    return Interval(INT64_MIN, SB);
+  case RelOp::SGe:
+    return Interval(SB, INT64_MAX);
+  case RelOp::SGt:
+    if (SB == INT64_MAX)
+      return Interval::empty();
+    return Interval(SB + 1, INT64_MAX);
+  case RelOp::Ne:
+    return Interval::top();
+  }
+  return Interval::top();
+}
+
+} // namespace
+
+Interval Pred::intervalOf(const Expr *E) const {
+  if (E->isConst())
+    return Interval(expr::signExtend(E->constVal(), E->width()));
+
+  auto AtomInterval = [&](const Expr *A) {
+    Interval I = Interval::top();
+    // A zero-extension from width w is bounded by [0, 2^w - 1], and clauses
+    // on the inner operand carry over (zext preserves the unsigned value).
+    if (A->isOp() && A->opcode() == Opcode::ZExt &&
+        A->operand(0)->width() < 64) {
+      I = I.meet(Interval(
+          0, static_cast<int64_t>(
+                 (uint64_t(1) << A->operand(0)->width()) - 1)));
+      for (const RangeClause &C : Ranges)
+        if (C.E == A->operand(0) &&
+            (C.Op == RelOp::ULt || C.Op == RelOp::ULe || C.Op == RelOp::Eq))
+          I = I.meet(clauseInterval(C.Op, C.Bound));
+    }
+    if (A->isDeref() && A->derefSize() < 8)
+      I = I.meet(Interval(
+          0, static_cast<int64_t>((uint64_t(1) << (A->derefSize() * 8)) - 1)));
+    for (const RangeClause &C : Ranges)
+      if (C.E == A)
+        I = I.meet(clauseInterval(C.Op, C.Bound));
+    return I;
+  };
+
+  // Direct clauses on E itself.
+  Interval Direct = AtomInterval(E);
+
+  // Linear decomposition.
+  expr::LinearForm LF = expr::linearize(E);
+  Interval Lin(LF.Constant);
+  for (auto &[Coeff, Atom] : LF.Terms) {
+    if (Lin.isTop())
+      break;
+    Lin = Lin.add(AtomInterval(Atom).mul(Coeff));
+  }
+  return Direct.meet(Lin);
+}
+
+std::optional<uint64_t> Pred::unsignedUpperBound(const Expr *E) const {
+  if (E->isConst())
+    return E->constVal();
+  std::optional<uint64_t> Best;
+  auto Consider = [&](uint64_t B) {
+    if (!Best || B < *Best)
+      Best = B;
+  };
+  auto Scan = [&](const Expr *X) {
+    for (const RangeClause &C : Ranges) {
+      if (C.E != X)
+        continue;
+      switch (C.Op) {
+      case RelOp::Eq:
+        Consider(C.Bound);
+        break;
+      case RelOp::ULt:
+        if (C.Bound != 0)
+          Consider(C.Bound - 1);
+        break;
+      case RelOp::ULe:
+        Consider(C.Bound);
+        break;
+      default:
+        break;
+      }
+    }
+  };
+  // A zero-extension preserves the unsigned value: clauses on the inner
+  // operand bound the extension too (the jump-table index is typically a
+  // 32-bit comparison zero-extended into the 64-bit address).
+  for (const Expr *X = E;;) {
+    Scan(X);
+    if (X->isOp() && X->opcode() == Opcode::ZExt)
+      X = X->operand(0);
+    else
+      break;
+  }
+  if (!Best) {
+    // Fall back to the signed interval if it proves non-negativity.
+    Interval I = intervalOf(E);
+    if (!I.isTop() && !I.isEmpty() && I.lo() >= 0)
+      Best = static_cast<uint64_t>(I.hi());
+  }
+  return Best;
+}
+
+// --- join ---------------------------------------------------------------------
+
+Pred Pred::join(ExprContext &Ctx, const Pred &A, const Pred &B, bool Widen) {
+  if (A.Bottom)
+    return B;
+  if (B.Bottom)
+    return A;
+
+  Pred J;
+
+  // Registers: keep agreeing clauses, range-abstract disagreeing ones.
+  for (unsigned I = 0; I < x86::NumGPRs; ++I) {
+    const Expr *VA = A.Regs[I], *VB = B.Regs[I];
+    if (VA == VB) {
+      J.Regs[I] = VA;
+      continue;
+    }
+    const Expr *F = Ctx.mkFresh("j_" + x86::regName(x86::regFromNum(I)));
+    J.Regs[I] = F;
+    if (!Widen) {
+      Interval IA = A.intervalOf(VA), IB = B.intervalOf(VB);
+      Interval U = IA.join(IB);
+      if (!U.isTop() && !U.isEmpty()) {
+        if (U.lo() != INT64_MIN)
+          J.addRange(F, RelOp::SGe, static_cast<uint64_t>(U.lo()));
+        if (U.hi() != INT64_MAX)
+          J.addRange(F, RelOp::SLe, static_cast<uint64_t>(U.hi()));
+      }
+    }
+  }
+
+  // Flags: must agree exactly.
+  if (A.Flags == B.Flags)
+    J.Flags = A.Flags;
+
+  // Memory clauses: keep cells both sides agree on.
+  for (const MemCell &CA : A.Cells) {
+    const MemCell *CB = B.findCell(CA.Addr, CA.Size);
+    if (CB && CB->Val == CA.Val)
+      J.Cells.push_back(CA);
+  }
+
+  // Range clauses: keep clauses identical in both; otherwise interval-join
+  // per expression.
+  if (!Widen) {
+    for (const RangeClause &C : A.Ranges) {
+      bool InB = std::find(B.Ranges.begin(), B.Ranges.end(), C) !=
+                 B.Ranges.end();
+      if (InB) {
+        J.addRange(C.E, C.Op, C.Bound);
+        continue;
+      }
+      Interval U = A.intervalOf(C.E).join(B.intervalOf(C.E));
+      if (!U.isTop() && !U.isEmpty()) {
+        if (U.lo() != INT64_MIN)
+          J.addRange(C.E, RelOp::SGe, static_cast<uint64_t>(U.lo()));
+        if (U.hi() != INT64_MAX)
+          J.addRange(C.E, RelOp::SLe, static_cast<uint64_t>(U.hi()));
+      }
+    }
+  }
+
+  return J;
+}
+
+// --- partial order --------------------------------------------------------------
+
+namespace {
+
+/// Matching-based implication: try to find a substitution of B-side Fresh
+/// variables making EB equal to EA.
+struct Matcher {
+  std::unordered_map<const Expr *, const Expr *> Binding;
+
+  bool match(const Expr *EB, const Expr *EA) {
+    if (EB == EA)
+      return true;
+    if (EB->isVar() && EB->hasFreshLeaf()) {
+      auto It = Binding.find(EB);
+      if (It != Binding.end())
+        return It->second == EA;
+      if (EB->width() != EA->width())
+        return false;
+      Binding.emplace(EB, EA);
+      return true;
+    }
+    if (EB->kind() != EA->kind() || EB->width() != EA->width())
+      return false;
+    switch (EB->kind()) {
+    case ExprKind::Const:
+    case ExprKind::Var:
+      return false; // pointer equality already failed
+    case ExprKind::Deref:
+      return EB->derefSize() == EA->derefSize() &&
+             match(EB->derefAddr(), EA->derefAddr());
+    case ExprKind::Op: {
+      if (EB->opcode() != EA->opcode() ||
+          EB->operands().size() != EA->operands().size())
+        return false;
+      for (size_t I = 0; I < EB->operands().size(); ++I)
+        if (!match(EB->operand(I), EA->operand(I)))
+          return false;
+      return true;
+    }
+    }
+    return false;
+  }
+
+  /// Does EB contain a variable that this matcher has bound (i.e. a
+  /// B-side-only fresh variable standing for an A expression)? Fresh
+  /// leaves *shared* between both states (external-call results, havoc
+  /// values created before the join) are not bound and can be evaluated
+  /// in A directly.
+  bool containsBoundVar(const Expr *EB) const {
+    if (EB->isVar())
+      return Binding.count(EB) != 0;
+    if (!EB->hasFreshLeaf())
+      return false;
+    if (EB->isOp() || EB->isDeref())
+      for (const Expr *Op : EB->operands())
+        if (containsBoundVar(Op))
+          return true;
+    return false;
+  }
+
+  /// Signed interval of EB after substitution, evaluated in A.
+  Interval intervalInA(const Pred &A, const Expr *EB) {
+    if (EB->isConst())
+      return Interval(expr::signExtend(EB->constVal(), EB->width()));
+    if (EB->isVar()) {
+      auto It = Binding.find(EB);
+      return A.intervalOf(It != Binding.end() ? It->second : EB);
+    }
+    // Bound-variable-free expressions are shared with A verbatim: consult
+    // A's clauses on the whole expression first (they may be attached to
+    // the compound term, not its parts).
+    if (!containsBoundVar(EB))
+      return A.intervalOf(EB);
+    if (EB->isOp()) {
+      switch (EB->opcode()) {
+      case Opcode::Add:
+        return intervalInA(A, EB->operand(0))
+            .add(intervalInA(A, EB->operand(1)));
+      case Opcode::Sub:
+        return intervalInA(A, EB->operand(0))
+            .sub(intervalInA(A, EB->operand(1)));
+      case Opcode::Mul:
+        if (EB->operand(1)->isConst())
+          return intervalInA(A, EB->operand(0))
+              .mul(expr::signExtend(EB->operand(1)->constVal(),
+                                    EB->width()));
+        break;
+      default:
+        break;
+      }
+    }
+    if (!containsBoundVar(EB))
+      return A.intervalOf(EB);
+    return Interval::top();
+  }
+};
+
+} // namespace
+
+bool Pred::leq(const Pred &A, const Pred &B) {
+  if (A.Bottom)
+    return true;
+  if (B.Bottom)
+    return false;
+
+  Matcher M;
+  for (unsigned I = 0; I < x86::NumGPRs; ++I)
+    if (!M.match(B.Regs[I], A.Regs[I]))
+      return false;
+
+  if (B.Flags.K != FlagState::Kind::Unknown) {
+    if (A.Flags.K != B.Flags.K || A.Flags.Width != B.Flags.Width)
+      return false;
+    if (!M.match(B.Flags.L, A.Flags.L))
+      return false;
+    if (B.Flags.R && (!A.Flags.R || !M.match(B.Flags.R, A.Flags.R)))
+      return false;
+  }
+
+  for (const MemCell &CB : B.Cells) {
+    bool Found = false;
+    for (const MemCell &CA : A.Cells) {
+      if (CA.Size != CB.Size)
+        continue;
+      Matcher Saved = M; // backtrack on failed candidate
+      if (M.match(CB.Addr, CA.Addr) && M.match(CB.Val, CA.Val)) {
+        Found = true;
+        break;
+      }
+      M = Saved;
+    }
+    if (!Found)
+      return false;
+  }
+
+  for (const RangeClause &C : B.Ranges) {
+    Interval I = M.intervalInA(A, C.E);
+    Interval Implied = clauseInterval(C.Op, C.Bound);
+    bool OK = false;
+    if (!I.isEmpty() && !I.isTop() && Implied.contains(I)) {
+      // For unsigned clauses the interval argument needs non-negativity,
+      // which clauseInterval's [0, B] form already enforces.
+      OK = true;
+    }
+    if (!OK && C.Op == RelOp::Ne && !I.isEmpty() &&
+        !I.contains(static_cast<int64_t>(C.Bound)))
+      OK = true;
+    if (!OK) {
+      // Identical clause present in A under substitution: only check the
+      // pointer-equal case (no fresh leaves).
+      for (const RangeClause &CA : A.Ranges)
+        if (CA.E == C.E && CA.Op == C.Op && CA.Bound == C.Bound) {
+          OK = true;
+          break;
+        }
+    }
+    if (!OK)
+      return false;
+  }
+
+  return true;
+}
+
+// --- semantic satisfaction -------------------------------------------------------
+
+bool Pred::holds(const expr::VarValuation &Vars,
+                 const expr::MemOracle &InitMem,
+                 const std::array<uint64_t, x86::NumGPRs> &RegVals,
+                 const expr::MemOracle &CurMem) const {
+  if (Bottom)
+    return false;
+  for (unsigned I = 0; I < x86::NumGPRs; ++I) {
+    auto V = expr::evalExpr(Regs[I], Vars, InitMem);
+    if (!V || *V != RegVals[I])
+      return false;
+  }
+  for (const MemCell &C : Cells) {
+    auto A = expr::evalExpr(C.Addr, Vars, InitMem);
+    auto V = expr::evalExpr(C.Val, Vars, InitMem);
+    if (!A || !V)
+      return false;
+    if (CurMem(*A, C.Size) != expr::maskToWidth(*V, C.Size * 8))
+      return false;
+  }
+  for (const RangeClause &C : Ranges) {
+    auto V = expr::evalExpr(C.E, Vars, InitMem);
+    if (!V)
+      return false;
+    int64_t S = static_cast<int64_t>(*V);
+    int64_t SB = static_cast<int64_t>(C.Bound);
+    bool OK;
+    switch (C.Op) {
+    case RelOp::Eq:
+      OK = *V == C.Bound;
+      break;
+    case RelOp::Ne:
+      OK = *V != C.Bound;
+      break;
+    case RelOp::ULt:
+      OK = *V < C.Bound;
+      break;
+    case RelOp::ULe:
+      OK = *V <= C.Bound;
+      break;
+    case RelOp::UGe:
+      OK = *V >= C.Bound;
+      break;
+    case RelOp::UGt:
+      OK = *V > C.Bound;
+      break;
+    case RelOp::SLt:
+      OK = S < SB;
+      break;
+    case RelOp::SLe:
+      OK = S <= SB;
+      break;
+    case RelOp::SGe:
+      OK = S >= SB;
+      break;
+    case RelOp::SGt:
+      OK = S > SB;
+      break;
+    }
+    if (!OK)
+      return false;
+  }
+  return true;
+}
+
+std::string Pred::str(const ExprContext &Ctx) const {
+  if (Bottom)
+    return "⊥";
+  std::string S;
+  for (unsigned I = 0; I < x86::NumGPRs; ++I) {
+    const Expr *V = Regs[I];
+    if (!V)
+      continue;
+    // Skip the trivial "reg == reg0" clauses for readability.
+    if (V->isVar() &&
+        Ctx.varInfo(V->varId()).Name ==
+            x86::regName(x86::regFromNum(I)) + "0")
+      continue;
+    S += x86::regName(x86::regFromNum(I)) + " == " + V->str(Ctx) + "; ";
+  }
+  for (const MemCell &C : Cells)
+    S += "*[" + C.Addr->str(Ctx) + "," + std::to_string(C.Size) +
+         "] == " + C.Val->str(Ctx) + "; ";
+  for (const RangeClause &C : Ranges)
+    S += C.E->str(Ctx) + " " + relOpName(C.Op) + " " +
+         std::to_string(C.Bound) + "; ";
+  return S;
+}
+
+} // namespace hglift::pred

@@ -1,0 +1,183 @@
+//===- Pred.h - Symbolic predicates (§3.1) ---------------------*- C++ -*-===//
+//
+// A predicate P is a set of clauses E □ C. We store it in solved form:
+//
+//   * one clause  reg == C  per general-purpose register (the map Regs);
+//     a register whose value is a Fresh variable is unconstrained, which
+//     is how "the clause was dropped" is represented soundly;
+//   * memory clauses  *[C_addr, n] == C_val  (the list Cells);
+//   * a flag abstraction: rather than six separate flag clauses we record
+//     the operation that last set the flags (cmp / test / an ALU result),
+//     from which each condition code is derived on demand;
+//   * residual range clauses  C □ k  with k a numeric constant (the list
+//     Ranges) — these carry jump-table bounds like "eax ≤ 0xc3" in §2 and
+//     the results of joining unequal constants (Example 3.4).
+//
+// The join (Definition 3.3 / Example 3.4) keeps clauses both sides agree
+// on, widens disagreeing constants to ranges via interval abstraction, and
+// drops everything else by substituting Fresh variables — only ever
+// weakening, as Definition 3.15 requires.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_PRED_PRED_H
+#define HGLIFT_PRED_PRED_H
+
+#include "expr/Eval.h"
+#include "expr/ExprContext.h"
+#include "support/Interval.h"
+#include "x86/Reg.h"
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hglift::pred {
+
+using expr::Expr;
+using expr::ExprContext;
+
+/// Relations for range clauses: E □ k. Eq is included for completeness but
+/// equalities normally live in the Regs/Cells maps.
+enum class RelOp : uint8_t { Eq, Ne, ULt, ULe, UGe, UGt, SLt, SLe, SGe, SGt };
+
+const char *relOpName(RelOp Op);
+
+struct RangeClause {
+  const Expr *E;
+  RelOp Op;
+  uint64_t Bound;
+
+  bool operator==(const RangeClause &O) const = default;
+};
+
+/// A memory clause *[Addr, Size] == Val.
+struct MemCell {
+  const Expr *Addr;
+  uint32_t Size;
+  const Expr *Val;
+
+  bool operator==(const MemCell &O) const = default;
+};
+
+/// Abstraction of RFLAGS: the operation that last defined them.
+struct FlagState {
+  enum class Kind : uint8_t {
+    Unknown, ///< nothing known (initial state, or flag-clobbering op)
+    Cmp,     ///< flags of (L - R)
+    Test,    ///< flags of (L & R)
+    Res,     ///< only ZF/SF known, from result L (e.g. after add/and/shl)
+    ZeroOf,  ///< only ZF known: ZF = (L == 0) (e.g. after bsf/bsr)
+  };
+  Kind K = Kind::Unknown;
+  const Expr *L = nullptr;
+  const Expr *R = nullptr;
+  uint8_t Width = 64;
+
+  bool operator==(const FlagState &O) const = default;
+};
+
+class Pred {
+public:
+  Pred() { Regs.fill(nullptr); }
+
+  /// The initial predicate P0 of a function (Figure 1): every register
+  /// holds its InitReg variable, rsp holds the StackBase variable rsp0,
+  /// and *[rsp0, 8] == a_r (the return-address symbol RetSymTop, which
+  /// defaults to a RetAddr variable).
+  static Pred entry(ExprContext &Ctx, const Expr *RetSymTop = nullptr);
+
+  bool isBottom() const { return Bottom; }
+  void setBottom() { Bottom = true; }
+
+  // --- registers -----------------------------------------------------------
+
+  /// Full 64-bit value of R.
+  const Expr *reg64(x86::Reg R) const { return Regs[x86::regNum(R)]; }
+  void setReg64(x86::Reg R, const Expr *V) { Regs[x86::regNum(R)] = V; }
+
+  /// Value of R viewed at SizeBytes (1/2/4/8), honoring high-byte access.
+  const Expr *readReg(ExprContext &Ctx, x86::Reg R, unsigned SizeBytes,
+                      bool HighByte = false) const;
+
+  /// x86 write semantics: 64-bit replaces, 32-bit zero-extends, 16/8-bit
+  /// merge into the old value.
+  void writeReg(ExprContext &Ctx, x86::Reg R, unsigned SizeBytes,
+                bool HighByte, const Expr *V);
+
+  // --- flags ---------------------------------------------------------------
+
+  const FlagState &flags() const { return Flags; }
+  void setFlagsCmp(const Expr *L, const Expr *R, unsigned Width);
+  void setFlagsTest(const Expr *L, const Expr *R, unsigned Width);
+  void setFlagsRes(const Expr *Res, unsigned Width);
+  void setFlagsZeroOf(const Expr *L, unsigned Width);
+  void clearFlags() { Flags = FlagState{}; }
+
+  /// The 1-bit expression for condition CC under the current flag state, or
+  /// nullptr if unknown (e.g. overflow/parity conditions after Res).
+  const Expr *condExpr(ExprContext &Ctx, x86::Cond CC) const;
+
+  // --- memory clauses ------------------------------------------------------
+
+  const std::vector<MemCell> &cells() const { return Cells; }
+  /// Cell with syntactically identical address and size, or nullptr.
+  const MemCell *findCell(const Expr *Addr, uint32_t Size) const;
+  /// Insert or replace the cell at (Addr, Size).
+  void setCell(const Expr *Addr, uint32_t Size, const Expr *Val);
+  void removeCell(const Expr *Addr, uint32_t Size);
+  /// Remove cells for which Keep returns false.
+  void filterCells(const std::function<bool(const MemCell &)> &Keep);
+
+  // --- range clauses -------------------------------------------------------
+
+  const std::vector<RangeClause> &ranges() const { return Ranges; }
+  void addRange(const Expr *E, RelOp Op, uint64_t Bound);
+  void clearRangesFor(const Expr *E);
+
+  /// Signed interval for E implied by this predicate (constants fold;
+  /// range clauses on E and on its linear atoms are consulted).
+  Interval intervalOf(const Expr *E) const;
+
+  /// Unsigned upper bound for E if one is implied (the jump-table case:
+  /// "eax ≤ 0xc3" yields 0xc3). Sound only together with the lower bound 0
+  /// from ULt/ULe clauses.
+  std::optional<uint64_t> unsignedUpperBound(const Expr *E) const;
+
+  // --- join / order (Definition 3.3) --------------------------------------
+
+  /// Least upper bound. Fresh variables introduced for dropped clauses are
+  /// allocated from Ctx. If Widen is set, disagreeing constants are dropped
+  /// instead of range-abstracted (used after repeated joins at the same
+  /// vertex to force termination).
+  static Pred join(ExprContext &Ctx, const Pred &A, const Pred &B,
+                   bool Widen = false);
+
+  /// Partial order: does A imply B (modulo renaming of B's Fresh
+  /// variables)? This is the ⊑ test of Algorithm 1 line 4 and also the
+  /// entailment check of the Step-2 Hoare-triple checker.
+  static bool leq(const Pred &A, const Pred &B);
+
+  /// Semantic satisfaction s ⊢ P (Definition 4.4), for the property tests.
+  /// Vars values the symbolic variables and InitMem is the *initial* memory
+  /// of the function (Deref leaves denote initial contents); RegVals and
+  /// CurMem describe the concrete state s being tested.
+  bool holds(const expr::VarValuation &Vars, const expr::MemOracle &InitMem,
+             const std::array<uint64_t, x86::NumGPRs> &RegVals,
+             const expr::MemOracle &CurMem) const;
+
+  std::string str(const ExprContext &Ctx) const;
+
+private:
+  bool Bottom = false;
+  std::array<const Expr *, x86::NumGPRs> Regs;
+  FlagState Flags;
+  std::vector<MemCell> Cells;
+  std::vector<RangeClause> Ranges;
+};
+
+} // namespace hglift::pred
+
+#endif // HGLIFT_PRED_PRED_H

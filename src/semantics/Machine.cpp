@@ -1,0 +1,532 @@
+#include "semantics/Machine.h"
+
+#include "expr/Expr.h" // maskToWidth / signExtend helpers
+
+namespace hglift::sem {
+
+using expr::maskToWidth;
+using expr::signExtend;
+using x86::Cond;
+using x86::Instr;
+using x86::MemOperand;
+using x86::Mnemonic;
+using x86::Operand;
+using x86::Reg;
+
+uint64_t Machine::load(uint64_t Addr, unsigned Size) const {
+  uint64_t V = 0;
+  for (unsigned I = 0; I < Size; ++I) {
+    uint8_t B = 0;
+    auto It = Mem.find(Addr + I);
+    if (It != Mem.end()) {
+      B = It->second;
+    } else if (auto R = Img->read(Addr + I, 1)) {
+      B = static_cast<uint8_t>(*R);
+    }
+    V |= static_cast<uint64_t>(B) << (8 * I);
+  }
+  return V;
+}
+
+void Machine::store(uint64_t Addr, unsigned Size, uint64_t V) {
+  for (unsigned I = 0; I < Size; ++I)
+    Mem[Addr + I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+void Machine::setupCall(uint64_t Entry, uint64_t StackTop) {
+  setReg(Reg::RSP, StackTop - 8);
+  store(StackTop - 8, 8, RetSentinel);
+  Rip = Entry;
+}
+
+uint64_t Machine::evalMemAddr(const Instr &I, const MemOperand &M) const {
+  uint64_t A = M.RipRel ? I.nextAddr() : 0;
+  if (M.Base != Reg::None)
+    A += reg(M.Base);
+  if (M.Index != Reg::None)
+    A += reg(M.Index) * M.Scale;
+  return A + static_cast<uint64_t>(static_cast<int64_t>(M.Disp));
+}
+
+uint64_t Machine::readOperand(const Instr &I, const Operand &O) const {
+  switch (O.K) {
+  case Operand::Kind::Imm:
+    return maskToWidth(static_cast<uint64_t>(O.Imm), O.Size * 8);
+  case Operand::Kind::Reg: {
+    uint64_t V = reg(O.R);
+    if (O.Size == 1 && O.HighByte)
+      return (V >> 8) & 0xff;
+    return maskToWidth(V, O.Size * 8);
+  }
+  case Operand::Kind::Mem:
+    return load(evalMemAddr(I, O.M), O.Size);
+  case Operand::Kind::None:
+    return 0;
+  }
+  return 0;
+}
+
+void Machine::writeOperand(const Instr &I, const Operand &O, uint64_t V) {
+  V = maskToWidth(V, O.Size * 8);
+  if (O.isMem()) {
+    store(evalMemAddr(I, O.M), O.Size, V);
+    return;
+  }
+  uint64_t Old = reg(O.R);
+  switch (O.Size) {
+  case 8:
+    setReg(O.R, V);
+    break;
+  case 4:
+    setReg(O.R, V); // 32-bit writes zero-extend
+    break;
+  case 2:
+    setReg(O.R, (Old & ~uint64_t(0xffff)) | V);
+    break;
+  case 1:
+    if (O.HighByte)
+      setReg(O.R, (Old & ~uint64_t(0xff00)) | (V << 8));
+    else
+      setReg(O.R, (Old & ~uint64_t(0xff)) | V);
+    break;
+  }
+}
+
+namespace {
+
+struct ArithFlags {
+  bool ZF, SF, CF, OF;
+};
+
+ArithFlags flagsAdd(uint64_t A, uint64_t B, unsigned W) {
+  uint64_t R = maskToWidth(A + B, W);
+  ArithFlags F;
+  F.ZF = R == 0;
+  F.SF = signExtend(R, W) < 0;
+  F.CF = R < maskToWidth(A, W);
+  bool SA = signExtend(A, W) < 0, SB = signExtend(B, W) < 0;
+  F.OF = (SA == SB) && (F.SF != SA);
+  return F;
+}
+
+ArithFlags flagsSub(uint64_t A, uint64_t B, unsigned W) {
+  uint64_t MA = maskToWidth(A, W), MB = maskToWidth(B, W);
+  uint64_t R = maskToWidth(MA - MB, W);
+  ArithFlags F;
+  F.ZF = R == 0;
+  F.SF = signExtend(R, W) < 0;
+  F.CF = MA < MB;
+  bool SA = signExtend(MA, W) < 0, SB = signExtend(MB, W) < 0;
+  F.OF = (SA != SB) && (F.SF != SA);
+  return F;
+}
+
+ArithFlags flagsLogic(uint64_t R, unsigned W) {
+  ArithFlags F;
+  F.ZF = maskToWidth(R, W) == 0;
+  F.SF = signExtend(R, W) < 0;
+  F.CF = false;
+  F.OF = false;
+  return F;
+}
+
+} // namespace
+
+Machine::Status Machine::doExternalCall(const std::string &Name) {
+  if (ExternalHook)
+    return ExternalHook(*this, Name);
+  if (Name == "exit" || Name == "_exit" || Name == "abort" ||
+      Name == "__stack_chk_fail")
+    return Status::Halted;
+  // Default model: clobber the System V volatile registers, return a
+  // pseudo-random value, leave memory alone, and return to the caller.
+  for (Reg R : {Reg::RAX, Reg::RCX, Reg::RDX, Reg::RSI, Reg::RDI, Reg::R8,
+                Reg::R9, Reg::R10, Reg::R11})
+    setReg(R, ExtRng.next());
+  ZF = ExtRng.chance(1, 2);
+  SF = ExtRng.chance(1, 2);
+  CF = ExtRng.chance(1, 2);
+  OF = ExtRng.chance(1, 2);
+  // Pop the return address pushed by the call.
+  uint64_t Ret = load(reg(Reg::RSP), 8);
+  setReg(Reg::RSP, reg(Reg::RSP) + 8);
+  Rip = Ret;
+  return Status::Running;
+}
+
+Machine::Status Machine::step() {
+  if (!Img->isExec(Rip))
+    return Status::Fault;
+  size_t Avail;
+  const uint8_t *Bytes = Img->bytesAt(Rip, Avail);
+  if (!Bytes)
+    return Status::Fault;
+  // Self-modifying code is out of scope; fetch sees the original image, but
+  // fault if any fetched byte was overwritten.
+  Instr I = x86::decodeInstr(Bytes, Avail, Rip);
+  if (!I.isValid())
+    return Status::Fault;
+  for (unsigned B = 0; B < I.Length; ++B)
+    if (everWritten(Rip + B))
+      return Status::Fault;
+  Trace.push_back(Rip);
+
+  uint64_t Next = I.nextAddr();
+  unsigned W = I.Ops[0].isNone() ? I.OpSize * 8 : I.Ops[0].Size * 8;
+
+  auto CondHolds = [&](Cond C) {
+    switch (C) {
+    case Cond::O:
+      return OF;
+    case Cond::NO:
+      return !OF;
+    case Cond::B:
+      return CF;
+    case Cond::AE:
+      return !CF;
+    case Cond::E:
+      return ZF;
+    case Cond::NE:
+      return !ZF;
+    case Cond::BE:
+      return CF || ZF;
+    case Cond::A:
+      return !CF && !ZF;
+    case Cond::S:
+      return SF;
+    case Cond::NS:
+      return !SF;
+    case Cond::P:
+    case Cond::NP:
+      return false; // parity unmodeled (never emitted by the corpus)
+    case Cond::L:
+      return SF != OF;
+    case Cond::GE:
+      return SF == OF;
+    case Cond::LE:
+      return ZF || (SF != OF);
+    case Cond::G:
+      return !ZF && (SF == OF);
+    }
+    return false;
+  };
+
+  auto ApplyFlags = [&](const ArithFlags &F) {
+    ZF = F.ZF;
+    SF = F.SF;
+    CF = F.CF;
+    OF = F.OF;
+  };
+
+  switch (I.Mn) {
+  case Mnemonic::Mov:
+    writeOperand(I, I.Ops[0], readOperand(I, I.Ops[1]));
+    break;
+  case Mnemonic::Movzx:
+    writeOperand(I, I.Ops[0], readOperand(I, I.Ops[1]));
+    break;
+  case Mnemonic::Movsx:
+  case Mnemonic::Movsxd: {
+    uint64_t V = readOperand(I, I.Ops[1]);
+    writeOperand(I, I.Ops[0],
+                 static_cast<uint64_t>(signExtend(V, I.Ops[1].Size * 8)));
+    break;
+  }
+  case Mnemonic::Lea:
+    writeOperand(I, I.Ops[0], evalMemAddr(I, I.Ops[1].M));
+    break;
+  case Mnemonic::Add:
+  case Mnemonic::Adc: {
+    uint64_t A = readOperand(I, I.Ops[0]), B = readOperand(I, I.Ops[1]);
+    uint64_t Carry = (I.Mn == Mnemonic::Adc && CF) ? 1 : 0;
+    ApplyFlags(flagsAdd(A, B + Carry, W));
+    writeOperand(I, I.Ops[0], A + B + Carry);
+    break;
+  }
+  case Mnemonic::Sub:
+  case Mnemonic::Sbb: {
+    uint64_t A = readOperand(I, I.Ops[0]), B = readOperand(I, I.Ops[1]);
+    uint64_t Borrow = (I.Mn == Mnemonic::Sbb && CF) ? 1 : 0;
+    ApplyFlags(flagsSub(A, B + Borrow, W));
+    writeOperand(I, I.Ops[0], A - B - Borrow);
+    break;
+  }
+  case Mnemonic::Cmp: {
+    uint64_t A = readOperand(I, I.Ops[0]), B = readOperand(I, I.Ops[1]);
+    ApplyFlags(flagsSub(A, B, W));
+    break;
+  }
+  case Mnemonic::And:
+  case Mnemonic::Or:
+  case Mnemonic::Xor: {
+    uint64_t A = readOperand(I, I.Ops[0]), B = readOperand(I, I.Ops[1]);
+    uint64_t R = I.Mn == Mnemonic::And ? (A & B)
+                 : I.Mn == Mnemonic::Or ? (A | B)
+                                        : (A ^ B);
+    ApplyFlags(flagsLogic(R, W));
+    writeOperand(I, I.Ops[0], R);
+    break;
+  }
+  case Mnemonic::Test: {
+    uint64_t A = readOperand(I, I.Ops[0]), B = readOperand(I, I.Ops[1]);
+    ApplyFlags(flagsLogic(A & B, W));
+    break;
+  }
+  case Mnemonic::Shl:
+  case Mnemonic::Shr:
+  case Mnemonic::Sar: {
+    uint64_t A = readOperand(I, I.Ops[0]);
+    unsigned Count =
+        static_cast<unsigned>(readOperand(I, I.Ops[1])) & (W == 64 ? 63 : 31);
+    if (Count != 0) {
+      uint64_t R;
+      if (I.Mn == Mnemonic::Shl)
+        R = A << Count;
+      else if (I.Mn == Mnemonic::Shr)
+        R = maskToWidth(A, W) >> Count;
+      else
+        R = static_cast<uint64_t>(signExtend(A, W) >> Count);
+      ApplyFlags(flagsLogic(R, W)); // CF/OF approximated as 0
+      writeOperand(I, I.Ops[0], R);
+    }
+    break;
+  }
+  case Mnemonic::Rol:
+  case Mnemonic::Ror: {
+    uint64_t A = maskToWidth(readOperand(I, I.Ops[0]), W);
+    unsigned Count =
+        static_cast<unsigned>(readOperand(I, I.Ops[1])) & (W == 64 ? 63 : 31);
+    Count %= W;
+    if (Count != 0) {
+      uint64_t R;
+      if (I.Mn == Mnemonic::Rol)
+        R = (A << Count) | (A >> (W - Count));
+      else
+        R = (A >> Count) | (A << (W - Count));
+      writeOperand(I, I.Ops[0], R);
+      // Only CF/OF change architecturally; we leave ZF/SF as-is.
+    }
+    break;
+  }
+  case Mnemonic::Bswap: {
+    unsigned Sz = I.Ops[0].Size;
+    uint64_t A = readOperand(I, I.Ops[0]);
+    uint64_t R = 0;
+    for (unsigned B = 0; B < Sz; ++B)
+      R |= ((A >> (8 * B)) & 0xff) << (8 * (Sz - 1 - B));
+    writeOperand(I, I.Ops[0], R);
+    break;
+  }
+  case Mnemonic::Bsf:
+  case Mnemonic::Bsr: {
+    uint64_t Src = maskToWidth(readOperand(I, I.Ops[1]), W);
+    ZF = Src == 0;
+    SF = CF = OF = false;
+    if (Src != 0) {
+      unsigned Idx = I.Mn == Mnemonic::Bsf
+                         ? static_cast<unsigned>(__builtin_ctzll(Src))
+                         : 63 - static_cast<unsigned>(__builtin_clzll(Src));
+      writeOperand(I, I.Ops[0], Idx);
+    }
+    break;
+  }
+  case Mnemonic::Inc: {
+    uint64_t A = readOperand(I, I.Ops[0]);
+    bool OldCF = CF;
+    ApplyFlags(flagsAdd(A, 1, W));
+    CF = OldCF; // inc leaves CF
+    writeOperand(I, I.Ops[0], A + 1);
+    break;
+  }
+  case Mnemonic::Dec: {
+    uint64_t A = readOperand(I, I.Ops[0]);
+    bool OldCF = CF;
+    ApplyFlags(flagsSub(A, 1, W));
+    CF = OldCF;
+    writeOperand(I, I.Ops[0], A - 1);
+    break;
+  }
+  case Mnemonic::Neg: {
+    uint64_t A = readOperand(I, I.Ops[0]);
+    ApplyFlags(flagsSub(0, A, W));
+    writeOperand(I, I.Ops[0], 0 - A);
+    break;
+  }
+  case Mnemonic::Not:
+    writeOperand(I, I.Ops[0], ~readOperand(I, I.Ops[0]));
+    break;
+  case Mnemonic::Imul: {
+    if (I.numOperands() == 1) {
+      // rdx:rax := rax * src (signed widening).
+      __int128 P = static_cast<__int128>(signExtend(reg(Reg::RAX), W)) *
+                   signExtend(readOperand(I, I.Ops[0]), W);
+      writeOperand(I, Operand::reg(Reg::RAX, I.Ops[0].Size),
+                   static_cast<uint64_t>(P));
+      writeOperand(I, Operand::reg(Reg::RDX, I.Ops[0].Size),
+                   static_cast<uint64_t>(P >> (I.Ops[0].Size * 8)));
+    } else if (I.numOperands() == 2) {
+      uint64_t R = readOperand(I, I.Ops[0]) * readOperand(I, I.Ops[1]);
+      writeOperand(I, I.Ops[0], R);
+    } else {
+      uint64_t R = readOperand(I, I.Ops[1]) * readOperand(I, I.Ops[2]);
+      writeOperand(I, I.Ops[0], R);
+    }
+    ZF = SF = CF = OF = false; // imul flags approximated
+    break;
+  }
+  case Mnemonic::Mul: {
+    __uint128_t P = static_cast<__uint128_t>(maskToWidth(reg(Reg::RAX), W)) *
+                    readOperand(I, I.Ops[0]);
+    writeOperand(I, Operand::reg(Reg::RAX, I.Ops[0].Size),
+                 static_cast<uint64_t>(P));
+    writeOperand(I, Operand::reg(Reg::RDX, I.Ops[0].Size),
+                 static_cast<uint64_t>(P >> (I.Ops[0].Size * 8)));
+    ZF = SF = CF = OF = false;
+    break;
+  }
+  case Mnemonic::Div: {
+    uint64_t D = readOperand(I, I.Ops[0]);
+    if (D == 0)
+      return Status::Fault;
+    __uint128_t N =
+        (static_cast<__uint128_t>(maskToWidth(reg(Reg::RDX), W)) << W) |
+        maskToWidth(reg(Reg::RAX), W);
+    __uint128_t Q = N / D, R = N % D;
+    if (Q > maskToWidth(~uint64_t(0), W))
+      return Status::Fault; // #DE on quotient overflow
+    writeOperand(I, Operand::reg(Reg::RAX, I.Ops[0].Size),
+                 static_cast<uint64_t>(Q));
+    writeOperand(I, Operand::reg(Reg::RDX, I.Ops[0].Size),
+                 static_cast<uint64_t>(R));
+    break;
+  }
+  case Mnemonic::Idiv: {
+    int64_t D = signExtend(readOperand(I, I.Ops[0]), W);
+    if (D == 0)
+      return Status::Fault;
+    __int128 N = (static_cast<__int128>(signExtend(reg(Reg::RDX), W)) << W) |
+                 maskToWidth(reg(Reg::RAX), W);
+    __int128 Q = N / D, R = N % D;
+    writeOperand(I, Operand::reg(Reg::RAX, I.Ops[0].Size),
+                 static_cast<uint64_t>(Q));
+    writeOperand(I, Operand::reg(Reg::RDX, I.Ops[0].Size),
+                 static_cast<uint64_t>(R));
+    break;
+  }
+  case Mnemonic::Push: {
+    uint64_t V = readOperand(I, I.Ops[0]);
+    setReg(Reg::RSP, reg(Reg::RSP) - 8);
+    store(reg(Reg::RSP), 8, V);
+    break;
+  }
+  case Mnemonic::Pop: {
+    uint64_t V = load(reg(Reg::RSP), 8);
+    setReg(Reg::RSP, reg(Reg::RSP) + 8);
+    writeOperand(I, I.Ops[0], V);
+    break;
+  }
+  case Mnemonic::Leave:
+    setReg(Reg::RSP, reg(Reg::RBP));
+    setReg(Reg::RBP, load(reg(Reg::RSP), 8));
+    setReg(Reg::RSP, reg(Reg::RSP) + 8);
+    break;
+  case Mnemonic::Call: {
+    uint64_t Target;
+    if (I.Ops[0].isImm())
+      Target = static_cast<uint64_t>(I.Ops[0].Imm);
+    else
+      Target = readOperand(I, I.Ops[0]);
+    setReg(Reg::RSP, reg(Reg::RSP) - 8);
+    store(reg(Reg::RSP), 8, Next);
+    if (auto Ext = Img->externalName(Target)) {
+      Rip = Target; // conceptually in the stub
+      return doExternalCall(*Ext);
+    }
+    Rip = Target;
+    return Status::Running;
+  }
+  case Mnemonic::Ret: {
+    uint64_t Target = load(reg(Reg::RSP), 8);
+    uint64_t Extra =
+        I.Ops[0].isImm() ? static_cast<uint64_t>(I.Ops[0].Imm) : 0;
+    setReg(Reg::RSP, reg(Reg::RSP) + 8 + Extra);
+    if (Target == RetSentinel)
+      return Status::Returned;
+    Rip = Target;
+    return Status::Running;
+  }
+  case Mnemonic::Jmp: {
+    if (I.Ops[0].isImm())
+      Rip = static_cast<uint64_t>(I.Ops[0].Imm);
+    else
+      Rip = readOperand(I, I.Ops[0]);
+    if (Rip == RetSentinel)
+      return Status::Returned;
+    return Status::Running;
+  }
+  case Mnemonic::Jcc:
+    Rip = CondHolds(I.CC) ? static_cast<uint64_t>(I.Ops[0].Imm) : Next;
+    return Status::Running;
+  case Mnemonic::Setcc:
+    writeOperand(I, I.Ops[0], CondHolds(I.CC) ? 1 : 0);
+    break;
+  case Mnemonic::Cmovcc:
+    if (CondHolds(I.CC))
+      writeOperand(I, I.Ops[0], readOperand(I, I.Ops[1]));
+    else if (I.Ops[0].Size == 4) // 32-bit cmov zeroes the upper half anyway
+      writeOperand(I, I.Ops[0], readOperand(I, I.Ops[0]));
+    break;
+  case Mnemonic::Xchg: {
+    uint64_t A = readOperand(I, I.Ops[0]);
+    uint64_t B = readOperand(I, I.Ops[1]);
+    writeOperand(I, I.Ops[0], B);
+    writeOperand(I, I.Ops[1], A);
+    break;
+  }
+  case Mnemonic::Cdqe:
+    if (I.OpSize == 8)
+      setReg(Reg::RAX, static_cast<uint64_t>(signExtend(reg(Reg::RAX), 32)));
+    else
+      writeOperand(I, Operand::reg(Reg::RAX, 4),
+                   static_cast<uint64_t>(signExtend(reg(Reg::RAX), 16)));
+    break;
+  case Mnemonic::Cqo: {
+    unsigned SW = I.OpSize * 8;
+    int64_t V = signExtend(reg(Reg::RAX), SW);
+    writeOperand(I, Operand::reg(Reg::RDX, I.OpSize),
+                 V < 0 ? ~uint64_t(0) : 0);
+    break;
+  }
+  case Mnemonic::Nop:
+  case Mnemonic::Endbr64:
+    break;
+  case Mnemonic::Syscall:
+    // Only exit(60)/exit_group(231) are modeled.
+    if (reg(Reg::RAX) == 60 || reg(Reg::RAX) == 231)
+      return Status::Halted;
+    setReg(Reg::RAX, 0);
+    setReg(Reg::RCX, Next);
+    setReg(Reg::R11, 0x246);
+    break;
+  case Mnemonic::Int3:
+  case Mnemonic::Ud2:
+  case Mnemonic::Hlt:
+    return Status::Halted;
+  case Mnemonic::Invalid:
+    return Status::Fault;
+  }
+
+  Rip = Next;
+  return Status::Running;
+}
+
+Machine::Status Machine::run(uint64_t MaxSteps) {
+  for (uint64_t N = 0; N < MaxSteps; ++N) {
+    Status S = step();
+    if (S != Status::Running)
+      return S;
+  }
+  return Status::StepLimit;
+}
+
+} // namespace hglift::sem

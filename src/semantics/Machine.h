@@ -1,0 +1,88 @@
+//===- Machine.h - Concrete x86-64 emulator --------------------*- C++ -*-===//
+//
+// A concrete interpreter for the supported instruction subset. This is the
+// semantic ground truth →B of Definition 3.1 in executable form: the
+// simulation property tests (Lemma 4.5 / Theorem 4.7) run corpus binaries
+// here and check that every concrete transition is covered by an edge of
+// the extracted Hoare Graph. It also demonstrates the §2 weird edge: with
+// aliasing pointers the emulator really does execute the hidden ret.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_SEMANTICS_MACHINE_H
+#define HGLIFT_SEMANTICS_MACHINE_H
+
+#include "elf/Binary.h"
+#include "support/Rng.h"
+#include "x86/Decoder.h"
+
+#include <array>
+#include <functional>
+#include <map>
+
+namespace hglift::sem {
+
+class Machine {
+public:
+  enum class Status : uint8_t {
+    Running,
+    Halted,       ///< hlt / ud2 / int3 / exit() reached
+    Returned,     ///< ret popped the sentinel return address
+    Fault,        ///< undecodable instruction, unmapped fetch, div-by-zero
+    StepLimit,
+  };
+
+  explicit Machine(const elf::BinaryImage &Img, uint64_t Seed = 1)
+      : Img(&Img), ExtRng(Seed) {
+    Regs.fill(0);
+  }
+
+  std::array<uint64_t, x86::NumGPRs> Regs;
+  uint64_t Rip = 0;
+  bool ZF = false, SF = false, CF = false, OF = false;
+
+  /// Sentinel: a ret to this address means "function returned to caller".
+  static constexpr uint64_t RetSentinel = 0xdeadbeef00000000ULL;
+
+  uint64_t reg(x86::Reg R) const { return Regs[x86::regNum(R)]; }
+  void setReg(x86::Reg R, uint64_t V) { Regs[x86::regNum(R)] = V; }
+
+  /// Little-endian memory access; reads fall back to the binary image for
+  /// addresses never written.
+  uint64_t load(uint64_t Addr, unsigned Size) const;
+  void store(uint64_t Addr, unsigned Size, uint64_t V);
+  bool everWritten(uint64_t Addr) const { return Mem.count(Addr) != 0; }
+
+  /// Set up a function-call frame: rsp points at a stack with the sentinel
+  /// return address on top, rip at Entry.
+  void setupCall(uint64_t Entry, uint64_t StackTop = 0x7fff0000);
+
+  /// Execute one instruction. Returns the new status.
+  Status step();
+
+  /// Run until a terminal status or MaxSteps.
+  Status run(uint64_t MaxSteps = 100000);
+
+  /// Addresses of instructions executed (for coverage checks).
+  const std::vector<uint64_t> &trace() const { return Trace; }
+
+  /// Behaviour of external (PLT) calls: by default, clobber the System V
+  /// volatile registers with pseudo-random values and return. exit-like
+  /// functions halt. Hook replaceable by tests.
+  std::function<Status(Machine &, const std::string &Name)> ExternalHook;
+
+private:
+  Status doExternalCall(const std::string &Name);
+  uint64_t evalMemAddr(const x86::Instr &I, const x86::MemOperand &M) const;
+  uint64_t readOperand(const x86::Instr &I, const x86::Operand &O) const;
+  void writeOperand(const x86::Instr &I, const x86::Operand &O, uint64_t V);
+
+  const elf::BinaryImage *Img;
+  std::map<uint64_t, uint8_t> Mem;
+  std::vector<uint64_t> Trace;
+  Rng ExtRng;
+};
+
+} // namespace hglift::sem
+
+#endif // HGLIFT_SEMANTICS_MACHINE_H

@@ -1,0 +1,147 @@
+//===- SymExec.h - The predicate transformer τ (§4) -------------*- C++ -*-===//
+//
+// Symbolically executes one instruction on a symbolic state ⟨P, M⟩,
+// producing the set of successor states of Definition 4.2:
+//
+//   step_Σ(σ) = { ⟨P', M'⟩ | P' ∈ τ(P, M') ∧ M' ∈ ins(R, M) }
+//
+// Memory operands are evaluated to constant-expressions and inserted into
+// the memory model; each nondeterministic insertion outcome yields its own
+// successor (this is where the §2 weird edge forks into the aliasing and
+// separation worlds). Control flow is resolved here too: direct branches,
+// conditional branches (with branch-condition clauses pushed into the
+// successor predicates), bounded jump-table indirections, returns (with
+// the return-address-integrity and calling-convention checks), and calls
+// (classified internal / external / unresolved for the algorithm's §4.2
+// treatment).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_SEMANTICS_SYMEXEC_H
+#define HGLIFT_SEMANTICS_SYMEXEC_H
+
+#include "elf/Binary.h"
+#include "memmodel/MemModel.h"
+#include "pred/Pred.h"
+#include "x86/Decoder.h"
+
+#include <string>
+#include <vector>
+
+namespace hglift::sem {
+
+using expr::Expr;
+using expr::ExprContext;
+
+struct SymState {
+  pred::Pred P;
+  mem::MemModel M;
+};
+
+/// How control leaves the instruction in a given successor.
+enum class CtrlKind : uint8_t {
+  Fall,         ///< to NextAddr (fall-through, direct or resolved jump)
+  Ret,          ///< function returns to its caller (RipVal is the symbol)
+  CallInternal, ///< call to CalleeAddr; successor is the return site
+  CallExternal, ///< call to external ExtName; successor is the return site
+  Terminal,     ///< execution stops (exit-like, hlt, ud2)
+  UnresJump,    ///< indirect jump could not be bounded (annotation B)
+  UnresCall,    ///< indirect call could not be resolved (annotation C)
+};
+
+struct Succ {
+  SymState S;
+  CtrlKind K = CtrlKind::Fall;
+  uint64_t NextAddr = 0;
+  /// For Ret/Unres*: the symbolic rip value, for diagnostics and export.
+  const Expr *RipVal = nullptr;
+};
+
+struct StepOut {
+  std::vector<Succ> Succs;
+  /// Set when a sanity property is violated (unprovable return address,
+  /// calling-convention violation, undecodable instruction, ...). The
+  /// whole function is rejected, per §5.1.
+  bool VerifError = false;
+  std::string VerifReason;
+  /// Assumptions and MUST-PRESERVE obligations generated at this step.
+  std::vector<std::string> Obligations;
+  /// A pthread_*-style call was seen: the binary is out of scope.
+  bool SawConcurrency = false;
+  /// For CallInternal successors: the callee's entry address.
+  uint64_t CalleeAddr = 0;
+  /// For CallExternal/UnresCall successors: the callee's name if known.
+  std::string ExtName;
+  /// Number of distinct jump-table targets resolved here (column A).
+  unsigned ResolvedTargets = 0;
+};
+
+struct SymConfig {
+  mem::UnknownPolicy Policy = mem::UnknownPolicy::BranchAliasOrSep;
+  /// Maximum enumerated jump-table entries before giving up (annotation).
+  unsigned MaxJumpTableEntries = 1024;
+};
+
+class SymExec {
+public:
+  SymExec(ExprContext &Ctx, smt::RelationSolver &Solver,
+          const elf::BinaryImage &Img, SymConfig Cfg)
+      : Ctx(Ctx), Solver(Solver), Img(Img), Cfg(Cfg) {}
+
+  /// Execute one instruction. The entry symbol EntryRetSym identifies the
+  /// current function's return-address symbol (a_r or S_f), needed for the
+  /// return checks.
+  StepOut step(const SymState &S, const x86::Instr &I,
+               const Expr *EntryRetSym);
+
+  /// External functions known to never return (hard-coded, §4.2.1).
+  static bool isTerminatingExternal(const std::string &Name);
+  /// pthread-style concurrency entry points (out of scope, §5.1).
+  static bool isConcurrencyExternal(const std::string &Name);
+
+  ExprContext &exprContext() { return Ctx; }
+  const SymConfig &config() const { return Cfg; }
+
+private:
+  // Memory access helpers; each returns one entry per nondeterministic
+  // memory-model outcome.
+  struct ReadRes {
+    SymState S;
+    const Expr *Val;
+  };
+  std::vector<ReadRes> readMem(const SymState &S, const Expr *Addr,
+                               unsigned Size, StepOut &Out);
+  std::vector<SymState> writeMem(const SymState &S, const Expr *Addr,
+                                 unsigned Size, const Expr *Val,
+                                 StepOut &Out);
+
+  const Expr *memAddrExpr(const SymState &S, const x86::Instr &I,
+                          const x86::MemOperand &M);
+
+  /// Resolution of a symbolic rip value.
+  struct RipRes {
+    enum class Kind : uint8_t { Imm, Table, RetSym, Unresolved } K;
+    uint64_t Addr = 0;
+    std::vector<uint64_t> Targets;
+  };
+  RipRes resolveRip(const Expr *Val, const pred::Pred &P);
+
+  /// Clean the state for a function call (§4.2.1): havoc volatile
+  /// registers and non-stack memory values, keep the local frame; emit
+  /// MUST-PRESERVE obligations for stack pointers escaping into the call.
+  void cleanForCall(SymState &S, const std::string &CalleeName,
+                    uint64_t CallAddr, StepOut &Out);
+
+  /// Add the branch-condition clause for condition CC (taken or not) to P.
+  /// Returns false if the clause contradicts P (successor unreachable).
+  bool addBranchClause(pred::Pred &P, x86::Cond CC, bool Taken);
+
+  ExprContext &Ctx;
+  smt::RelationSolver &Solver;
+  const elf::BinaryImage &Img;
+  SymConfig Cfg;
+};
+
+} // namespace hglift::sem
+
+#endif // HGLIFT_SEMANTICS_SYMEXEC_H

@@ -1,0 +1,3 @@
+// memRelName lives in RelationSolver.cpp; this file exists so the library
+// has a translation unit even when Z3 is disabled.
+#include "smt/Region.h"

@@ -1,0 +1,41 @@
+//===- Region.h - Symbolic memory regions ----------------------*- C++ -*-===//
+
+#ifndef HGLIFT_SMT_REGION_H
+#define HGLIFT_SMT_REGION_H
+
+#include "expr/ExprContext.h"
+
+#include <string>
+
+namespace hglift::smt {
+
+/// A memory region [Addr, Size): a constant-expression address and a byte
+/// count (the paper's E × N / C × N).
+struct Region {
+  const expr::Expr *Addr = nullptr;
+  uint32_t Size = 0;
+
+  bool operator==(const Region &O) const = default;
+
+  std::string str(const expr::ExprContext &Ctx) const {
+    return "[" + Addr->str(Ctx) + "," + std::to_string(Size) + "]";
+  }
+};
+
+/// Pairwise relations between regions (Definition 3.6). The Must* values
+/// are *necessarily*-relations: they hold in every concrete state
+/// satisfying the predicate.
+enum class MemRel : uint8_t {
+  MustAlias,   ///< ≡ : same address, same size
+  MustSep,     ///< ⊲⊳ : disjoint
+  MustEnc01,   ///< r0 ⪯ r1 : r0 enclosed in r1
+  MustEnc10,   ///< r1 ⪯ r0
+  MustPartial, ///< definitely partially overlapping (forces destroy)
+  Unknown,
+};
+
+const char *memRelName(MemRel R);
+
+} // namespace hglift::smt
+
+#endif // HGLIFT_SMT_REGION_H

@@ -1,0 +1,205 @@
+#include "smt/RelationSolver.h"
+
+#include "smt/Z3Backend.h"
+
+namespace hglift::smt {
+
+using expr::Expr;
+using expr::ExprContext;
+using expr::LinearForm;
+using expr::VarClass;
+
+const char *memRelName(MemRel R) {
+  switch (R) {
+  case MemRel::MustAlias:
+    return "alias";
+  case MemRel::MustSep:
+    return "separate";
+  case MemRel::MustEnc01:
+    return "enclosed";
+  case MemRel::MustEnc10:
+    return "encloses";
+  case MemRel::MustPartial:
+    return "partial-overlap";
+  case MemRel::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+AllocClass classifyAddr(const Expr *Addr, const ExprContext &Ctx) {
+  LinearForm LF = expr::linearize(Addr);
+  if (LF.Terms.empty())
+    return AllocClass::Global;
+  // Base variables (coefficient 1) determine the allocation; any remaining
+  // terms are treated as array indices *within* that allocation — this is
+  // the paper's implicit "global/stack/heap spaces do not overlap"
+  // assumption applied to indexed accesses as well.
+  bool HasStack = false, HasHeap = false, HasArg = false, HasIndex = false;
+  for (auto &[Coeff, Atom] : LF.Terms) {
+    if (Atom->isVar() && Coeff == 1) {
+      VarClass C = Ctx.varInfo(Atom->varId()).Cls;
+      if (C == VarClass::StackBase) {
+        HasStack = true;
+        continue;
+      }
+      if (C == VarClass::External) {
+        HasHeap = true;
+        continue;
+      }
+      if (C == VarClass::InitReg) {
+        HasArg = true;
+        continue;
+      }
+    }
+    HasIndex = true;
+  }
+  unsigned Bases = unsigned(HasStack) + unsigned(HasHeap) + unsigned(HasArg);
+  if (Bases > 1)
+    return AllocClass::Other;
+  if (HasStack)
+    return AllocClass::StackFrame;
+  if (HasHeap)
+    return AllocClass::Heap;
+  if (HasArg)
+    return AllocClass::ArgPtr;
+  static_cast<void>(HasIndex);
+  return AllocClass::Global;
+}
+
+RelationSolver::RelationSolver(ExprContext &Ctx, Config Cfg)
+    : Ctx(Ctx), Cfg(Cfg) {
+#ifdef HGLIFT_WITH_Z3
+  if (Cfg.UseZ3)
+    Z3 = std::make_unique<Z3Backend>();
+#endif
+}
+
+RelationSolver::~RelationSolver() = default;
+
+MemRel RelationSolver::relateByConstantDelta(int64_t Delta, uint32_t S0,
+                                             uint32_t S1) {
+  // Delta = addr0 - addr1. The no-wraparound assumption for same-base
+  // offsets is implicit in compiler-generated address arithmetic; partial
+  // overlap is decided exactly here.
+  if (Delta == 0 && S0 == S1)
+    return MemRel::MustAlias;
+  if (Delta >= static_cast<int64_t>(S1) ||
+      -Delta >= static_cast<int64_t>(S0))
+    return MemRel::MustSep;
+  if (Delta >= 0 && Delta + static_cast<int64_t>(S0) <= static_cast<int64_t>(S1))
+    return MemRel::MustEnc01;
+  if (Delta <= 0 &&
+      -Delta + static_cast<int64_t>(S1) <= static_cast<int64_t>(S0))
+    return MemRel::MustEnc10;
+  return MemRel::MustPartial;
+}
+
+MemRel RelationSolver::relate(const Region &R0, const Region &R1,
+                              const pred::Pred &P) {
+  ++S.Queries;
+  return relateUncached(R0, R1, P);
+}
+
+MemRel RelationSolver::relateUncached(const Region &R0, const Region &R1,
+                                      const pred::Pred &P) {
+  if (R0.Addr == R1.Addr && R0.Size == R1.Size) {
+    ++S.SyntacticHits;
+    return MemRel::MustAlias;
+  }
+
+  // Linear difference.
+  LinearForm L0 = expr::linearize(R0.Addr);
+  LinearForm L1 = expr::linearize(R1.Addr);
+  if (L0.sameBase(L1)) {
+    ++S.SyntacticHits;
+    return relateByConstantDelta(L0.Constant - L1.Constant, R0.Size, R1.Size);
+  }
+
+  // Interval reasoning on the difference: Delta = addr0 - addr1.
+  {
+    const Expr *Diff = Ctx.mkSub(R0.Addr, R1.Addr);
+    Interval ID = P.intervalOf(Diff);
+    if (!ID.isTop() && !ID.isEmpty()) {
+      if (ID.atLeast(static_cast<int64_t>(R1.Size)) ||
+          ID.below(-static_cast<int64_t>(R0.Size) + 1)) {
+        ++S.IntervalHits;
+        return MemRel::MustSep;
+      }
+      if (ID.isPoint()) {
+        ++S.IntervalHits;
+        return relateByConstantDelta(ID.lo(), R0.Size, R1.Size);
+      }
+      if (Interval(0, static_cast<int64_t>(R1.Size) -
+                          static_cast<int64_t>(R0.Size))
+              .contains(ID)) {
+        ++S.IntervalHits;
+        return MemRel::MustEnc01;
+      }
+      if (Interval(-(static_cast<int64_t>(R0.Size) -
+                     static_cast<int64_t>(R1.Size)),
+                   0)
+              .contains(ID)) {
+        ++S.IntervalHits;
+        return MemRel::MustEnc10;
+      }
+    }
+  }
+
+  // Allocation-class separation assumptions (recorded as obligations).
+  // Only the pairs the paper relies on: the local stack frame is assumed
+  // separate from globals, the heap, and pointer arguments ("the local
+  // stack frame was modelled accurately", §5.1), and globals from fresh
+  // heap allocations. A pointer argument may well alias a global, so that
+  // pair stays Unknown.
+  if (Cfg.AllocClassAssumptions) {
+    AllocClass C0 = classifyAddr(R0.Addr, Ctx);
+    AllocClass C1 = classifyAddr(R1.Addr, Ctx);
+    auto Pair = [&](AllocClass X, AllocClass Y) {
+      return (C0 == X && C1 == Y) || (C0 == Y && C1 == X);
+    };
+    bool Distinct = Pair(AllocClass::StackFrame, AllocClass::Global) ||
+                    Pair(AllocClass::StackFrame, AllocClass::Heap) ||
+                    Pair(AllocClass::StackFrame, AllocClass::ArgPtr) ||
+                    Pair(AllocClass::Global, AllocClass::Heap);
+    if (Distinct) {
+      ++S.ClassAssumptionHits;
+      Assumptions.push_back(Assumption{
+          "ASSUME " + R0.str(Ctx) + " SEPARATE FROM " + R1.str(Ctx) +
+          " (distinct allocation classes)"});
+      return MemRel::MustSep;
+    }
+  }
+
+#ifdef HGLIFT_WITH_Z3
+  // Without range clauses Z3 has no information beyond the syntactic core
+  // and every query would come back Unknown; skip the round trip.
+  if (Z3 && !P.ranges().empty()) {
+    ++S.Z3Queries;
+    MemRel R = Z3->query(R0, R1, P, Ctx);
+    if (R != MemRel::Unknown) {
+      ++S.Z3Hits;
+      return R;
+    }
+  }
+#endif
+
+  return MemRel::Unknown;
+}
+
+bool RelationSolver::mustEqual(const Expr *E0, const Expr *E1,
+                               const pred::Pred &P) {
+  if (E0 == E1)
+    return true;
+  LinearForm L0 = expr::linearize(E0);
+  LinearForm L1 = expr::linearize(E1);
+  if (L0.sameBase(L1))
+    return L0.Constant == L1.Constant;
+#ifdef HGLIFT_WITH_Z3
+  if (Z3)
+    return Z3->mustEqual(E0, E1, P, Ctx);
+#endif
+  return false;
+}
+
+} // namespace hglift::smt

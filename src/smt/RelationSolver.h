@@ -1,0 +1,103 @@
+//===- RelationSolver.h - Deciding necessarily-relations -------*- C++ -*-===//
+//
+// Decides the necessarily-relations of Definition 3.6 between symbolic
+// regions, given the current predicate. Layered:
+//
+//   1. a syntactic/linear core: linearize both addresses; if the difference
+//      is constant the relation is decided exactly; otherwise interval
+//      reasoning over the predicate's range clauses applies (this resolves
+//      jump-table-index vs. return-address separation);
+//   2. allocation-class reasoning: a stack-frame address (rsp0-based) and a
+//      global (numeric) or external (heap) address are assumed separate —
+//      the paper's "implicit assumptions" (§5.2), which we surface as
+//      explicit proof obligations;
+//   3. an optional Z3 backend for residual queries, exactly as the paper
+//      uses Z3 ("the SMT solver Z3 is used to establish whether these
+//      necessarily-relations hold for symbolic addresses").
+//
+// Results are cached per (addr, size, addr, size, predicate-version).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_SMT_RELATIONSOLVER_H
+#define HGLIFT_SMT_RELATIONSOLVER_H
+
+#include "pred/Pred.h"
+#include "smt/Region.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace hglift::smt {
+
+/// An assumption the solver had to make; surfaced as a proof obligation in
+/// the lifted output (§7: "assumptions are enumerated explicitly").
+struct Assumption {
+  std::string Text;
+};
+
+/// Allocation class of an address, for the separation assumptions.
+enum class AllocClass : uint8_t {
+  StackFrame, ///< rsp0 + k
+  Global,     ///< numeric constant (inside the binary's sections)
+  Heap,       ///< based on an External variable (e.g. malloc result)
+  ArgPtr,     ///< single initial-register base (pointer argument) + k
+  Other,      ///< anything else
+};
+
+AllocClass classifyAddr(const expr::Expr *Addr, const expr::ExprContext &Ctx);
+
+class Z3Backend; // hides <z3++.h> from every other translation unit
+
+class RelationSolver {
+public:
+  struct Config {
+    bool UseZ3 = true;
+    /// Assume stack/global/heap allocation classes are mutually separate
+    /// (recorded as proof obligations). Turning this off is the rigorous
+    /// but mostly-useless mode discussed in §1.
+    bool AllocClassAssumptions = true;
+  };
+
+  explicit RelationSolver(expr::ExprContext &Ctx)
+      : RelationSolver(Ctx, Config()) {}
+  RelationSolver(expr::ExprContext &Ctx, Config Cfg);
+  ~RelationSolver();
+
+  /// The necessarily-relation between R0 and R1 under P.
+  MemRel relate(const Region &R0, const Region &R1, const pred::Pred &P);
+
+  /// Is E0 == E1 necessarily (used for alias checks on same-size regions)?
+  bool mustEqual(const expr::Expr *E0, const expr::Expr *E1,
+                 const pred::Pred &P);
+
+  const std::vector<Assumption> &assumptions() const { return Assumptions; }
+  void clearAssumptions() { Assumptions.clear(); }
+
+  /// Statistics for the ablation bench.
+  struct Stats {
+    uint64_t Queries = 0;
+    uint64_t SyntacticHits = 0;
+    uint64_t IntervalHits = 0;
+    uint64_t ClassAssumptionHits = 0;
+    uint64_t Z3Queries = 0;
+    uint64_t Z3Hits = 0;
+  };
+  const Stats &stats() const { return S; }
+
+private:
+  MemRel relateUncached(const Region &R0, const Region &R1,
+                        const pred::Pred &P);
+  MemRel relateByConstantDelta(int64_t Delta, uint32_t S0, uint32_t S1);
+
+  expr::ExprContext &Ctx;
+  Config Cfg;
+  Stats S;
+  std::vector<Assumption> Assumptions;
+  std::unique_ptr<Z3Backend> Z3;
+};
+
+} // namespace hglift::smt
+
+#endif // HGLIFT_SMT_RELATIONSOLVER_H

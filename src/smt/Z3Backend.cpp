@@ -1,0 +1,213 @@
+#ifdef HGLIFT_WITH_Z3
+
+#include "smt/Z3Backend.h"
+
+#include <unordered_map>
+#include <z3++.h>
+
+namespace hglift::smt {
+
+using expr::Expr;
+using expr::ExprContext;
+using expr::ExprKind;
+using expr::Opcode;
+using pred::RangeClause;
+using pred::RelOp;
+
+struct Z3Backend::Impl {
+  z3::context C;
+  std::unordered_map<const Expr *, z3::expr> Cache;
+  uint64_t NameCounter = 0;
+
+  z3::expr boolToBv1(const z3::expr &B) {
+    return z3::ite(B, C.bv_val(1, 1), C.bv_val(0, 1));
+  }
+
+  z3::expr translate(const Expr *E, const ExprContext &Ctx) {
+    auto It = Cache.find(E);
+    if (It != Cache.end())
+      return It->second;
+    z3::expr R = translateUncached(E, Ctx);
+    Cache.emplace(E, R);
+    return R;
+  }
+
+  z3::expr translateUncached(const Expr *E, const ExprContext &Ctx) {
+    unsigned W = E->width();
+    switch (E->kind()) {
+    case ExprKind::Const:
+      return C.bv_val(static_cast<uint64_t>(E->constVal()), W);
+    case ExprKind::Var: {
+      std::string Name = "v_" + Ctx.varInfo(E->varId()).Name + "_" +
+                         std::to_string(W);
+      return C.bv_const(Name.c_str(), W);
+    }
+    case ExprKind::Deref: {
+      std::string Name = "deref_" + std::to_string(
+                                        reinterpret_cast<uintptr_t>(E));
+      return C.bv_const(Name.c_str(), W);
+    }
+    case ExprKind::Op:
+      break;
+    }
+
+    const auto &Ops = E->operands();
+    auto A = [&](unsigned I) { return translate(Ops[I], Ctx); };
+
+    switch (E->opcode()) {
+    case Opcode::Add:
+      return A(0) + A(1);
+    case Opcode::Sub:
+      return A(0) - A(1);
+    case Opcode::Mul:
+      return A(0) * A(1);
+    case Opcode::UDiv:
+      return z3::udiv(A(0), A(1));
+    case Opcode::URem:
+      return z3::urem(A(0), A(1));
+    case Opcode::SDiv:
+      return A(0) / A(1);
+    case Opcode::SRem:
+      return z3::srem(A(0), A(1));
+    case Opcode::And:
+      return A(0) & A(1);
+    case Opcode::Or:
+      return A(0) | A(1);
+    case Opcode::Xor:
+      return A(0) ^ A(1);
+    case Opcode::Shl:
+      return z3::shl(A(0), z3::urem(A(1), C.bv_val(W, W)));
+    case Opcode::LShr:
+      return z3::lshr(A(0), z3::urem(A(1), C.bv_val(W, W)));
+    case Opcode::AShr:
+      return z3::ashr(A(0), z3::urem(A(1), C.bv_val(W, W)));
+    case Opcode::Not:
+      return ~A(0);
+    case Opcode::Neg:
+      return -A(0);
+    case Opcode::ZExt:
+      return z3::zext(A(0), W - Ops[0]->width());
+    case Opcode::SExt:
+      return z3::sext(A(0), W - Ops[0]->width());
+    case Opcode::Trunc:
+      return A(0).extract(W - 1, 0);
+    case Opcode::Eq:
+      return boolToBv1(A(0) == A(1));
+    case Opcode::Ne:
+      return boolToBv1(A(0) != A(1));
+    case Opcode::ULt:
+      return boolToBv1(z3::ult(A(0), A(1)));
+    case Opcode::ULe:
+      return boolToBv1(z3::ule(A(0), A(1)));
+    case Opcode::SLt:
+      return boolToBv1(A(0) < A(1));
+    case Opcode::SLe:
+      return boolToBv1(A(0) <= A(1));
+    case Opcode::Ite:
+      return z3::ite(A(0) == C.bv_val(1, 1), A(1), A(2));
+    }
+    return C.bv_const("unknown", W);
+  }
+
+  z3::expr rangeConstraint(const RangeClause &RC, const ExprContext &Ctx) {
+    z3::expr E = translate(RC.E, Ctx);
+    z3::expr B = C.bv_val(static_cast<uint64_t>(RC.Bound), RC.E->width());
+    switch (RC.Op) {
+    case RelOp::Eq:
+      return E == B;
+    case RelOp::Ne:
+      return E != B;
+    case RelOp::ULt:
+      return z3::ult(E, B);
+    case RelOp::ULe:
+      return z3::ule(E, B);
+    case RelOp::UGe:
+      return z3::uge(E, B);
+    case RelOp::UGt:
+      return z3::ugt(E, B);
+    case RelOp::SLt:
+      return E < B;
+    case RelOp::SLe:
+      return E <= B;
+    case RelOp::SGe:
+      return E >= B;
+    case RelOp::SGt:
+      return E > B;
+    }
+    return C.bool_val(true);
+  }
+};
+
+Z3Backend::Z3Backend() : I(new Impl()) {}
+Z3Backend::~Z3Backend() { delete I; }
+
+MemRel Z3Backend::query(const Region &R0, const Region &R1,
+                        const pred::Pred &P, const ExprContext &Ctx) {
+  ++Queries;
+  try {
+    z3::solver S(I->C);
+    S.set("timeout", 200u); // per-query millisecond budget
+    for (const RangeClause &RC : P.ranges())
+      S.add(I->rangeConstraint(RC, Ctx));
+
+    z3::expr A0 = I->translate(R0.Addr, Ctx);
+    z3::expr A1 = I->translate(R1.Addr, Ctx);
+    z3::expr S0 = I->C.bv_val(static_cast<uint64_t>(R0.Size), 64);
+    z3::expr S1 = I->C.bv_val(static_cast<uint64_t>(R1.Size), 64);
+
+    // Exact modular overlap condition:
+    //   overlap <=> (a0 - a1 <u s1) \/ (a1 - a0 <u s0)
+    z3::expr Overlap = z3::ult(A0 - A1, S1) || z3::ult(A1 - A0, S0);
+
+    S.push();
+    S.add(Overlap);
+    if (S.check() == z3::unsat)
+      return MemRel::MustSep;
+    S.pop();
+
+    if (R0.Size == R1.Size) {
+      S.push();
+      S.add(A0 != A1);
+      if (S.check() == z3::unsat)
+        return MemRel::MustAlias;
+      S.pop();
+    }
+    if (R0.Size <= R1.Size) {
+      // Enclosure (modular form): a0 - a1 <=u s1 - s0.
+      S.push();
+      S.add(!z3::ule(A0 - A1, S1 - S0));
+      if (S.check() == z3::unsat && R0.Size < R1.Size)
+        return MemRel::MustEnc01;
+      S.pop();
+    }
+    if (R1.Size < R0.Size) {
+      S.push();
+      S.add(!z3::ule(A1 - A0, S0 - S1));
+      if (S.check() == z3::unsat)
+        return MemRel::MustEnc10;
+      S.pop();
+    }
+    return MemRel::Unknown;
+  } catch (const z3::exception &) {
+    return MemRel::Unknown;
+  }
+}
+
+bool Z3Backend::mustEqual(const Expr *E0, const Expr *E1, const pred::Pred &P,
+                          const ExprContext &Ctx) {
+  ++Queries;
+  try {
+    z3::solver S(I->C);
+    S.set("timeout", 200u);
+    for (const RangeClause &RC : P.ranges())
+      S.add(I->rangeConstraint(RC, Ctx));
+    S.add(I->translate(E0, Ctx) != I->translate(E1, Ctx));
+    return S.check() == z3::unsat;
+  } catch (const z3::exception &) {
+    return false;
+  }
+}
+
+} // namespace hglift::smt
+
+#endif // HGLIFT_WITH_Z3

@@ -1,0 +1,94 @@
+#include "support/Interval.h"
+
+#include <algorithm>
+
+namespace hglift {
+
+namespace {
+
+/// Checked signed addition; nullopt on overflow.
+std::optional<int64_t> addOv(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_add_overflow(A, B, &R))
+    return std::nullopt;
+  return R;
+}
+
+std::optional<int64_t> subOv(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_sub_overflow(A, B, &R))
+    return std::nullopt;
+  return R;
+}
+
+std::optional<int64_t> mulOv(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_mul_overflow(A, B, &R))
+    return std::nullopt;
+  return R;
+}
+
+} // namespace
+
+Interval Interval::join(const Interval &O) const {
+  if (isEmpty())
+    return O;
+  if (O.isEmpty())
+    return *this;
+  return Interval(std::min(Lo, O.Lo), std::max(Hi, O.Hi));
+}
+
+Interval Interval::meet(const Interval &O) const {
+  if (isEmpty() || O.isEmpty())
+    return empty();
+  Interval R(std::max(Lo, O.Lo), std::min(Hi, O.Hi));
+  return R.isEmpty() ? empty() : R;
+}
+
+Interval Interval::add(const Interval &O) const {
+  if (isEmpty() || O.isEmpty())
+    return empty();
+  auto L = addOv(Lo, O.Lo);
+  auto H = addOv(Hi, O.Hi);
+  if (!L || !H)
+    return top();
+  return Interval(*L, *H);
+}
+
+Interval Interval::sub(const Interval &O) const {
+  if (isEmpty() || O.isEmpty())
+    return empty();
+  auto L = subOv(Lo, O.Hi);
+  auto H = subOv(Hi, O.Lo);
+  if (!L || !H)
+    return top();
+  return Interval(*L, *H);
+}
+
+Interval Interval::mul(int64_t K) const {
+  if (isEmpty())
+    return empty();
+  auto A = mulOv(Lo, K);
+  auto B = mulOv(Hi, K);
+  if (!A || !B)
+    return top();
+  return Interval(std::min(*A, *B), std::max(*A, *B));
+}
+
+Interval Interval::neg() const {
+  if (isEmpty())
+    return empty();
+  if (Lo == INT64_MIN)
+    return top();
+  return Interval(-Hi, -Lo);
+}
+
+std::string Interval::str() const {
+  if (isEmpty())
+    return "[]";
+  if (isTop())
+    return "[T]";
+  return "[" + std::to_string(Lo) + "," + std::to_string(Hi) + "]";
+}
+
+} // namespace hglift

@@ -1,0 +1,78 @@
+//===- Interval.h - Signed 64-bit interval arithmetic ----------*- C++ -*-===//
+//
+// Part of hglift, a reproduction of "Formally Verified Lifting of C-Compiled
+// x86-64 Binaries" (PLDI 2022).
+//
+// Intervals over signed 64-bit offsets. The relation solver reduces
+// "necessarily separate / enclosed / aliasing" questions about symbolic
+// addresses to interval questions about their linearized difference, so the
+// arithmetic here must be conservative: any operation that could overflow
+// returns the top interval.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_SUPPORT_INTERVAL_H
+#define HGLIFT_SUPPORT_INTERVAL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hglift {
+
+/// A closed interval [Lo, Hi] of signed 64-bit values. An interval with
+/// Lo > Hi is empty (bottom); the canonical empty interval is
+/// Interval::empty(). The full range is top().
+class Interval {
+public:
+  Interval() : Lo(INT64_MIN), Hi(INT64_MAX) {}
+  Interval(int64_t Point) : Lo(Point), Hi(Point) {}
+  Interval(int64_t Lo, int64_t Hi) : Lo(Lo), Hi(Hi) {}
+
+  static Interval top() { return Interval(); }
+  static Interval empty() { return Interval(1, 0); }
+
+  int64_t lo() const { return Lo; }
+  int64_t hi() const { return Hi; }
+
+  bool isEmpty() const { return Lo > Hi; }
+  bool isTop() const { return Lo == INT64_MIN && Hi == INT64_MAX; }
+  bool isPoint() const { return Lo == Hi; }
+
+  bool contains(int64_t V) const { return Lo <= V && V <= Hi; }
+  bool contains(const Interval &O) const {
+    return O.isEmpty() || (Lo <= O.Lo && O.Hi <= Hi);
+  }
+  bool intersects(const Interval &O) const {
+    return !isEmpty() && !O.isEmpty() && Lo <= O.Hi && O.Lo <= Hi;
+  }
+
+  /// Entirely below V (every element < V)?
+  bool below(int64_t V) const { return isEmpty() || Hi < V; }
+  /// Entirely at-or-above V?
+  bool atLeast(int64_t V) const { return isEmpty() || Lo >= V; }
+
+  Interval join(const Interval &O) const;
+  Interval meet(const Interval &O) const;
+
+  /// Conservative arithmetic: returns top() on any possible overflow.
+  Interval add(const Interval &O) const;
+  Interval sub(const Interval &O) const;
+  Interval mul(int64_t K) const;
+  Interval neg() const;
+
+  bool operator==(const Interval &O) const {
+    if (isEmpty() && O.isEmpty())
+      return true;
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+
+  std::string str() const;
+
+private:
+  int64_t Lo, Hi;
+};
+
+} // namespace hglift
+
+#endif // HGLIFT_SUPPORT_INTERVAL_H

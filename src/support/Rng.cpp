@@ -1,0 +1,26 @@
+#include "support/Rng.h"
+
+namespace hglift {
+
+uint64_t Rng::next() {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t Rng::below(uint64_t Bound) {
+  // Rejection-free multiply-shift reduction; bias is negligible for our use
+  // (corpus generation and test case selection).
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(next()) * Bound) >> 64);
+}
+
+int64_t Rng::range(int64_t Lo, int64_t Hi) {
+  return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+}
+
+bool Rng::chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+} // namespace hglift

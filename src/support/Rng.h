@@ -1,0 +1,45 @@
+//===- Rng.h - Deterministic random number generation ----------*- C++ -*-===//
+//
+// Deterministic, seed-stable RNG (SplitMix64) used by the corpus generator
+// and the property-based tests. We do not use std::mt19937 because its
+// distributions are not guaranteed identical across standard libraries, and
+// the synthetic evaluation corpus must be bit-stable.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_SUPPORT_RNG_H
+#define HGLIFT_SUPPORT_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace hglift {
+
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value (SplitMix64).
+  uint64_t next();
+
+  /// Uniform value in [0, Bound). Bound must be nonzero.
+  uint64_t below(uint64_t Bound);
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi);
+
+  /// Bernoulli trial with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den);
+
+  /// Pick a uniformly random element of a non-empty vector.
+  template <typename T> const T &pick(const std::vector<T> &V) {
+    return V[below(V.size())];
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace hglift
+
+#endif // HGLIFT_SUPPORT_RNG_H

@@ -1,0 +1,606 @@
+#include "x86/Asm.h"
+
+#include <cassert>
+
+namespace hglift::x86 {
+
+Asm::Label Asm::newLabel() {
+  Labels.push_back(-1);
+  return static_cast<Label>(Labels.size() - 1);
+}
+
+void Asm::bind(Label L) {
+  assert(Labels[L] == -1 && "label bound twice");
+  Labels[L] = static_cast<int64_t>(Code.size());
+}
+
+uint64_t Asm::labelAddr(Label L) const {
+  assert(Labels[L] >= 0 && "label not bound");
+  return Base + static_cast<uint64_t>(Labels[L]);
+}
+
+bool Asm::finalize() {
+  assert(!Finalized);
+  Finalized = true;
+  for (const Fixup &F : Fixups) {
+    if (Labels[F.L] < 0)
+      return false;
+    uint64_t Target = Base + static_cast<uint64_t>(Labels[F.L]);
+    if (F.Kind == FixKind::Rel32) {
+      int64_t Rel = static_cast<int64_t>(Target) -
+                    static_cast<int64_t>(Base + F.Pos + 4);
+      uint32_t V = static_cast<uint32_t>(Rel);
+      for (int I = 0; I < 4; ++I)
+        Code[F.Pos + I] = static_cast<uint8_t>(V >> (8 * I));
+    } else {
+      for (int I = 0; I < 8; ++I)
+        Code[F.Pos + I] = static_cast<uint8_t>(Target >> (8 * I));
+    }
+  }
+  return true;
+}
+
+void Asm::u32(uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    byte(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void Asm::u64(uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    byte(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void Asm::ptrTo(Label L) {
+  Fixups.push_back({Code.size(), L, FixKind::Abs64});
+  u64(0);
+}
+
+void Asm::opSizePrefix(unsigned Sz) {
+  if (Sz == 2)
+    byte(0x66);
+}
+
+namespace {
+/// Whether an 8-bit access to register N requires a REX prefix to select
+/// the low byte (spl/bpl/sil/dil) rather than ah/ch/dh/bh.
+bool needsRexFor8(unsigned N) { return N >= 4 && N < 8; }
+} // namespace
+
+void Asm::emitRex(unsigned Sz, unsigned RegField, const MemOperand &M,
+                  bool Force8Rex) {
+  uint8_t R = 0x40;
+  if (Sz == 8)
+    R |= 8;
+  if (RegField >= 8)
+    R |= 4;
+  if (M.Index != Reg::None && regNum(M.Index) >= 8)
+    R |= 2;
+  if (M.Base != Reg::None && regNum(M.Base) >= 8)
+    R |= 1;
+  bool Need = (R != 0x40) || (Sz == 1 && Force8Rex && needsRexFor8(RegField));
+  if (Need)
+    byte(R);
+}
+
+void Asm::emitRexRR(unsigned Sz, unsigned RegField, unsigned RMField,
+                    bool Force8Rex) {
+  uint8_t R = 0x40;
+  if (Sz == 8)
+    R |= 8;
+  if (RegField >= 8)
+    R |= 4;
+  if (RMField >= 8)
+    R |= 1;
+  bool Need = (R != 0x40) ||
+              (Sz == 1 && Force8Rex &&
+               (needsRexFor8(RegField) || needsRexFor8(RMField)));
+  if (Need)
+    byte(R);
+}
+
+void Asm::emitModRMMem(unsigned RegField, const MemOperand &M) {
+  unsigned RegBits = RegField & 7;
+
+  if (M.RipRel) {
+    byte(static_cast<uint8_t>((RegBits << 3) | 5));
+    u32(static_cast<uint32_t>(M.Disp));
+    return;
+  }
+
+  if (M.Base == Reg::None) {
+    // Absolute [disp32] (optionally with index): SIB with base = none.
+    byte(static_cast<uint8_t>((RegBits << 3) | 4)); // mod=00, rm=100
+    unsigned ScaleBits = M.Scale == 8 ? 3 : M.Scale == 4 ? 2 : M.Scale == 2 ? 1 : 0;
+    unsigned IdxBits = M.Index == Reg::None ? 4 : (regNum(M.Index) & 7);
+    byte(static_cast<uint8_t>((ScaleBits << 6) | (IdxBits << 3) | 5));
+    u32(static_cast<uint32_t>(M.Disp));
+    return;
+  }
+
+  unsigned BaseNum = regNum(M.Base);
+  bool NeedSIB = M.Index != Reg::None || (BaseNum & 7) == 4;
+  // rbp/r13 base cannot use mod=00.
+  unsigned Mod;
+  if (M.Disp == 0 && (BaseNum & 7) != 5)
+    Mod = 0;
+  else if (M.Disp >= -128 && M.Disp <= 127)
+    Mod = 1;
+  else
+    Mod = 2;
+
+  if (!NeedSIB) {
+    byte(static_cast<uint8_t>((Mod << 6) | (RegBits << 3) | (BaseNum & 7)));
+  } else {
+    byte(static_cast<uint8_t>((Mod << 6) | (RegBits << 3) | 4));
+    unsigned ScaleBits = M.Scale == 8 ? 3 : M.Scale == 4 ? 2 : M.Scale == 2 ? 1 : 0;
+    unsigned IdxBits = M.Index == Reg::None ? 4 : (regNum(M.Index) & 7);
+    byte(static_cast<uint8_t>((ScaleBits << 6) | (IdxBits << 3) |
+                              (BaseNum & 7)));
+  }
+  if (Mod == 1)
+    byte(static_cast<uint8_t>(static_cast<int8_t>(M.Disp)));
+  else if (Mod == 2)
+    u32(static_cast<uint32_t>(M.Disp));
+}
+
+void Asm::emitModRMReg(unsigned RegField, unsigned RMField) {
+  byte(static_cast<uint8_t>(0xc0 | ((RegField & 7) << 3) | (RMField & 7)));
+}
+
+uint8_t Asm::group1Ext(Mnemonic Mn) const {
+  switch (Mn) {
+  case Mnemonic::Add:
+    return 0;
+  case Mnemonic::Or:
+    return 1;
+  case Mnemonic::Adc:
+    return 2;
+  case Mnemonic::Sbb:
+    return 3;
+  case Mnemonic::And:
+    return 4;
+  case Mnemonic::Sub:
+    return 5;
+  case Mnemonic::Xor:
+    return 6;
+  case Mnemonic::Cmp:
+    return 7;
+  default:
+    assert(false && "not a group-1 mnemonic");
+    return 0;
+  }
+}
+
+// --- moves ----------------------------------------------------------------
+
+void Asm::movRR(Reg Dst, Reg Src, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRexRR(Sz, regNum(Src), regNum(Dst), true);
+  byte(Sz == 1 ? 0x88 : 0x89);
+  emitModRMReg(regNum(Src), regNum(Dst));
+}
+
+void Asm::movRI(Reg Dst, int64_t Imm, unsigned Sz) {
+  unsigned N = regNum(Dst);
+  if (Sz == 8) {
+    if (Imm >= INT32_MIN && Imm <= INT32_MAX) {
+      emitRexRR(8, 0, N, false);
+      byte(0xc7);
+      emitModRMReg(0, N);
+      u32(static_cast<uint32_t>(static_cast<int32_t>(Imm)));
+    } else {
+      byte(static_cast<uint8_t>(0x48 | (N >= 8 ? 1 : 0)));
+      byte(static_cast<uint8_t>(0xb8 | (N & 7)));
+      u64(static_cast<uint64_t>(Imm));
+    }
+    return;
+  }
+  opSizePrefix(Sz);
+  if (Sz == 1) {
+    emitRexRR(1, 0, N, true);
+    byte(static_cast<uint8_t>(0xb0 | (N & 7)));
+    byte(static_cast<uint8_t>(Imm));
+    return;
+  }
+  emitRexRR(Sz, 0, N, false);
+  byte(static_cast<uint8_t>(0xb8 | (N & 7)));
+  if (Sz == 2) {
+    byte(static_cast<uint8_t>(Imm));
+    byte(static_cast<uint8_t>(Imm >> 8));
+  } else {
+    u32(static_cast<uint32_t>(Imm));
+  }
+}
+
+void Asm::movRM(Reg Dst, const MemOperand &M, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRex(Sz, regNum(Dst), M, true);
+  byte(Sz == 1 ? 0x8a : 0x8b);
+  emitModRMMem(regNum(Dst), M);
+}
+
+void Asm::movMR(const MemOperand &M, Reg Src, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRex(Sz, regNum(Src), M, true);
+  byte(Sz == 1 ? 0x88 : 0x89);
+  emitModRMMem(regNum(Src), M);
+}
+
+void Asm::movMI(const MemOperand &M, int32_t Imm, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRex(Sz, 0, M, false);
+  byte(Sz == 1 ? 0xc6 : 0xc7);
+  emitModRMMem(0, M);
+  if (Sz == 1)
+    byte(static_cast<uint8_t>(Imm));
+  else if (Sz == 2) {
+    byte(static_cast<uint8_t>(Imm));
+    byte(static_cast<uint8_t>(Imm >> 8));
+  } else
+    u32(static_cast<uint32_t>(Imm));
+}
+
+void Asm::movzxRM(Reg Dst, const MemOperand &M, unsigned SrcSz,
+                  unsigned DstSz) {
+  assert(SrcSz == 1 || SrcSz == 2);
+  opSizePrefix(DstSz);
+  emitRex(DstSz, regNum(Dst), M, false);
+  byte(0x0f);
+  byte(SrcSz == 1 ? 0xb6 : 0xb7);
+  emitModRMMem(regNum(Dst), M);
+}
+
+void Asm::movzxRR(Reg Dst, Reg Src, unsigned SrcSz, unsigned DstSz) {
+  assert(SrcSz == 1 || SrcSz == 2);
+  opSizePrefix(DstSz);
+  emitRexRR(DstSz, regNum(Dst), regNum(Src), SrcSz == 1);
+  byte(0x0f);
+  byte(SrcSz == 1 ? 0xb6 : 0xb7);
+  emitModRMReg(regNum(Dst), regNum(Src));
+}
+
+void Asm::movsxRM(Reg Dst, const MemOperand &M, unsigned SrcSz,
+                  unsigned DstSz) {
+  assert(SrcSz == 1 || SrcSz == 2);
+  opSizePrefix(DstSz);
+  emitRex(DstSz, regNum(Dst), M, false);
+  byte(0x0f);
+  byte(SrcSz == 1 ? 0xbe : 0xbf);
+  emitModRMMem(regNum(Dst), M);
+}
+
+void Asm::movsxdRR(Reg Dst, Reg Src) {
+  emitRexRR(8, regNum(Dst), regNum(Src), false);
+  byte(0x63);
+  emitModRMReg(regNum(Dst), regNum(Src));
+}
+
+void Asm::leaRM(Reg Dst, const MemOperand &M, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRex(Sz, regNum(Dst), M, false);
+  byte(0x8d);
+  emitModRMMem(regNum(Dst), M);
+}
+
+void Asm::leaRL(Reg Dst, Label L) {
+  MemOperand M;
+  M.RipRel = true;
+  emitRex(8, regNum(Dst), M, false);
+  byte(0x8d);
+  unsigned RegBits = regNum(Dst) & 7;
+  byte(static_cast<uint8_t>((RegBits << 3) | 5));
+  Fixups.push_back({Code.size(), L, FixKind::Rel32});
+  u32(0);
+}
+
+void Asm::cmovRR(Cond CC, Reg Dst, Reg Src, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRexRR(Sz, regNum(Dst), regNum(Src), false);
+  byte(0x0f);
+  byte(static_cast<uint8_t>(0x40 | static_cast<uint8_t>(CC)));
+  emitModRMReg(regNum(Dst), regNum(Src));
+}
+
+void Asm::setccR(Cond CC, Reg Dst) {
+  emitRexRR(1, 0, regNum(Dst), true);
+  byte(0x0f);
+  byte(static_cast<uint8_t>(0x90 | static_cast<uint8_t>(CC)));
+  emitModRMReg(0, regNum(Dst));
+}
+
+void Asm::xchgRR(Reg A, Reg B, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRexRR(Sz, regNum(B), regNum(A), true);
+  byte(Sz == 1 ? 0x86 : 0x87);
+  emitModRMReg(regNum(B), regNum(A));
+}
+
+// --- arithmetic -------------------------------------------------------------
+
+void Asm::arithRR(Mnemonic Mn, Reg Dst, Reg Src, unsigned Sz) {
+  uint8_t Basis = static_cast<uint8_t>(group1Ext(Mn) << 3);
+  opSizePrefix(Sz);
+  emitRexRR(Sz, regNum(Src), regNum(Dst), true);
+  byte(static_cast<uint8_t>(Basis | (Sz == 1 ? 0x00 : 0x01)));
+  emitModRMReg(regNum(Src), regNum(Dst));
+}
+
+void Asm::arithRI(Mnemonic Mn, Reg Dst, int32_t Imm, unsigned Sz) {
+  uint8_t Ext = group1Ext(Mn);
+  opSizePrefix(Sz);
+  emitRexRR(Sz, 0, regNum(Dst), true);
+  if (Sz == 1) {
+    byte(0x80);
+    emitModRMReg(Ext, regNum(Dst));
+    byte(static_cast<uint8_t>(Imm));
+    return;
+  }
+  if (Imm >= -128 && Imm <= 127) {
+    byte(0x83);
+    emitModRMReg(Ext, regNum(Dst));
+    byte(static_cast<uint8_t>(static_cast<int8_t>(Imm)));
+    return;
+  }
+  byte(0x81);
+  emitModRMReg(Ext, regNum(Dst));
+  if (Sz == 2) {
+    byte(static_cast<uint8_t>(Imm));
+    byte(static_cast<uint8_t>(Imm >> 8));
+  } else
+    u32(static_cast<uint32_t>(Imm));
+}
+
+void Asm::arithRM(Mnemonic Mn, Reg Dst, const MemOperand &M, unsigned Sz) {
+  uint8_t Basis = static_cast<uint8_t>(group1Ext(Mn) << 3);
+  opSizePrefix(Sz);
+  emitRex(Sz, regNum(Dst), M, true);
+  byte(static_cast<uint8_t>(Basis | (Sz == 1 ? 0x02 : 0x03)));
+  emitModRMMem(regNum(Dst), M);
+}
+
+void Asm::arithMR(Mnemonic Mn, const MemOperand &M, Reg Src, unsigned Sz) {
+  uint8_t Basis = static_cast<uint8_t>(group1Ext(Mn) << 3);
+  opSizePrefix(Sz);
+  emitRex(Sz, regNum(Src), M, true);
+  byte(static_cast<uint8_t>(Basis | (Sz == 1 ? 0x00 : 0x01)));
+  emitModRMMem(regNum(Src), M);
+}
+
+void Asm::arithMI(Mnemonic Mn, const MemOperand &M, int32_t Imm,
+                  unsigned Sz) {
+  uint8_t Ext = group1Ext(Mn);
+  opSizePrefix(Sz);
+  emitRex(Sz, 0, M, false);
+  if (Sz == 1) {
+    byte(0x80);
+    emitModRMMem(Ext, M);
+    byte(static_cast<uint8_t>(Imm));
+    return;
+  }
+  if (Imm >= -128 && Imm <= 127) {
+    byte(0x83);
+    emitModRMMem(Ext, M);
+    byte(static_cast<uint8_t>(static_cast<int8_t>(Imm)));
+    return;
+  }
+  byte(0x81);
+  emitModRMMem(Ext, M);
+  if (Sz == 2) {
+    byte(static_cast<uint8_t>(Imm));
+    byte(static_cast<uint8_t>(Imm >> 8));
+  } else
+    u32(static_cast<uint32_t>(Imm));
+}
+
+void Asm::testRR(Reg A, Reg B, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRexRR(Sz, regNum(B), regNum(A), true);
+  byte(Sz == 1 ? 0x84 : 0x85);
+  emitModRMReg(regNum(B), regNum(A));
+}
+
+void Asm::shiftRI(Mnemonic Mn, Reg Dst, uint8_t Count, unsigned Sz) {
+  uint8_t Ext = Mn == Mnemonic::Shl ? 4 : Mn == Mnemonic::Shr ? 5 : 7;
+  opSizePrefix(Sz);
+  emitRexRR(Sz, 0, regNum(Dst), true);
+  byte(Sz == 1 ? 0xc0 : 0xc1);
+  emitModRMReg(Ext, regNum(Dst));
+  byte(Count);
+}
+
+void Asm::shiftRCL(Mnemonic Mn, Reg Dst, unsigned Sz) {
+  uint8_t Ext = Mn == Mnemonic::Shl ? 4 : Mn == Mnemonic::Shr ? 5 : 7;
+  opSizePrefix(Sz);
+  emitRexRR(Sz, 0, regNum(Dst), true);
+  byte(Sz == 1 ? 0xd2 : 0xd3);
+  emitModRMReg(Ext, regNum(Dst));
+}
+
+void Asm::rotRI(Mnemonic Mn, Reg Dst, uint8_t Count, unsigned Sz) {
+  uint8_t Ext = Mn == Mnemonic::Rol ? 0 : 1;
+  opSizePrefix(Sz);
+  emitRexRR(Sz, 0, regNum(Dst), true);
+  byte(Sz == 1 ? 0xc0 : 0xc1);
+  emitModRMReg(Ext, regNum(Dst));
+  byte(Count);
+}
+
+void Asm::bswapR(Reg R, unsigned Sz) {
+  emitRexRR(Sz, 0, regNum(R), false);
+  byte(0x0f);
+  byte(static_cast<uint8_t>(0xc8 | (regNum(R) & 7)));
+}
+
+void Asm::bsfRR(Reg Dst, Reg Src, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRexRR(Sz, regNum(Dst), regNum(Src), false);
+  byte(0x0f);
+  byte(0xbc);
+  emitModRMReg(regNum(Dst), regNum(Src));
+}
+
+void Asm::bsrRR(Reg Dst, Reg Src, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRexRR(Sz, regNum(Dst), regNum(Src), false);
+  byte(0x0f);
+  byte(0xbd);
+  emitModRMReg(regNum(Dst), regNum(Src));
+}
+
+void Asm::imulRR(Reg Dst, Reg Src, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRexRR(Sz, regNum(Dst), regNum(Src), false);
+  byte(0x0f);
+  byte(0xaf);
+  emitModRMReg(regNum(Dst), regNum(Src));
+}
+
+void Asm::imulRRI(Reg Dst, Reg Src, int32_t Imm, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRexRR(Sz, regNum(Dst), regNum(Src), false);
+  if (Imm >= -128 && Imm <= 127) {
+    byte(0x6b);
+    emitModRMReg(regNum(Dst), regNum(Src));
+    byte(static_cast<uint8_t>(static_cast<int8_t>(Imm)));
+  } else {
+    byte(0x69);
+    emitModRMReg(regNum(Dst), regNum(Src));
+    if (Sz == 2) {
+      byte(static_cast<uint8_t>(Imm));
+      byte(static_cast<uint8_t>(Imm >> 8));
+    } else
+      u32(static_cast<uint32_t>(Imm));
+  }
+}
+
+void Asm::negR(Reg R, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRexRR(Sz, 0, regNum(R), true);
+  byte(Sz == 1 ? 0xf6 : 0xf7);
+  emitModRMReg(3, regNum(R));
+}
+
+void Asm::notR(Reg R, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRexRR(Sz, 0, regNum(R), true);
+  byte(Sz == 1 ? 0xf6 : 0xf7);
+  emitModRMReg(2, regNum(R));
+}
+
+void Asm::incR(Reg R, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRexRR(Sz, 0, regNum(R), true);
+  byte(Sz == 1 ? 0xfe : 0xff);
+  emitModRMReg(0, regNum(R));
+}
+
+void Asm::decR(Reg R, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRexRR(Sz, 0, regNum(R), true);
+  byte(Sz == 1 ? 0xfe : 0xff);
+  emitModRMReg(1, regNum(R));
+}
+
+void Asm::divR(Reg R, unsigned Sz) {
+  opSizePrefix(Sz);
+  emitRexRR(Sz, 0, regNum(R), true);
+  byte(Sz == 1 ? 0xf6 : 0xf7);
+  emitModRMReg(6, regNum(R));
+}
+
+void Asm::cdqe() {
+  byte(0x48);
+  byte(0x98);
+}
+
+void Asm::cqo() {
+  byte(0x48);
+  byte(0x99);
+}
+
+// --- stack ------------------------------------------------------------------
+
+void Asm::pushR(Reg R) {
+  unsigned N = regNum(R);
+  if (N >= 8)
+    byte(0x41);
+  byte(static_cast<uint8_t>(0x50 | (N & 7)));
+}
+
+void Asm::popR(Reg R) {
+  unsigned N = regNum(R);
+  if (N >= 8)
+    byte(0x41);
+  byte(static_cast<uint8_t>(0x58 | (N & 7)));
+}
+
+void Asm::leave() { byte(0xc9); }
+
+// --- control flow -----------------------------------------------------------
+
+void Asm::jmpL(Label L) {
+  byte(0xe9);
+  Fixups.push_back({Code.size(), L, FixKind::Rel32});
+  u32(0);
+}
+
+void Asm::jccL(Cond CC, Label L) {
+  byte(0x0f);
+  byte(static_cast<uint8_t>(0x80 | static_cast<uint8_t>(CC)));
+  Fixups.push_back({Code.size(), L, FixKind::Rel32});
+  u32(0);
+}
+
+void Asm::jmpM(const MemOperand &M) {
+  emitRex(4, 4, M, false); // no REX.W needed; default 64-bit
+  byte(0xff);
+  emitModRMMem(4, M);
+}
+
+void Asm::jmpR(Reg R) {
+  if (regNum(R) >= 8)
+    byte(0x41);
+  byte(0xff);
+  emitModRMReg(4, regNum(R));
+}
+
+void Asm::callL(Label L) {
+  byte(0xe8);
+  Fixups.push_back({Code.size(), L, FixKind::Rel32});
+  u32(0);
+}
+
+void Asm::callAbs(uint64_t Target) {
+  byte(0xe8);
+  int64_t Rel = static_cast<int64_t>(Target) -
+                static_cast<int64_t>(currentAddr() + 4);
+  u32(static_cast<uint32_t>(static_cast<int32_t>(Rel)));
+}
+
+void Asm::callR(Reg R) {
+  if (regNum(R) >= 8)
+    byte(0x41);
+  byte(0xff);
+  emitModRMReg(2, regNum(R));
+}
+
+void Asm::callM(const MemOperand &M) {
+  emitRex(4, 2, M, false);
+  byte(0xff);
+  emitModRMMem(2, M);
+}
+
+void Asm::ret() { byte(0xc3); }
+
+void Asm::nop(unsigned Len) {
+  for (unsigned I = 0; I < Len; ++I)
+    byte(0x90);
+}
+
+void Asm::endbr64() { bytes({0xf3, 0x0f, 0x1e, 0xfa}); }
+void Asm::ud2() { bytes({0x0f, 0x0b}); }
+void Asm::int3() { byte(0xcc); }
+void Asm::hlt() { byte(0xf4); }
+void Asm::syscall() { bytes({0x0f, 0x05}); }
+
+} // namespace hglift::x86

@@ -1,0 +1,153 @@
+//===- Asm.h - x86-64 assembler / encoder ----------------------*- C++ -*-===//
+//
+// A small assembler used by the synthetic-corpus generator (the stand-in
+// for the paper's Xen/CoreUtils binaries, see DESIGN.md §4). It emits real
+// machine code for the same instruction subset the decoder understands; a
+// property test round-trips every emitted form through the decoder.
+//
+// Labels support forward references; code is position-dependent (we emit
+// rel32 branches and absolute or RIP-relative data references).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_X86_ASM_H
+#define HGLIFT_X86_ASM_H
+
+#include "x86/Instr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hglift::x86 {
+
+class Asm {
+public:
+  using Label = uint32_t;
+
+  explicit Asm(uint64_t BaseAddr) : Base(BaseAddr) {}
+
+  uint64_t baseAddr() const { return Base; }
+  uint64_t currentAddr() const { return Base + Code.size(); }
+  size_t size() const { return Code.size(); }
+
+  Label newLabel();
+  void bind(Label L);
+  /// Address of a bound label (call after finalize() for forward labels).
+  uint64_t labelAddr(Label L) const;
+
+  /// Resolve all fixups. Must be called exactly once, after all labels are
+  /// bound. Returns false if an unbound label was referenced.
+  bool finalize();
+  const std::vector<uint8_t> &code() const { return Code; }
+
+  // --- raw emission -------------------------------------------------------
+  void byte(uint8_t B) { Code.push_back(B); }
+  void bytes(std::initializer_list<uint8_t> Bs) {
+    Code.insert(Code.end(), Bs);
+  }
+  void u32(uint32_t V);
+  void u64(uint64_t V);
+  /// Emit an 8-byte little-endian pointer to a label (jump-table entry).
+  void ptrTo(Label L);
+
+  // --- moves --------------------------------------------------------------
+  void movRR(Reg Dst, Reg Src, unsigned Sz = 8);
+  void movRI(Reg Dst, int64_t Imm, unsigned Sz = 8);
+  void movRM(Reg Dst, const MemOperand &M, unsigned Sz = 8);
+  void movMR(const MemOperand &M, Reg Src, unsigned Sz = 8);
+  void movMI(const MemOperand &M, int32_t Imm, unsigned Sz = 8);
+  void movzxRM(Reg Dst, const MemOperand &M, unsigned SrcSz,
+               unsigned DstSz = 8);
+  void movzxRR(Reg Dst, Reg Src, unsigned SrcSz, unsigned DstSz = 8);
+  void movsxRM(Reg Dst, const MemOperand &M, unsigned SrcSz,
+               unsigned DstSz = 8);
+  void movsxdRR(Reg Dst, Reg Src);
+  void leaRM(Reg Dst, const MemOperand &M, unsigned Sz = 8);
+  /// lea Dst, [rip + <label>]
+  void leaRL(Reg Dst, Label L);
+  void cmovRR(Cond CC, Reg Dst, Reg Src, unsigned Sz = 8);
+  void setccR(Cond CC, Reg Dst);
+  void xchgRR(Reg A, Reg B, unsigned Sz = 8);
+
+  // --- arithmetic (group-1 style: add/sub/and/or/xor/cmp/adc/sbb) ---------
+  void arithRR(Mnemonic Mn, Reg Dst, Reg Src, unsigned Sz = 8);
+  void arithRI(Mnemonic Mn, Reg Dst, int32_t Imm, unsigned Sz = 8);
+  void arithRM(Mnemonic Mn, Reg Dst, const MemOperand &M, unsigned Sz = 8);
+  void arithMR(Mnemonic Mn, const MemOperand &M, Reg Src, unsigned Sz = 8);
+  void arithMI(Mnemonic Mn, const MemOperand &M, int32_t Imm,
+               unsigned Sz = 8);
+  void addRR(Reg D, Reg S, unsigned Sz = 8) { arithRR(Mnemonic::Add, D, S, Sz); }
+  void subRR(Reg D, Reg S, unsigned Sz = 8) { arithRR(Mnemonic::Sub, D, S, Sz); }
+  void addRI(Reg D, int32_t I, unsigned Sz = 8) { arithRI(Mnemonic::Add, D, I, Sz); }
+  void subRI(Reg D, int32_t I, unsigned Sz = 8) { arithRI(Mnemonic::Sub, D, I, Sz); }
+  void cmpRI(Reg D, int32_t I, unsigned Sz = 8) { arithRI(Mnemonic::Cmp, D, I, Sz); }
+  void cmpRR(Reg D, Reg S, unsigned Sz = 8) { arithRR(Mnemonic::Cmp, D, S, Sz); }
+  void xorRR(Reg D, Reg S, unsigned Sz = 8) { arithRR(Mnemonic::Xor, D, S, Sz); }
+
+  void testRR(Reg A, Reg B, unsigned Sz = 8);
+  void shiftRI(Mnemonic Mn, Reg Dst, uint8_t Count, unsigned Sz = 8);
+  void shiftRCL(Mnemonic Mn, Reg Dst, unsigned Sz = 8);
+  void rotRI(Mnemonic Mn, Reg Dst, uint8_t Count, unsigned Sz = 8);
+  void bswapR(Reg R, unsigned Sz = 8);
+  void bsfRR(Reg Dst, Reg Src, unsigned Sz = 8);
+  void bsrRR(Reg Dst, Reg Src, unsigned Sz = 8);
+  void imulRR(Reg Dst, Reg Src, unsigned Sz = 8);
+  void imulRRI(Reg Dst, Reg Src, int32_t Imm, unsigned Sz = 8);
+  void negR(Reg R, unsigned Sz = 8);
+  void notR(Reg R, unsigned Sz = 8);
+  void incR(Reg R, unsigned Sz = 8);
+  void decR(Reg R, unsigned Sz = 8);
+  void divR(Reg R, unsigned Sz = 8);
+  void cdqe();
+  void cqo();
+
+  // --- stack --------------------------------------------------------------
+  void pushR(Reg R);
+  void popR(Reg R);
+  void leave();
+
+  // --- control flow -------------------------------------------------------
+  void jmpL(Label L);
+  void jccL(Cond CC, Label L);
+  void jmpM(const MemOperand &M); ///< jmp qword ptr [mem]  (indirect)
+  void jmpR(Reg R);               ///< jmp reg              (indirect)
+  void callL(Label L);
+  void callAbs(uint64_t Target); ///< call rel32 to a known absolute address
+  void callR(Reg R);             ///< call reg  (indirect)
+  void callM(const MemOperand &M);
+  void ret();
+  void nop(unsigned Len = 1);
+  void endbr64();
+  void ud2();
+  void int3();
+  void hlt();
+  void syscall();
+
+private:
+  enum class FixKind : uint8_t { Rel32, Abs64 };
+  struct Fixup {
+    size_t Pos;
+    Label L;
+    FixKind Kind;
+  };
+
+  void emitRex(unsigned Sz, unsigned RegField, const MemOperand &M,
+               bool Force8Rex);
+  void emitRexRR(unsigned Sz, unsigned RegField, unsigned RMField,
+                 bool Force8Rex);
+  void emitModRMMem(unsigned RegField, const MemOperand &M);
+  void emitModRMReg(unsigned RegField, unsigned RMField);
+  void opSizePrefix(unsigned Sz);
+  uint8_t group1Ext(Mnemonic Mn) const;
+
+  uint64_t Base;
+  std::vector<uint8_t> Code;
+  std::vector<int64_t> Labels; // -1 = unbound, else offset from Base
+  std::vector<Fixup> Fixups;
+  bool Finalized = false;
+};
+
+} // namespace hglift::x86
+
+#endif // HGLIFT_X86_ASM_H

@@ -1,0 +1,689 @@
+#include "x86/Decoder.h"
+
+namespace hglift::x86 {
+
+namespace {
+
+/// Cursor over the instruction bytes with bounds checking. All read*
+/// methods set Fail on exhaustion; callers check once at the end.
+struct Cursor {
+  const uint8_t *Bytes;
+  size_t Avail;
+  size_t Pos = 0;
+  bool Fail = false;
+
+  uint8_t peek() {
+    if (Pos >= Avail) {
+      Fail = true;
+      return 0;
+    }
+    return Bytes[Pos];
+  }
+  uint8_t u8() {
+    if (Pos >= Avail) {
+      Fail = true;
+      return 0;
+    }
+    return Bytes[Pos++];
+  }
+  int8_t s8() { return static_cast<int8_t>(u8()); }
+  uint16_t u16() {
+    uint16_t V = u8();
+    V |= static_cast<uint16_t>(u8()) << 8;
+    return V;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(u8()) << (8 * I);
+    return V;
+  }
+  int32_t s32() { return static_cast<int32_t>(u32()); }
+  uint64_t u64() {
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(u8()) << (8 * I);
+    return V;
+  }
+};
+
+struct Rex {
+  bool Present = false;
+  bool W = false, R = false, X = false, B = false;
+};
+
+/// Decoded ModRM + SIB + displacement.
+struct ModRM {
+  uint8_t Mod = 0;
+  uint8_t RegField = 0; // already REX.R extended
+  bool IsRegRM = false; // mod == 3
+  Reg RMReg = Reg::None;
+  MemOperand Mem;
+};
+
+bool parseModRM(Cursor &C, const Rex &RX, ModRM &Out) {
+  uint8_t B = C.u8();
+  Out.Mod = B >> 6;
+  Out.RegField = ((B >> 3) & 7) | (RX.R ? 8 : 0);
+  uint8_t RM = B & 7;
+
+  if (Out.Mod == 3) {
+    Out.IsRegRM = true;
+    Out.RMReg = regFromNum(RM | (RX.B ? 8 : 0));
+    return !C.Fail;
+  }
+
+  MemOperand M;
+  if (RM == 4) {
+    // SIB byte.
+    uint8_t SIB = C.u8();
+    uint8_t ScaleBits = SIB >> 6;
+    uint8_t IdxBits = ((SIB >> 3) & 7) | (RX.X ? 8 : 0);
+    uint8_t BaseBits = (SIB & 7) | (RX.B ? 8 : 0);
+    M.Scale = static_cast<uint8_t>(1u << ScaleBits);
+    if (IdxBits != 4) // rsp cannot be an index
+      M.Index = regFromNum(IdxBits);
+    if ((BaseBits & 7) == 5 && Out.Mod == 0) {
+      M.Base = Reg::None; // disp32 only
+      M.Disp = C.s32();
+      Out.Mem = M;
+      return !C.Fail;
+    }
+    M.Base = regFromNum(BaseBits);
+  } else if (RM == 5 && Out.Mod == 0) {
+    // RIP-relative disp32.
+    M.RipRel = true;
+    M.Disp = C.s32();
+    Out.Mem = M;
+    return !C.Fail;
+  } else {
+    M.Base = regFromNum(RM | (RX.B ? 8 : 0));
+  }
+
+  if (Out.Mod == 1)
+    M.Disp = C.s8();
+  else if (Out.Mod == 2)
+    M.Disp = C.s32();
+  Out.Mem = M;
+  return !C.Fail;
+}
+
+/// Build a register operand honoring the 8-bit high-byte encodings: without
+/// a REX prefix, encodings 4..7 at 8-bit size mean ah/ch/dh/bh.
+Operand gpr(unsigned Num, unsigned Size, const Rex &RX) {
+  if (Size == 1 && !RX.Present && Num >= 4 && Num < 8)
+    return Operand::reg(regFromNum(Num - 4), 1, /*High=*/true);
+  return Operand::reg(regFromNum(Num), static_cast<uint8_t>(Size));
+}
+
+Operand rmOperand(const ModRM &MR, unsigned Size, const Rex &RX) {
+  if (MR.IsRegRM)
+    return gpr(regNum(MR.RMReg), Size, RX);
+  return Operand::mem(MR.Mem, static_cast<uint8_t>(Size));
+}
+
+/// Group-1 arithmetic mnemonics indexed by the ModRM reg field.
+const Mnemonic Group1[] = {Mnemonic::Add, Mnemonic::Or,  Mnemonic::Adc,
+                           Mnemonic::Sbb, Mnemonic::And, Mnemonic::Sub,
+                           Mnemonic::Xor, Mnemonic::Cmp};
+
+/// The 00..3D "op r/m,r / op r,r/m / op acc,imm" family base opcodes: each
+/// of the eight group-1 operations occupies a block of eight opcodes of
+/// which the first six are the operand forms.
+bool isArithFamily(uint8_t Op) { return Op < 0x40 && (Op & 7) <= 5; }
+
+} // namespace
+
+Instr decodeInstr(const uint8_t *Bytes, size_t Avail, uint64_t Addr) {
+  Instr I;
+  I.Addr = Addr;
+
+  Cursor C{Bytes, Avail};
+  bool OpSize16 = false;
+  bool RepF3 = false;
+  Rex RX;
+
+  // Legacy prefixes then an optional REX.
+  for (;;) {
+    uint8_t P = C.peek();
+    if (C.Fail)
+      return Instr{};
+    if (P == 0x66) {
+      OpSize16 = true;
+      C.u8();
+      continue;
+    }
+    if (P == 0xf3) {
+      RepF3 = true;
+      C.u8();
+      continue;
+    }
+    if (P == 0xf2) {
+      C.u8();
+      continue;
+    }
+    break;
+  }
+  if ((C.peek() & 0xf0) == 0x40) {
+    uint8_t R = C.u8();
+    RX.Present = true;
+    RX.W = R & 8;
+    RX.R = R & 4;
+    RX.X = R & 2;
+    RX.B = R & 1;
+  }
+
+  unsigned OpSz = RX.W ? 8 : (OpSize16 ? 2 : 4);
+  uint8_t Op = C.u8();
+  if (C.Fail)
+    return Instr{};
+
+  auto finish = [&]() -> Instr {
+    if (C.Fail || C.Pos > 15)
+      return Instr{};
+    I.Length = static_cast<uint8_t>(C.Pos);
+    I.OpSize = static_cast<uint8_t>(OpSz);
+    return I;
+  };
+  auto invalid = []() -> Instr { return Instr{}; };
+
+  // ---- Two-byte opcodes ----
+  if (Op == 0x0f) {
+    uint8_t Op2 = C.u8();
+    if (C.Fail)
+      return invalid();
+
+    if (Op2 == 0x05) {
+      I.Mn = Mnemonic::Syscall;
+      return finish();
+    }
+    if (Op2 == 0x0b) {
+      I.Mn = Mnemonic::Ud2;
+      return finish();
+    }
+    if (Op2 == 0x1e && RepF3) {
+      // endbr64: f3 0f 1e fa
+      if (C.u8() != 0xfa)
+        return invalid();
+      I.Mn = Mnemonic::Endbr64;
+      return finish();
+    }
+    if (Op2 == 0x1f) {
+      // Multi-byte NOP.
+      ModRM MR;
+      if (!parseModRM(C, RX, MR))
+        return invalid();
+      I.Mn = Mnemonic::Nop;
+      return finish();
+    }
+    if (Op2 >= 0x40 && Op2 <= 0x4f) {
+      // CMOVcc r, r/m
+      ModRM MR;
+      if (!parseModRM(C, RX, MR))
+        return invalid();
+      I.Mn = Mnemonic::Cmovcc;
+      I.CC = static_cast<Cond>(Op2 & 0xf);
+      I.Ops[0] = gpr(MR.RegField, OpSz, RX);
+      I.Ops[1] = rmOperand(MR, OpSz, RX);
+      return finish();
+    }
+    if (Op2 >= 0x80 && Op2 <= 0x8f) {
+      int32_t Rel = C.s32();
+      I.Mn = Mnemonic::Jcc;
+      I.CC = static_cast<Cond>(Op2 & 0xf);
+      I.Ops[0] = Operand::imm(
+          static_cast<int64_t>(Addr + C.Pos + static_cast<int64_t>(Rel)), 8);
+      return finish();
+    }
+    if (Op2 >= 0x90 && Op2 <= 0x9f) {
+      ModRM MR;
+      if (!parseModRM(C, RX, MR))
+        return invalid();
+      I.Mn = Mnemonic::Setcc;
+      I.CC = static_cast<Cond>(Op2 & 0xf);
+      I.Ops[0] = rmOperand(MR, 1, RX);
+      return finish();
+    }
+    if (Op2 >= 0xc8 && Op2 <= 0xcf) {
+      // BSWAP r32/r64.
+      I.Mn = Mnemonic::Bswap;
+      I.Ops[0] = gpr((Op2 - 0xc8) | (RX.B ? 8 : 0), RX.W ? 8 : 4, RX);
+      return finish();
+    }
+    if (Op2 == 0xbc || Op2 == 0xbd) {
+      // BSF / BSR r, r/m.
+      ModRM MR;
+      if (!parseModRM(C, RX, MR))
+        return invalid();
+      I.Mn = Op2 == 0xbc ? Mnemonic::Bsf : Mnemonic::Bsr;
+      I.Ops[0] = gpr(MR.RegField, OpSz, RX);
+      I.Ops[1] = rmOperand(MR, OpSz, RX);
+      return finish();
+    }
+    if (Op2 == 0xaf) {
+      ModRM MR;
+      if (!parseModRM(C, RX, MR))
+        return invalid();
+      I.Mn = Mnemonic::Imul;
+      I.Ops[0] = gpr(MR.RegField, OpSz, RX);
+      I.Ops[1] = rmOperand(MR, OpSz, RX);
+      return finish();
+    }
+    if (Op2 == 0xb6 || Op2 == 0xb7 || Op2 == 0xbe || Op2 == 0xbf) {
+      // MOVZX / MOVSX r, r/m8 or r/m16
+      ModRM MR;
+      if (!parseModRM(C, RX, MR))
+        return invalid();
+      unsigned SrcSz = (Op2 & 1) ? 2 : 1;
+      I.Mn = (Op2 >= 0xbe) ? Mnemonic::Movsx : Mnemonic::Movzx;
+      I.Ops[0] = gpr(MR.RegField, OpSz, RX);
+      I.Ops[1] = rmOperand(MR, SrcSz, RX);
+      return finish();
+    }
+    return invalid();
+  }
+
+  // ---- One-byte opcodes ----
+
+  // Arithmetic family 00..3D: add/or/adc/sbb/and/sub/xor/cmp.
+  if (isArithFamily(Op)) {
+    Mnemonic Mn = Group1[Op >> 3];
+    uint8_t Form = Op & 7;
+    I.Mn = Mn;
+    switch (Form) {
+    case 0: // r/m8, r8
+    case 1: { // r/m, r
+      unsigned Sz = (Form == 0) ? 1 : OpSz;
+      ModRM MR;
+      if (!parseModRM(C, RX, MR))
+        return invalid();
+      I.Ops[0] = rmOperand(MR, Sz, RX);
+      I.Ops[1] = gpr(MR.RegField, Sz, RX);
+      return finish();
+    }
+    case 2: // r8, r/m8
+    case 3: { // r, r/m
+      unsigned Sz = (Form == 2) ? 1 : OpSz;
+      ModRM MR;
+      if (!parseModRM(C, RX, MR))
+        return invalid();
+      I.Ops[0] = gpr(MR.RegField, Sz, RX);
+      I.Ops[1] = rmOperand(MR, Sz, RX);
+      return finish();
+    }
+    case 4: // al, imm8
+      I.Ops[0] = gpr(0, 1, RX);
+      I.Ops[1] = Operand::imm(C.s8(), 1);
+      return finish();
+    case 5: { // eAX, imm
+      I.Ops[0] = gpr(0, OpSz, RX);
+      int64_t Imm = (OpSz == 2) ? static_cast<int16_t>(C.u16()) : C.s32();
+      I.Ops[1] = Operand::imm(Imm, static_cast<uint8_t>(OpSz));
+      return finish();
+    }
+    }
+    return invalid();
+  }
+
+  // push/pop r64.
+  if (Op >= 0x50 && Op <= 0x57) {
+    I.Mn = Mnemonic::Push;
+    I.Ops[0] = Operand::reg(regFromNum((Op - 0x50) | (RX.B ? 8 : 0)), 8);
+    return finish();
+  }
+  if (Op >= 0x58 && Op <= 0x5f) {
+    I.Mn = Mnemonic::Pop;
+    I.Ops[0] = Operand::reg(regFromNum((Op - 0x58) | (RX.B ? 8 : 0)), 8);
+    return finish();
+  }
+
+  switch (Op) {
+  case 0x63: { // movsxd r64, r/m32
+    ModRM MR;
+    if (!parseModRM(C, RX, MR))
+      return invalid();
+    I.Mn = Mnemonic::Movsxd;
+    I.Ops[0] = gpr(MR.RegField, RX.W ? 8 : 4, RX);
+    I.Ops[1] = rmOperand(MR, 4, RX);
+    return finish();
+  }
+  case 0x68:
+    I.Mn = Mnemonic::Push;
+    I.Ops[0] = Operand::imm(C.s32(), 8);
+    return finish();
+  case 0x6a:
+    I.Mn = Mnemonic::Push;
+    I.Ops[0] = Operand::imm(C.s8(), 8);
+    return finish();
+  case 0x69:
+  case 0x6b: { // imul r, r/m, imm
+    ModRM MR;
+    if (!parseModRM(C, RX, MR))
+      return invalid();
+    I.Mn = Mnemonic::Imul;
+    I.Ops[0] = gpr(MR.RegField, OpSz, RX);
+    I.Ops[1] = rmOperand(MR, OpSz, RX);
+    int64_t Imm = (Op == 0x6b) ? C.s8()
+                  : (OpSz == 2 ? static_cast<int16_t>(C.u16()) : C.s32());
+    I.Ops[2] = Operand::imm(Imm, static_cast<uint8_t>(OpSz));
+    return finish();
+  }
+  default:
+    break;
+  }
+
+  // Jcc rel8.
+  if (Op >= 0x70 && Op <= 0x7f) {
+    int8_t Rel = C.s8();
+    I.Mn = Mnemonic::Jcc;
+    I.CC = static_cast<Cond>(Op & 0xf);
+    I.Ops[0] = Operand::imm(
+        static_cast<int64_t>(Addr + C.Pos + static_cast<int64_t>(Rel)), 8);
+    return finish();
+  }
+
+  switch (Op) {
+  case 0x80:
+  case 0x81:
+  case 0x83: { // group1 r/m, imm
+    ModRM MR;
+    if (!parseModRM(C, RX, MR))
+      return invalid();
+    unsigned Sz = (Op == 0x80) ? 1 : OpSz;
+    I.Mn = Group1[MR.RegField & 7];
+    I.Ops[0] = rmOperand(MR, Sz, RX);
+    int64_t Imm;
+    if (Op == 0x81)
+      Imm = (OpSz == 2) ? static_cast<int16_t>(C.u16()) : C.s32();
+    else
+      Imm = C.s8();
+    I.Ops[1] = Operand::imm(Imm, static_cast<uint8_t>(Sz));
+    return finish();
+  }
+  case 0x84:
+  case 0x85: { // test r/m, r
+    ModRM MR;
+    if (!parseModRM(C, RX, MR))
+      return invalid();
+    unsigned Sz = (Op == 0x84) ? 1 : OpSz;
+    I.Mn = Mnemonic::Test;
+    I.Ops[0] = rmOperand(MR, Sz, RX);
+    I.Ops[1] = gpr(MR.RegField, Sz, RX);
+    return finish();
+  }
+  case 0x86:
+  case 0x87: { // xchg r/m, r
+    ModRM MR;
+    if (!parseModRM(C, RX, MR))
+      return invalid();
+    unsigned Sz = (Op == 0x86) ? 1 : OpSz;
+    I.Mn = Mnemonic::Xchg;
+    I.Ops[0] = rmOperand(MR, Sz, RX);
+    I.Ops[1] = gpr(MR.RegField, Sz, RX);
+    return finish();
+  }
+  case 0x88:
+  case 0x89: { // mov r/m, r
+    ModRM MR;
+    if (!parseModRM(C, RX, MR))
+      return invalid();
+    unsigned Sz = (Op == 0x88) ? 1 : OpSz;
+    I.Mn = Mnemonic::Mov;
+    I.Ops[0] = rmOperand(MR, Sz, RX);
+    I.Ops[1] = gpr(MR.RegField, Sz, RX);
+    return finish();
+  }
+  case 0x8a:
+  case 0x8b: { // mov r, r/m
+    ModRM MR;
+    if (!parseModRM(C, RX, MR))
+      return invalid();
+    unsigned Sz = (Op == 0x8a) ? 1 : OpSz;
+    I.Mn = Mnemonic::Mov;
+    I.Ops[0] = gpr(MR.RegField, Sz, RX);
+    I.Ops[1] = rmOperand(MR, Sz, RX);
+    return finish();
+  }
+  case 0x8d: { // lea
+    ModRM MR;
+    if (!parseModRM(C, RX, MR) || MR.IsRegRM)
+      return invalid();
+    I.Mn = Mnemonic::Lea;
+    I.Ops[0] = gpr(MR.RegField, OpSz, RX);
+    I.Ops[1] = Operand::mem(MR.Mem, static_cast<uint8_t>(OpSz));
+    return finish();
+  }
+  case 0x8f: { // pop r/m64
+    ModRM MR;
+    if (!parseModRM(C, RX, MR))
+      return invalid();
+    if (MR.RegField & 7)
+      return invalid();
+    I.Mn = Mnemonic::Pop;
+    I.Ops[0] = rmOperand(MR, 8, RX);
+    return finish();
+  }
+  case 0x90:
+    I.Mn = Mnemonic::Nop;
+    return finish();
+  case 0x98:
+    I.Mn = Mnemonic::Cdqe; // cdqe with REX.W, cwde otherwise
+    return finish();
+  case 0x99:
+    I.Mn = Mnemonic::Cqo;
+    return finish();
+  case 0xa8:
+    I.Mn = Mnemonic::Test;
+    I.Ops[0] = gpr(0, 1, RX);
+    I.Ops[1] = Operand::imm(C.s8(), 1);
+    return finish();
+  case 0xa9: {
+    I.Mn = Mnemonic::Test;
+    I.Ops[0] = gpr(0, OpSz, RX);
+    int64_t Imm = (OpSz == 2) ? static_cast<int16_t>(C.u16()) : C.s32();
+    I.Ops[1] = Operand::imm(Imm, static_cast<uint8_t>(OpSz));
+    return finish();
+  }
+  default:
+    break;
+  }
+
+  // mov r8, imm8 / mov r, imm32/imm64.
+  if (Op >= 0xb0 && Op <= 0xb7) {
+    I.Mn = Mnemonic::Mov;
+    I.Ops[0] = gpr((Op - 0xb0) | (RX.B ? 8 : 0), 1, RX);
+    I.Ops[1] = Operand::imm(C.s8(), 1);
+    return finish();
+  }
+  if (Op >= 0xb8 && Op <= 0xbf) {
+    I.Mn = Mnemonic::Mov;
+    unsigned N = (Op - 0xb8) | (RX.B ? 8 : 0);
+    I.Ops[0] = gpr(N, OpSz, RX);
+    int64_t Imm;
+    if (OpSz == 8)
+      Imm = static_cast<int64_t>(C.u64());
+    else if (OpSz == 2)
+      Imm = static_cast<int16_t>(C.u16());
+    else
+      Imm = static_cast<int64_t>(static_cast<uint32_t>(C.u32()));
+    I.Ops[1] = Operand::imm(Imm, static_cast<uint8_t>(OpSz));
+    return finish();
+  }
+
+  switch (Op) {
+  case 0xc0:
+  case 0xc1:
+  case 0xd0:
+  case 0xd1:
+  case 0xd2:
+  case 0xd3: { // shift group 2
+    ModRM MR;
+    if (!parseModRM(C, RX, MR))
+      return invalid();
+    unsigned Sz = (Op == 0xc0 || Op == 0xd0 || Op == 0xd2) ? 1 : OpSz;
+    static const Mnemonic ShiftMn[] = {
+        Mnemonic::Rol,     Mnemonic::Ror,     Mnemonic::Invalid,
+        Mnemonic::Invalid, Mnemonic::Shl,     Mnemonic::Shr,
+        Mnemonic::Shl,     Mnemonic::Sar};
+    Mnemonic Mn = ShiftMn[MR.RegField & 7];
+    if (Mn == Mnemonic::Invalid)
+      return invalid();
+    I.Mn = Mn;
+    I.Ops[0] = rmOperand(MR, Sz, RX);
+    if (Op == 0xc0 || Op == 0xc1)
+      I.Ops[1] = Operand::imm(static_cast<int64_t>(C.u8()), 1);
+    else if (Op == 0xd0 || Op == 0xd1)
+      I.Ops[1] = Operand::imm(1, 1);
+    else
+      I.Ops[1] = Operand::reg(Reg::RCX, 1); // shift by cl
+    return finish();
+  }
+  case 0xc2:
+    I.Mn = Mnemonic::Ret;
+    I.Ops[0] = Operand::imm(static_cast<int64_t>(C.u16()), 2);
+    return finish();
+  case 0xc3:
+    I.Mn = Mnemonic::Ret;
+    return finish();
+  case 0xc6:
+  case 0xc7: { // mov r/m, imm
+    ModRM MR;
+    if (!parseModRM(C, RX, MR))
+      return invalid();
+    if (MR.RegField & 7)
+      return invalid();
+    unsigned Sz = (Op == 0xc6) ? 1 : OpSz;
+    I.Mn = Mnemonic::Mov;
+    I.Ops[0] = rmOperand(MR, Sz, RX);
+    int64_t Imm;
+    if (Op == 0xc6)
+      Imm = C.s8();
+    else
+      Imm = (OpSz == 2) ? static_cast<int16_t>(C.u16()) : C.s32();
+    I.Ops[1] = Operand::imm(Imm, static_cast<uint8_t>(Sz));
+    return finish();
+  }
+  case 0xc9:
+    I.Mn = Mnemonic::Leave;
+    return finish();
+  case 0xcc:
+    I.Mn = Mnemonic::Int3;
+    return finish();
+  case 0xe8: {
+    int32_t Rel = C.s32();
+    I.Mn = Mnemonic::Call;
+    I.Ops[0] = Operand::imm(
+        static_cast<int64_t>(Addr + C.Pos + static_cast<int64_t>(Rel)), 8);
+    return finish();
+  }
+  case 0xe9: {
+    int32_t Rel = C.s32();
+    I.Mn = Mnemonic::Jmp;
+    I.Ops[0] = Operand::imm(
+        static_cast<int64_t>(Addr + C.Pos + static_cast<int64_t>(Rel)), 8);
+    return finish();
+  }
+  case 0xeb: {
+    int8_t Rel = C.s8();
+    I.Mn = Mnemonic::Jmp;
+    I.Ops[0] = Operand::imm(
+        static_cast<int64_t>(Addr + C.Pos + static_cast<int64_t>(Rel)), 8);
+    return finish();
+  }
+  case 0xf4:
+    I.Mn = Mnemonic::Hlt;
+    return finish();
+  case 0xf6:
+  case 0xf7: { // group 3
+    ModRM MR;
+    if (!parseModRM(C, RX, MR))
+      return invalid();
+    unsigned Sz = (Op == 0xf6) ? 1 : OpSz;
+    switch (MR.RegField & 7) {
+    case 0:
+    case 1: { // test r/m, imm
+      I.Mn = Mnemonic::Test;
+      I.Ops[0] = rmOperand(MR, Sz, RX);
+      int64_t Imm;
+      if (Op == 0xf6)
+        Imm = C.s8();
+      else
+        Imm = (OpSz == 2) ? static_cast<int16_t>(C.u16()) : C.s32();
+      I.Ops[1] = Operand::imm(Imm, static_cast<uint8_t>(Sz));
+      return finish();
+    }
+    case 2:
+      I.Mn = Mnemonic::Not;
+      I.Ops[0] = rmOperand(MR, Sz, RX);
+      return finish();
+    case 3:
+      I.Mn = Mnemonic::Neg;
+      I.Ops[0] = rmOperand(MR, Sz, RX);
+      return finish();
+    case 4:
+      I.Mn = Mnemonic::Mul;
+      I.Ops[0] = rmOperand(MR, Sz, RX);
+      return finish();
+    case 5:
+      I.Mn = Mnemonic::Imul;
+      I.Ops[0] = rmOperand(MR, Sz, RX);
+      return finish();
+    case 6:
+      I.Mn = Mnemonic::Div;
+      I.Ops[0] = rmOperand(MR, Sz, RX);
+      return finish();
+    case 7:
+      I.Mn = Mnemonic::Idiv;
+      I.Ops[0] = rmOperand(MR, Sz, RX);
+      return finish();
+    }
+    return invalid();
+  }
+  case 0xfe: {
+    ModRM MR;
+    if (!parseModRM(C, RX, MR))
+      return invalid();
+    uint8_t Ext = MR.RegField & 7;
+    if (Ext > 1)
+      return invalid();
+    I.Mn = Ext == 0 ? Mnemonic::Inc : Mnemonic::Dec;
+    I.Ops[0] = rmOperand(MR, 1, RX);
+    return finish();
+  }
+  case 0xff: { // group 5
+    ModRM MR;
+    if (!parseModRM(C, RX, MR))
+      return invalid();
+    switch (MR.RegField & 7) {
+    case 0:
+      I.Mn = Mnemonic::Inc;
+      I.Ops[0] = rmOperand(MR, OpSz, RX);
+      return finish();
+    case 1:
+      I.Mn = Mnemonic::Dec;
+      I.Ops[0] = rmOperand(MR, OpSz, RX);
+      return finish();
+    case 2: // call r/m64 (indirect)
+      I.Mn = Mnemonic::Call;
+      I.Ops[0] = rmOperand(MR, 8, RX);
+      return finish();
+    case 4: // jmp r/m64 (indirect)
+      I.Mn = Mnemonic::Jmp;
+      I.Ops[0] = rmOperand(MR, 8, RX);
+      return finish();
+    case 6: // push r/m64
+      I.Mn = Mnemonic::Push;
+      I.Ops[0] = rmOperand(MR, 8, RX);
+      return finish();
+    default:
+      return invalid();
+    }
+  }
+  default:
+    break;
+  }
+
+  return invalid();
+}
+
+} // namespace hglift::x86

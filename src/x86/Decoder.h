@@ -1,0 +1,31 @@
+//===- Decoder.h - x86-64 instruction decoder ------------------*- C++ -*-===//
+//
+// A from-scratch table-free decoder for the x86-64 instruction subset
+// emitted by C compilers that the paper's case studies exercise: data moves,
+// integer/bitwise arithmetic, shifts, comparisons, conditional operations,
+// stack manipulation, and all control flow. 64-bit mode only.
+//
+// This implements the paper's `fetch : W64 -> I` (Definition 3.1). Decoding
+// is deliberately strict: any byte sequence outside the supported subset
+// decodes to an Invalid instruction, which the lifter reports as a
+// verification error rather than guessing (the paper's "may fail" stance).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_X86_DECODER_H
+#define HGLIFT_X86_DECODER_H
+
+#include "x86/Instr.h"
+
+#include <cstddef>
+
+namespace hglift::x86 {
+
+/// Decode a single instruction from Bytes (at most Avail bytes available)
+/// located at virtual address Addr. On failure the returned Instr has
+/// Mn == Mnemonic::Invalid and Length == 0.
+Instr decodeInstr(const uint8_t *Bytes, size_t Avail, uint64_t Addr);
+
+} // namespace hglift::x86
+
+#endif // HGLIFT_X86_DECODER_H

@@ -1,0 +1,173 @@
+//===- Instr.h - Decoded x86-64 instruction representation -----*- C++ -*-===//
+//
+// The paper assumes "a fetch function that, given an address, soundly
+// retrieves a single instruction from the binary". Instr is that
+// instruction: mnemonic + up to three operands + condition code + length.
+// The decoder (Decoder.h) implements fetch; the assembler (Asm.h) is its
+// inverse and is used by the corpus generator.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_X86_INSTR_H
+#define HGLIFT_X86_INSTR_H
+
+#include "x86/Reg.h"
+
+#include <cstdint>
+#include <string>
+
+namespace hglift::x86 {
+
+enum class Mnemonic : uint8_t {
+  Invalid = 0,
+  Mov,
+  Movzx,
+  Movsx,
+  Movsxd,
+  Lea,
+  Add,
+  Adc,
+  Sub,
+  Sbb,
+  And,
+  Or,
+  Xor,
+  Cmp,
+  Test,
+  Shl,
+  Shr,
+  Sar,
+  Rol,
+  Ror,
+  Inc,
+  Dec,
+  Neg,
+  Not,
+  Imul, // 1-, 2- and 3-operand forms
+  Mul,
+  Div,
+  Idiv,
+  Push,
+  Pop,
+  Call,
+  Ret,
+  Leave,
+  Jmp,
+  Jcc,
+  Setcc,
+  Cmovcc,
+  Nop,
+  Endbr64,
+  Xchg,
+  Bswap,
+  Bsf,
+  Bsr,
+  Cdqe, // sign-extend eax->rax (98 with REX.W) / cwde
+  Cqo,  // sign-extend rax->rdx:rax (99 with REX.W) / cdq
+  Int3,
+  Ud2,
+  Syscall,
+  Hlt,
+};
+
+const char *mnemonicName(Mnemonic M);
+
+/// A memory operand: [base + index*scale + disp], possibly RIP-relative.
+struct MemOperand {
+  Reg Base = Reg::None;
+  Reg Index = Reg::None;
+  uint8_t Scale = 1; // 1, 2, 4, 8
+  int32_t Disp = 0;
+  bool RipRel = false;
+
+  bool operator==(const MemOperand &O) const = default;
+};
+
+struct Operand {
+  enum class Kind : uint8_t { None, Reg, Mem, Imm } K = Kind::None;
+
+  // Kind::Reg
+  x86::Reg R = x86::Reg::None;
+  bool HighByte = false; // ah/ch/dh/bh access
+
+  // Kind::Mem
+  MemOperand M;
+
+  // Kind::Imm (sign-extended to 64 bits at decode time)
+  int64_t Imm = 0;
+
+  /// Operand access size in bytes (1, 2, 4, 8). For Lea this is the
+  /// register size; the memory operand is not accessed.
+  uint8_t Size = 8;
+
+  static Operand none() { return Operand{}; }
+  static Operand reg(x86::Reg R, uint8_t Size = 8, bool High = false) {
+    Operand O;
+    O.K = Kind::Reg;
+    O.R = R;
+    O.Size = Size;
+    O.HighByte = High;
+    return O;
+  }
+  static Operand mem(MemOperand M, uint8_t Size) {
+    Operand O;
+    O.K = Kind::Mem;
+    O.M = M;
+    O.Size = Size;
+    return O;
+  }
+  static Operand imm(int64_t V, uint8_t Size) {
+    Operand O;
+    O.K = Kind::Imm;
+    O.Imm = V;
+    O.Size = Size;
+    return O;
+  }
+
+  bool isNone() const { return K == Kind::None; }
+  bool isReg() const { return K == Kind::Reg; }
+  bool isMem() const { return K == Kind::Mem; }
+  bool isImm() const { return K == Kind::Imm; }
+
+  bool operator==(const Operand &O) const = default;
+};
+
+struct Instr {
+  uint64_t Addr = 0;  ///< Address this instruction was fetched from.
+  uint8_t Length = 0; ///< Encoded length in bytes.
+  Mnemonic Mn = Mnemonic::Invalid;
+  Cond CC = Cond::O;  ///< For Jcc / Setcc / Cmovcc.
+  uint8_t OpSize = 8; ///< Effective operand size (for cdqe/cqo and friends).
+  Operand Ops[3];
+
+  unsigned numOperands() const {
+    unsigned N = 0;
+    while (N < 3 && !Ops[N].isNone())
+      ++N;
+    return N;
+  }
+
+  uint64_t nextAddr() const { return Addr + Length; }
+
+  bool isValid() const { return Mn != Mnemonic::Invalid; }
+
+  /// Control-flow classification used by Algorithm 1.
+  bool isCall() const { return Mn == Mnemonic::Call; }
+  bool isRet() const { return Mn == Mnemonic::Ret; }
+  bool isJump() const { return Mn == Mnemonic::Jmp; }
+  bool isCondJump() const { return Mn == Mnemonic::Jcc; }
+  bool isTerminator() const {
+    return isCall() || isRet() || isJump() || isCondJump() ||
+           Mn == Mnemonic::Ud2 || Mn == Mnemonic::Hlt || Mn == Mnemonic::Int3;
+  }
+
+  /// Intel-syntax rendering, e.g. "mov qword ptr [rsp+0x8], rax".
+  std::string str() const;
+};
+
+std::string memOperandStr(const MemOperand &M);
+std::string operandStr(const Operand &O);
+
+} // namespace hglift::x86
+
+#endif // HGLIFT_X86_INSTR_H

@@ -1,0 +1,192 @@
+#include "support/Format.h"
+#include "x86/Instr.h"
+
+namespace hglift::x86 {
+
+const char *mnemonicName(Mnemonic M) {
+  switch (M) {
+  case Mnemonic::Invalid:
+    return "(bad)";
+  case Mnemonic::Mov:
+    return "mov";
+  case Mnemonic::Movzx:
+    return "movzx";
+  case Mnemonic::Movsx:
+    return "movsx";
+  case Mnemonic::Movsxd:
+    return "movsxd";
+  case Mnemonic::Lea:
+    return "lea";
+  case Mnemonic::Add:
+    return "add";
+  case Mnemonic::Adc:
+    return "adc";
+  case Mnemonic::Sub:
+    return "sub";
+  case Mnemonic::Sbb:
+    return "sbb";
+  case Mnemonic::And:
+    return "and";
+  case Mnemonic::Or:
+    return "or";
+  case Mnemonic::Xor:
+    return "xor";
+  case Mnemonic::Cmp:
+    return "cmp";
+  case Mnemonic::Test:
+    return "test";
+  case Mnemonic::Shl:
+    return "shl";
+  case Mnemonic::Shr:
+    return "shr";
+  case Mnemonic::Sar:
+    return "sar";
+  case Mnemonic::Rol:
+    return "rol";
+  case Mnemonic::Ror:
+    return "ror";
+  case Mnemonic::Inc:
+    return "inc";
+  case Mnemonic::Dec:
+    return "dec";
+  case Mnemonic::Neg:
+    return "neg";
+  case Mnemonic::Not:
+    return "not";
+  case Mnemonic::Imul:
+    return "imul";
+  case Mnemonic::Mul:
+    return "mul";
+  case Mnemonic::Div:
+    return "div";
+  case Mnemonic::Idiv:
+    return "idiv";
+  case Mnemonic::Push:
+    return "push";
+  case Mnemonic::Pop:
+    return "pop";
+  case Mnemonic::Call:
+    return "call";
+  case Mnemonic::Ret:
+    return "ret";
+  case Mnemonic::Leave:
+    return "leave";
+  case Mnemonic::Jmp:
+    return "jmp";
+  case Mnemonic::Jcc:
+    return "j";
+  case Mnemonic::Setcc:
+    return "set";
+  case Mnemonic::Cmovcc:
+    return "cmov";
+  case Mnemonic::Nop:
+    return "nop";
+  case Mnemonic::Endbr64:
+    return "endbr64";
+  case Mnemonic::Xchg:
+    return "xchg";
+  case Mnemonic::Bswap:
+    return "bswap";
+  case Mnemonic::Bsf:
+    return "bsf";
+  case Mnemonic::Bsr:
+    return "bsr";
+  case Mnemonic::Cdqe:
+    return "cdqe";
+  case Mnemonic::Cqo:
+    return "cqo";
+  case Mnemonic::Int3:
+    return "int3";
+  case Mnemonic::Ud2:
+    return "ud2";
+  case Mnemonic::Syscall:
+    return "syscall";
+  case Mnemonic::Hlt:
+    return "hlt";
+  }
+  return "?";
+}
+
+namespace {
+const char *sizePtrName(unsigned Size) {
+  switch (Size) {
+  case 1:
+    return "byte ptr ";
+  case 2:
+    return "word ptr ";
+  case 4:
+    return "dword ptr ";
+  case 8:
+    return "qword ptr ";
+  default:
+    return "";
+  }
+}
+} // namespace
+
+std::string memOperandStr(const MemOperand &M) {
+  std::string S = "[";
+  bool First = true;
+  if (M.RipRel) {
+    S += "rip";
+    First = false;
+  } else if (M.Base != Reg::None) {
+    S += regName(M.Base);
+    First = false;
+  }
+  if (M.Index != Reg::None) {
+    if (!First)
+      S += "+";
+    S += regName(M.Index);
+    if (M.Scale != 1)
+      S += "*" + std::to_string(M.Scale);
+    First = false;
+  }
+  if (M.Disp != 0 || First) {
+    if (First)
+      S += hexStr(static_cast<uint64_t>(static_cast<int64_t>(M.Disp)));
+    else
+      S += dispStr(M.Disp);
+  }
+  S += "]";
+  return S;
+}
+
+std::string operandStr(const Operand &O) {
+  switch (O.K) {
+  case Operand::Kind::None:
+    return "";
+  case Operand::Kind::Reg:
+    return regName(O.R, O.Size, O.HighByte);
+  case Operand::Kind::Mem:
+    return std::string(sizePtrName(O.Size)) + memOperandStr(O.M);
+  case Operand::Kind::Imm:
+    if (O.Imm < 0)
+      return "-" + hexStr(static_cast<uint64_t>(-O.Imm));
+    return hexStr(static_cast<uint64_t>(O.Imm));
+  }
+  return "";
+}
+
+std::string Instr::str() const {
+  std::string S = mnemonicName(Mn);
+  if (Mn == Mnemonic::Jcc || Mn == Mnemonic::Setcc || Mn == Mnemonic::Cmovcc)
+    S += condName(CC);
+  bool First = true;
+  for (const Operand &O : Ops) {
+    if (O.isNone())
+      break;
+    S += First ? " " : ", ";
+    // Relative branch targets were already resolved to absolute immediates.
+    if ((Mn == Mnemonic::Jmp || Mn == Mnemonic::Jcc || Mn == Mnemonic::Call) &&
+        O.isImm()) {
+      S += hexStr(static_cast<uint64_t>(O.Imm));
+    } else {
+      S += operandStr(O);
+    }
+    First = false;
+  }
+  return S;
+}
+
+} // namespace hglift::x86

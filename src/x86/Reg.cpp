@@ -1,0 +1,69 @@
+#include "x86/Reg.h"
+
+namespace hglift::x86 {
+
+namespace {
+const char *Names64[] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                         "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                         "r12", "r13", "r14", "r15"};
+const char *Names32[] = {"eax",  "ecx",  "edx",  "ebx",  "esp",  "ebp",
+                         "esi",  "edi",  "r8d",  "r9d",  "r10d", "r11d",
+                         "r12d", "r13d", "r14d", "r15d"};
+const char *Names16[] = {"ax",   "cx",   "dx",   "bx",   "sp",   "bp",
+                         "si",   "di",   "r8w",  "r9w",  "r10w", "r11w",
+                         "r12w", "r13w", "r14w", "r15w"};
+const char *Names8[] = {"al",   "cl",   "dl",   "bl",   "spl",  "bpl",
+                        "sil",  "dil",  "r8b",  "r9b",  "r10b", "r11b",
+                        "r12b", "r13b", "r14b", "r15b"};
+const char *Names8H[] = {"ah", "ch", "dh", "bh"};
+} // namespace
+
+std::string regName(Reg R, unsigned SizeBytes, bool HighByte) {
+  if (R == Reg::RIP)
+    return "rip";
+  if (R == Reg::None)
+    return "<none>";
+  unsigned N = regNum(R);
+  switch (SizeBytes) {
+  case 8:
+    return Names64[N];
+  case 4:
+    return Names32[N];
+  case 2:
+    return Names16[N];
+  case 1:
+    if (HighByte && N < 4)
+      return Names8H[N];
+    return Names8[N];
+  default:
+    return Names64[N];
+  }
+}
+
+bool isCalleeSaved(Reg R) {
+  switch (R) {
+  case Reg::RBX:
+  case Reg::RBP:
+  case Reg::R12:
+  case Reg::R13:
+  case Reg::R14:
+  case Reg::R15:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Reg argReg(unsigned Index) {
+  static const Reg Args[] = {Reg::RDI, Reg::RSI, Reg::RDX,
+                             Reg::RCX, Reg::R8,  Reg::R9};
+  return Index < 6 ? Args[Index] : Reg::None;
+}
+
+const char *condName(Cond C) {
+  static const char *N[] = {"o",  "no", "b",  "ae", "e",  "ne", "be", "a",
+                            "s",  "ns", "p",  "np", "l",  "ge", "le", "g"};
+  return N[static_cast<uint8_t>(C)];
+}
+
+} // namespace hglift::x86

@@ -1,0 +1,79 @@
+//===- Reg.h - x86-64 register model ---------------------------*- C++ -*-===//
+
+#ifndef HGLIFT_X86_REG_H
+#define HGLIFT_X86_REG_H
+
+#include <cstdint>
+#include <string>
+
+namespace hglift::x86 {
+
+/// The sixteen 64-bit general-purpose registers, in hardware encoding
+/// order, plus RIP. Sub-registers (eax, ax, al, ah) are a full register
+/// plus an access size / high-byte flag on the operand.
+enum class Reg : uint8_t {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R8 = 8,
+  R9 = 9,
+  R10 = 10,
+  R11 = 11,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+  RIP = 16,
+  None = 17,
+};
+
+constexpr unsigned NumGPRs = 16;
+
+inline unsigned regNum(Reg R) { return static_cast<unsigned>(R); }
+inline Reg regFromNum(unsigned N) { return static_cast<Reg>(N & 15); }
+
+/// Name of R when accessed with the given size in bytes (8/4/2/1) and
+/// high-byte flag ("rax", "eax", "ax", "al", "ah").
+std::string regName(Reg R, unsigned SizeBytes = 8, bool HighByte = false);
+
+/// 64-bit System V AMD64 ABI callee-saved (non-volatile) registers:
+/// rbx, rbp, r12, r13, r14, r15 (rsp handled separately).
+bool isCalleeSaved(Reg R);
+
+/// Argument registers in ABI order: rdi, rsi, rdx, rcx, r8, r9.
+Reg argReg(unsigned Index);
+
+/// Condition codes in hardware encoding order (the low nibble of
+/// Jcc/SETcc/CMOVcc opcodes).
+enum class Cond : uint8_t {
+  O = 0x0,
+  NO = 0x1,
+  B = 0x2,  // unsigned <   (CF)
+  AE = 0x3, // unsigned >=
+  E = 0x4,  // ==           (ZF)
+  NE = 0x5,
+  BE = 0x6, // unsigned <=
+  A = 0x7,  // unsigned >
+  S = 0x8,
+  NS = 0x9,
+  P = 0xa,
+  NP = 0xb,
+  L = 0xc,  // signed <
+  GE = 0xd, // signed >=
+  LE = 0xe, // signed <=
+  G = 0xf,  // signed >
+};
+
+const char *condName(Cond C);
+inline Cond negateCond(Cond C) {
+  return static_cast<Cond>(static_cast<uint8_t>(C) ^ 1);
+}
+
+} // namespace hglift::x86
+
+#endif // HGLIFT_X86_REG_H

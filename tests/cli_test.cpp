@@ -1,0 +1,133 @@
+//===- cli_test.cpp - End-to-end hglift CLI integration ------------------===//
+//
+// Exercises the shipped tool the way a user would: write a real ELF file,
+// invoke `hglift` with its flags, inspect exit codes and artifacts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Programs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#ifndef HGLIFT_BIN
+#error "HGLIFT_BIN must point at the hglift executable"
+#endif
+
+using namespace hglift;
+
+namespace {
+
+std::string tmpPath(const std::string &Name) {
+  return std::string("/tmp/hglift_cli_") + Name;
+}
+
+void writeBinary(const corpus::BuiltBinary &BB, const std::string &Path) {
+  std::ofstream Out(Path, std::ios::binary);
+  Out.write(reinterpret_cast<const char *>(BB.ElfBytes.data()),
+            static_cast<std::streamsize>(BB.ElfBytes.size()));
+}
+
+struct RunResult {
+  int ExitCode;
+  std::string Output;
+};
+
+RunResult runCli(const std::string &Args) {
+  std::string Cmd = std::string(HGLIFT_BIN) + " " + Args + " 2>&1";
+  FILE *P = popen(Cmd.c_str(), "r");
+  EXPECT_NE(P, nullptr);
+  std::string Out;
+  char Buf[4096];
+  while (P && fgets(Buf, sizeof(Buf), P))
+    Out += Buf;
+  int RC = P ? pclose(P) : -1;
+  return RunResult{WEXITSTATUS(RC), Out};
+}
+
+TEST(Cli, LiftSucceedsWithCheck) {
+  auto BB = corpus::callChainBinary();
+  ASSERT_TRUE(BB.has_value());
+  std::string Path = tmpPath("callchain.elf");
+  writeBinary(*BB, Path);
+
+  RunResult R = runCli(Path + " --check");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("outcome: lifted"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("Hoare triples proven"), std::string::npos);
+}
+
+TEST(Cli, RejectionExitsNonzero) {
+  auto BB = corpus::overflowBinary();
+  ASSERT_TRUE(BB.has_value());
+  std::string Path = tmpPath("overflow.elf");
+  writeBinary(*BB, Path);
+
+  RunResult R = runCli(Path);
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("unprovable-return"), std::string::npos)
+      << R.Output;
+}
+
+TEST(Cli, ExportsArtifacts) {
+  auto BB = corpus::jumpTableBinary(6);
+  ASSERT_TRUE(BB.has_value());
+  std::string Path = tmpPath("jt.elf");
+  writeBinary(*BB, Path);
+  std::string Thy = tmpPath("jt.thy"), Dot = tmpPath("jt.dot");
+  std::remove(Thy.c_str());
+  std::remove(Dot.c_str());
+
+  RunResult R = runCli(Path + " --export-isabelle " + Thy +
+                       " --export-dot " + Dot);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+
+  std::ifstream ThyIn(Thy);
+  ASSERT_TRUE(ThyIn.good());
+  std::stringstream ThyS;
+  ThyS << ThyIn.rdbuf();
+  EXPECT_NE(ThyS.str().find("theory "), std::string::npos);
+  EXPECT_NE(ThyS.str().find("lemma "), std::string::npos);
+
+  std::ifstream DotIn(Dot);
+  ASSERT_TRUE(DotIn.good());
+  std::stringstream DotS;
+  DotS << DotIn.rdbuf();
+  EXPECT_NE(DotS.str().find("digraph"), std::string::npos);
+  EXPECT_NE(DotS.str().find("->"), std::string::npos);
+}
+
+TEST(Cli, WeirdEdgeVisibleInDot) {
+  auto BB = corpus::weirdEdgeBinary();
+  ASSERT_TRUE(BB.has_value());
+  std::string Path = tmpPath("weird.elf");
+  writeBinary(*BB, Path);
+  std::string Dot = tmpPath("weird.dot");
+
+  RunResult R = runCli(Path + " --export-dot " + Dot);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  std::ifstream DotIn(Dot);
+  std::stringstream DotS;
+  DotS << DotIn.rdbuf();
+  EXPECT_NE(DotS.str().find("weird"), std::string::npos)
+      << "the §2 ROP edge must be flagged in the graph";
+}
+
+TEST(Cli, BadFileRejected) {
+  std::string Path = tmpPath("garbage.bin");
+  std::ofstream(Path) << "this is not an elf";
+  RunResult R = runCli(Path);
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("cannot parse"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagUsage) {
+  RunResult R = runCli("/dev/null --frobnicate");
+  EXPECT_EQ(R.ExitCode, 2);
+}
+
+} // namespace

@@ -1,0 +1,292 @@
+//===- decoder_test.cpp - Encoder/decoder round-trip + strictness --------===//
+//
+// The decoder implements the paper's fetch function; the assembler is its
+// inverse. The round-trip property: everything the assembler emits decodes
+// back to the same mnemonic/operands/length. Parameterized sweeps cover
+// the full register file at every operand size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/Asm.h"
+#include "x86/Decoder.h"
+
+#include <gtest/gtest.h>
+
+using namespace hglift::x86;
+
+namespace {
+
+constexpr uint64_t Base = 0x400000;
+
+Instr decodeAll(const Asm &A, size_t ExpectedCount = 1, size_t Index = 0) {
+  const auto &Code = A.code();
+  size_t Off = 0, N = 0;
+  Instr Last;
+  while (Off < Code.size()) {
+    Instr I = decodeInstr(Code.data() + Off, Code.size() - Off, Base + Off);
+    EXPECT_TRUE(I.isValid()) << "byte offset " << Off;
+    if (!I.isValid())
+      return Instr{};
+    if (N == Index)
+      Last = I;
+    Off += I.Length;
+    ++N;
+  }
+  EXPECT_EQ(N, ExpectedCount);
+  return Last;
+}
+
+class RegSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RegSweep, MovRoundTrip) {
+  auto [DstN, SrcN] = GetParam();
+  Reg Dst = regFromNum(static_cast<unsigned>(DstN));
+  Reg Src = regFromNum(static_cast<unsigned>(SrcN));
+  for (unsigned Sz : {1u, 2u, 4u, 8u}) {
+    Asm A(Base);
+    A.movRR(Dst, Src, Sz);
+    ASSERT_TRUE(A.finalize());
+    Instr I = decodeAll(A);
+    EXPECT_EQ(I.Mn, Mnemonic::Mov);
+    EXPECT_EQ(I.Ops[0].R, Dst);
+    EXPECT_EQ(I.Ops[1].R, Src);
+    EXPECT_EQ(I.Ops[0].Size, Sz);
+    EXPECT_FALSE(I.Ops[0].HighByte);
+  }
+}
+
+TEST_P(RegSweep, ArithRoundTrip) {
+  auto [DstN, SrcN] = GetParam();
+  Reg Dst = regFromNum(static_cast<unsigned>(DstN));
+  Reg Src = regFromNum(static_cast<unsigned>(SrcN));
+  for (Mnemonic Mn : {Mnemonic::Add, Mnemonic::Sub, Mnemonic::And,
+                      Mnemonic::Or, Mnemonic::Xor, Mnemonic::Cmp,
+                      Mnemonic::Adc, Mnemonic::Sbb}) {
+    for (unsigned Sz : {1u, 4u, 8u}) {
+      Asm A(Base);
+      A.arithRR(Mn, Dst, Src, Sz);
+      ASSERT_TRUE(A.finalize());
+      Instr I = decodeAll(A);
+      EXPECT_EQ(I.Mn, Mn) << I.str();
+      EXPECT_EQ(I.Ops[0].R, Dst);
+      EXPECT_EQ(I.Ops[1].R, Src);
+    }
+  }
+}
+
+TEST_P(RegSweep, MemFormsRoundTrip) {
+  auto [BaseN, IdxN] = GetParam();
+  Reg BR = regFromNum(static_cast<unsigned>(BaseN));
+  Reg IR = regFromNum(static_cast<unsigned>(IdxN));
+  if (IR == Reg::RSP)
+    return; // rsp cannot be an index register
+  for (uint8_t Scale : {1, 2, 4, 8}) {
+    for (int32_t Disp : {0, 8, -8, 0x1234, -0x1234}) {
+      MemOperand M;
+      M.Base = BR;
+      M.Index = IR;
+      M.Scale = Scale;
+      M.Disp = Disp;
+      Asm A(Base);
+      A.movRM(Reg::RAX, M, 8);
+      A.movMR(M, Reg::RCX, 4);
+      A.leaRM(Reg::RDX, M, 8);
+      ASSERT_TRUE(A.finalize());
+      Instr I0 = decodeAll(A, 3, 0);
+      EXPECT_EQ(I0.Mn, Mnemonic::Mov);
+      EXPECT_EQ(I0.Ops[1].M, M) << I0.str();
+      Instr I2 = decodeAll(A, 3, 2);
+      EXPECT_EQ(I2.Mn, Mnemonic::Lea);
+      EXPECT_EQ(I2.Ops[1].M, M) << I2.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegPairs, RegSweep,
+                         ::testing::Combine(::testing::Range(0, 16),
+                                            ::testing::Values(0, 3, 4, 5, 7,
+                                                              8, 12, 15)));
+
+TEST(Decoder, ImmediateForms) {
+  for (int64_t Imm :
+       {int64_t(0), int64_t(1), int64_t(-1), int64_t(127), int64_t(-128),
+        int64_t(0x7fffffff), int64_t(-0x80000000ll),
+        int64_t(0x123456789abcdefll)}) {
+    Asm A(Base);
+    A.movRI(Reg::R9, Imm, 8);
+    ASSERT_TRUE(A.finalize());
+    const auto &Code = A.code();
+    Instr I = decodeInstr(Code.data(), Code.size(), Base);
+    ASSERT_TRUE(I.isValid());
+    EXPECT_EQ(I.Mn, Mnemonic::Mov);
+    EXPECT_EQ(I.Ops[1].Imm, Imm) << I.str();
+  }
+}
+
+TEST(Decoder, BranchTargetsAreAbsolute) {
+  Asm A(Base);
+  auto L = A.newLabel();
+  A.jccL(Cond::NE, L);
+  A.nop(3);
+  A.bind(L);
+  A.jmpL(L);
+  ASSERT_TRUE(A.finalize());
+  Instr J = decodeAll(A, 5, 0);
+  EXPECT_EQ(J.Mn, Mnemonic::Jcc);
+  EXPECT_EQ(J.CC, Cond::NE);
+  EXPECT_EQ(static_cast<uint64_t>(J.Ops[0].Imm), A.labelAddr(L));
+  Instr JMP = decodeAll(A, 5, 4);
+  EXPECT_EQ(JMP.Mn, Mnemonic::Jmp);
+  EXPECT_EQ(static_cast<uint64_t>(JMP.Ops[0].Imm), A.labelAddr(L));
+}
+
+TEST(Decoder, ControlFlowForms) {
+  Asm A(Base);
+  A.callAbs(Base + 0x100);
+  A.callR(Reg::RAX);
+  MemOperand M;
+  M.Base = Reg::RDI;
+  A.callM(M);
+  A.jmpR(Reg::R11);
+  A.jmpM(M);
+  A.ret();
+  ASSERT_TRUE(A.finalize());
+  EXPECT_EQ(decodeAll(A, 6, 0).Mn, Mnemonic::Call);
+  Instr CR = decodeAll(A, 6, 1);
+  EXPECT_EQ(CR.Mn, Mnemonic::Call);
+  EXPECT_TRUE(CR.Ops[0].isReg());
+  Instr CM = decodeAll(A, 6, 2);
+  EXPECT_TRUE(CM.Ops[0].isMem());
+  Instr JR = decodeAll(A, 6, 3);
+  EXPECT_EQ(JR.Mn, Mnemonic::Jmp);
+  EXPECT_EQ(JR.Ops[0].R, Reg::R11);
+  EXPECT_EQ(decodeAll(A, 6, 5).Mn, Mnemonic::Ret);
+}
+
+TEST(Decoder, ShiftAndUnaryForms) {
+  Asm A(Base);
+  A.shiftRI(Mnemonic::Shl, Reg::RBX, 3, 8);
+  A.shiftRI(Mnemonic::Sar, Reg::RBX, 63, 8);
+  A.shiftRCL(Mnemonic::Shr, Reg::RDX, 4);
+  A.negR(Reg::RSI, 8);
+  A.notR(Reg::R8, 4);
+  A.incR(Reg::RCX, 8);
+  A.decR(Reg::RCX, 2);
+  ASSERT_TRUE(A.finalize());
+  EXPECT_EQ(decodeAll(A, 7, 0).Mn, Mnemonic::Shl);
+  EXPECT_EQ(decodeAll(A, 7, 0).Ops[1].Imm, 3);
+  EXPECT_EQ(decodeAll(A, 7, 1).Ops[1].Imm, 63);
+  Instr SH = decodeAll(A, 7, 2);
+  EXPECT_EQ(SH.Mn, Mnemonic::Shr);
+  EXPECT_EQ(SH.Ops[1].R, Reg::RCX); // by cl
+  EXPECT_EQ(decodeAll(A, 7, 3).Mn, Mnemonic::Neg);
+  EXPECT_EQ(decodeAll(A, 7, 4).Mn, Mnemonic::Not);
+  EXPECT_EQ(decodeAll(A, 7, 5).Mn, Mnemonic::Inc);
+  Instr D = decodeAll(A, 7, 6);
+  EXPECT_EQ(D.Mn, Mnemonic::Dec);
+  EXPECT_EQ(D.Ops[0].Size, 2);
+}
+
+TEST(Decoder, ExtensionAndConditionalForms) {
+  Asm A(Base);
+  A.movzxRR(Reg::RAX, Reg::RBX, 1, 8);
+  A.movzxRR(Reg::RAX, Reg::RBX, 2, 4);
+  A.movsxdRR(Reg::RCX, Reg::RDX);
+  A.cmovRR(Cond::LE, Reg::RSI, Reg::RDI, 8);
+  A.setccR(Cond::A, Reg::RDX);
+  A.cdqe();
+  A.cqo();
+  A.xchgRR(Reg::RAX, Reg::R15, 8);
+  ASSERT_TRUE(A.finalize());
+  EXPECT_EQ(decodeAll(A, 8, 0).Mn, Mnemonic::Movzx);
+  EXPECT_EQ(decodeAll(A, 8, 0).Ops[1].Size, 1);
+  EXPECT_EQ(decodeAll(A, 8, 1).Ops[1].Size, 2);
+  EXPECT_EQ(decodeAll(A, 8, 2).Mn, Mnemonic::Movsxd);
+  Instr CM = decodeAll(A, 8, 3);
+  EXPECT_EQ(CM.Mn, Mnemonic::Cmovcc);
+  EXPECT_EQ(CM.CC, Cond::LE);
+  Instr SC = decodeAll(A, 8, 4);
+  EXPECT_EQ(SC.Mn, Mnemonic::Setcc);
+  EXPECT_EQ(SC.CC, Cond::A);
+  EXPECT_EQ(decodeAll(A, 8, 5).Mn, Mnemonic::Cdqe);
+  EXPECT_EQ(decodeAll(A, 8, 6).Mn, Mnemonic::Cqo);
+  EXPECT_EQ(decodeAll(A, 8, 7).Mn, Mnemonic::Xchg);
+}
+
+TEST(Decoder, HighByteRegisters) {
+  // 88 e0: mov al, ah (no REX: encoding 4 at 8-bit = ah).
+  const uint8_t Code[] = {0x88, 0xe0};
+  Instr I = decodeInstr(Code, sizeof(Code), Base);
+  ASSERT_TRUE(I.isValid());
+  EXPECT_EQ(I.Mn, Mnemonic::Mov);
+  EXPECT_EQ(I.Ops[0].R, Reg::RAX);
+  EXPECT_FALSE(I.Ops[0].HighByte);
+  EXPECT_TRUE(I.Ops[1].HighByte);
+  EXPECT_EQ(I.Ops[1].R, Reg::RAX);
+  EXPECT_EQ(I.str(), "mov al, ah");
+
+  // With REX, the same encoding means spl.
+  const uint8_t Code2[] = {0x40, 0x88, 0xe0};
+  Instr I2 = decodeInstr(Code2, sizeof(Code2), Base);
+  ASSERT_TRUE(I2.isValid());
+  EXPECT_FALSE(I2.Ops[1].HighByte);
+  EXPECT_EQ(I2.Ops[1].R, Reg::RSP);
+}
+
+TEST(Decoder, StrictOnTruncationAndGarbage) {
+  // Truncated mov imm64.
+  const uint8_t Trunc[] = {0x48, 0xb8, 0x01, 0x02};
+  EXPECT_FALSE(decodeInstr(Trunc, sizeof(Trunc), Base).isValid());
+  // Unsupported opcodes must decode to Invalid, not garbage.
+  for (uint8_t Op : {0x0e, 0x27, 0x62, 0xd7, 0xf1}) {
+    const uint8_t Code[] = {Op, 0x00, 0x00, 0x00, 0x00, 0x00};
+    EXPECT_FALSE(decodeInstr(Code, sizeof(Code), Base).isValid())
+        << "opcode " << static_cast<int>(Op);
+  }
+  EXPECT_FALSE(decodeInstr(nullptr, 0, Base).isValid());
+}
+
+TEST(Decoder, RipRelative) {
+  Asm A(Base);
+  auto L = A.newLabel();
+  A.leaRL(Reg::RDI, L);
+  A.ret();
+  A.bind(L);
+  ASSERT_TRUE(A.finalize());
+  Instr I = decodeAll(A, 2, 0);
+  EXPECT_EQ(I.Mn, Mnemonic::Lea);
+  ASSERT_TRUE(I.Ops[1].isMem());
+  EXPECT_TRUE(I.Ops[1].M.RipRel);
+  EXPECT_EQ(I.nextAddr() + static_cast<int64_t>(I.Ops[1].M.Disp),
+            A.labelAddr(L));
+}
+
+TEST(Decoder, EndbrAndFences) {
+  Asm A(Base);
+  A.endbr64();
+  A.ud2();
+  A.int3();
+  A.hlt();
+  A.syscall();
+  ASSERT_TRUE(A.finalize());
+  EXPECT_EQ(decodeAll(A, 5, 0).Mn, Mnemonic::Endbr64);
+  EXPECT_EQ(decodeAll(A, 5, 1).Mn, Mnemonic::Ud2);
+  EXPECT_EQ(decodeAll(A, 5, 2).Mn, Mnemonic::Int3);
+  EXPECT_EQ(decodeAll(A, 5, 3).Mn, Mnemonic::Hlt);
+  EXPECT_EQ(decodeAll(A, 5, 4).Mn, Mnemonic::Syscall);
+}
+
+TEST(Decoder, OverlappingDecodesBothWays) {
+  // The §2 trick: "81 ff c3 00 00 00" is cmp edi, 0xc3 from offset 0 but a
+  // ret from offset 2 — both must decode.
+  const uint8_t Code[] = {0x81, 0xff, 0xc3, 0x00, 0x00, 0x00};
+  Instr I = decodeInstr(Code, sizeof(Code), Base);
+  ASSERT_TRUE(I.isValid());
+  EXPECT_EQ(I.Mn, Mnemonic::Cmp);
+  EXPECT_EQ(I.Length, 6);
+  Instr R = decodeInstr(Code + 2, sizeof(Code) - 2, Base + 2);
+  ASSERT_TRUE(R.isValid());
+  EXPECT_EQ(R.Mn, Mnemonic::Ret);
+}
+
+} // namespace

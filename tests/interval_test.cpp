@@ -1,0 +1,102 @@
+//===- interval_test.cpp - Interval arithmetic unit + property tests -----===//
+
+#include "support/Interval.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using hglift::Interval;
+using hglift::Rng;
+
+namespace {
+
+TEST(Interval, Basics) {
+  Interval T = Interval::top();
+  EXPECT_TRUE(T.isTop());
+  EXPECT_FALSE(T.isEmpty());
+  EXPECT_TRUE(T.contains(0));
+  EXPECT_TRUE(T.contains(INT64_MIN));
+
+  Interval E = Interval::empty();
+  EXPECT_TRUE(E.isEmpty());
+  EXPECT_FALSE(E.contains(0));
+
+  Interval P(42);
+  EXPECT_TRUE(P.isPoint());
+  EXPECT_TRUE(P.contains(42));
+  EXPECT_FALSE(P.contains(41));
+}
+
+TEST(Interval, JoinMeet) {
+  Interval A(0, 10), B(5, 20);
+  EXPECT_EQ(A.join(B), Interval(0, 20));
+  EXPECT_EQ(A.meet(B), Interval(5, 10));
+  EXPECT_TRUE(A.meet(Interval(11, 12)).isEmpty());
+  EXPECT_EQ(A.join(Interval::empty()), A);
+  EXPECT_EQ(A.meet(Interval::empty()), Interval::empty());
+}
+
+TEST(Interval, BelowAtLeast) {
+  Interval A(3, 7);
+  EXPECT_TRUE(A.below(8));
+  EXPECT_FALSE(A.below(7));
+  EXPECT_TRUE(A.atLeast(3));
+  EXPECT_FALSE(A.atLeast(4));
+}
+
+TEST(Interval, ArithmeticExact) {
+  EXPECT_EQ(Interval(1, 2).add(Interval(10, 20)), Interval(11, 22));
+  EXPECT_EQ(Interval(1, 2).sub(Interval(10, 20)), Interval(-19, -8));
+  EXPECT_EQ(Interval(-3, 4).mul(2), Interval(-6, 8));
+  EXPECT_EQ(Interval(-3, 4).mul(-2), Interval(-8, 6));
+  EXPECT_EQ(Interval(1, 5).neg(), Interval(-5, -1));
+}
+
+TEST(Interval, OverflowIsTop) {
+  Interval Big(INT64_MAX - 1, INT64_MAX);
+  EXPECT_TRUE(Big.add(Interval(10)).isTop());
+  EXPECT_TRUE(Interval(INT64_MIN).neg().isTop());
+  EXPECT_TRUE(Interval(INT64_MAX / 2, INT64_MAX).mul(3).isTop());
+}
+
+/// Property: interval ops are sound abstractions of concrete arithmetic.
+TEST(IntervalProperty, SoundAbstraction) {
+  Rng R(7);
+  for (int Iter = 0; Iter < 2000; ++Iter) {
+    int64_t ALo = R.range(-1000, 1000);
+    int64_t AHi = ALo + R.range(0, 100);
+    int64_t BLo = R.range(-1000, 1000);
+    int64_t BHi = BLo + R.range(0, 100);
+    Interval A(ALo, AHi), B(BLo, BHi);
+    int64_t X = R.range(ALo, AHi), Y = R.range(BLo, BHi);
+    int64_t K = R.range(-9, 9);
+
+    EXPECT_TRUE(A.add(B).contains(X + Y));
+    EXPECT_TRUE(A.sub(B).contains(X - Y));
+    EXPECT_TRUE(A.mul(K).contains(X * K));
+    EXPECT_TRUE(A.neg().contains(-X));
+    EXPECT_TRUE(A.join(B).contains(X));
+    EXPECT_TRUE(A.join(B).contains(Y));
+    if (A.meet(B).contains(X)) {
+      EXPECT_TRUE(B.contains(X));
+    }
+  }
+}
+
+/// Property: join is ACI; meet ordered under join.
+TEST(IntervalProperty, LatticeLaws) {
+  Rng R(13);
+  for (int Iter = 0; Iter < 2000; ++Iter) {
+    auto Mk = [&]() {
+      int64_t Lo = R.range(-50, 50);
+      return Interval(Lo, Lo + R.range(0, 40));
+    };
+    Interval A = Mk(), B = Mk(), C = Mk();
+    EXPECT_EQ(A.join(B), B.join(A));
+    EXPECT_EQ(A.join(A), A);
+    EXPECT_EQ(A.join(B).join(C), A.join(B.join(C)));
+    EXPECT_TRUE(A.join(B).contains(A.meet(B)));
+  }
+}
+
+} // namespace

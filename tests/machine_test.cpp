@@ -1,0 +1,220 @@
+//===- machine_test.cpp - Concrete emulator unit tests -------------------===//
+
+#include "corpus/ProgramBuilder.h"
+#include "semantics/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace hglift;
+using namespace hglift::x86;
+using corpus::ProgramBuilder;
+using sem::Machine;
+
+namespace {
+
+/// Assemble a function body, run it as a call with the given arguments,
+/// and return rax.
+struct Runner {
+  ProgramBuilder PB{"machine_test"};
+  Asm::Label F;
+
+  Runner() : F(PB.text().newLabel()) { PB.text().bind(F); }
+
+  uint64_t run(std::initializer_list<uint64_t> Args,
+               Machine::Status Expect = Machine::Status::Returned) {
+    auto BB = PB.build(F);
+    EXPECT_TRUE(BB.has_value());
+    Machine M(BB->Img);
+    M.setupCall(BB->Img.Entry);
+    unsigned I = 0;
+    for (uint64_t A : Args)
+      M.setReg(argReg(I++), A);
+    EXPECT_EQ(M.run(100000), Expect);
+    return M.reg(Reg::RAX);
+  }
+};
+
+TEST(Machine, Arithmetic) {
+  Runner R;
+  Asm &A = R.PB.text();
+  // rax = (rdi + 3*rsi) ^ (rdx >> 2)
+  A.leaRM(Reg::RAX, MemOperand{Reg::RDI, Reg::RSI, 2, 0, false}, 8);
+  A.addRR(Reg::RAX, Reg::RSI, 8);
+  A.movRR(Reg::RCX, Reg::RDX, 8);
+  A.shiftRI(Mnemonic::Sar, Reg::RCX, 2, 8);
+  A.arithRR(Mnemonic::Xor, Reg::RAX, Reg::RCX, 8);
+  A.ret();
+  EXPECT_EQ(R.run({10, 7, 100}), (10 + 3 * 7) ^ (100 >> 2));
+}
+
+TEST(Machine, BranchesAndLoops) {
+  Runner R;
+  Asm &A = R.PB.text();
+  // rax = sum of rdi added 8 times, then +1 if rdi > 3 else -1.
+  Asm::Label Loop = A.newLabel(), Else = A.newLabel(), Join = A.newLabel();
+  A.xorRR(Reg::RAX, Reg::RAX, 8);
+  A.movRI(Reg::RCX, 8, 4);
+  A.bind(Loop);
+  A.addRR(Reg::RAX, Reg::RDI, 8);
+  A.decR(Reg::RCX, 4);
+  A.jccL(Cond::NE, Loop);
+  A.cmpRI(Reg::RDI, 3, 8);
+  A.jccL(Cond::LE, Else);
+  A.addRI(Reg::RAX, 1, 8);
+  A.jmpL(Join);
+  A.bind(Else);
+  A.subRI(Reg::RAX, 1, 8);
+  A.bind(Join);
+  A.ret();
+  EXPECT_EQ(R.run({5}), 5u * 8 + 1);
+  Runner R2;
+  // rebuild with identical body for the second input
+  Asm &B = R2.PB.text();
+  Asm::Label L2 = B.newLabel(), E2 = B.newLabel(), J2 = B.newLabel();
+  B.xorRR(Reg::RAX, Reg::RAX, 8);
+  B.movRI(Reg::RCX, 8, 4);
+  B.bind(L2);
+  B.addRR(Reg::RAX, Reg::RDI, 8);
+  B.decR(Reg::RCX, 4);
+  B.jccL(Cond::NE, L2);
+  B.cmpRI(Reg::RDI, 3, 8);
+  B.jccL(Cond::LE, E2);
+  B.addRI(Reg::RAX, 1, 8);
+  B.jmpL(J2);
+  B.bind(E2);
+  B.subRI(Reg::RAX, 1, 8);
+  B.bind(J2);
+  B.ret();
+  EXPECT_EQ(R2.run({2}), 2u * 8 - 1);
+}
+
+TEST(Machine, SignedUnsignedConditions) {
+  // setcc-based comparison matrix for one interesting pair.
+  Runner R;
+  Asm &A = R.PB.text();
+  A.cmpRR(Reg::RDI, Reg::RSI, 8);
+  A.setccR(Cond::B, Reg::RAX);  // bit 0: unsigned <
+  A.setccR(Cond::L, Reg::RCX);  // signed <
+  A.shiftRI(Mnemonic::Shl, Reg::RCX, 1, 8);
+  A.arithRR(Mnemonic::Or, Reg::RAX, Reg::RCX, 1);
+  A.movzxRR(Reg::RAX, Reg::RAX, 1, 8);
+  A.ret();
+  // -1 (unsigned huge) vs 1: not unsigned-less, signed-less.
+  EXPECT_EQ(R.run({static_cast<uint64_t>(-1), 1}), 0b10u);
+}
+
+TEST(Machine, MemoryAndStack) {
+  Runner R;
+  Asm &A = R.PB.text();
+  A.pushR(Reg::RBP);
+  A.movRR(Reg::RBP, Reg::RSP, 8);
+  A.subRI(Reg::RSP, 0x20, 8);
+  A.movMR(MemOperand{Reg::RBP, Reg::None, 1, -8, false}, Reg::RDI, 8);
+  A.movRM(Reg::RAX, MemOperand{Reg::RBP, Reg::None, 1, -8, false}, 8);
+  A.addRI(Reg::RAX, 1, 8);
+  A.addRI(Reg::RSP, 0x20, 8);
+  A.popR(Reg::RBP);
+  A.ret();
+  EXPECT_EQ(R.run({41}), 42u);
+}
+
+TEST(Machine, DivisionAndWidening) {
+  Runner R;
+  Asm &A = R.PB.text();
+  // rax = rdi / rsi (unsigned), rdx = remainder folded in.
+  A.movRR(Reg::RAX, Reg::RDI, 8);
+  A.xorRR(Reg::RDX, Reg::RDX, 4);
+  A.divR(Reg::RSI, 8);
+  A.addRR(Reg::RAX, Reg::RDX, 8); // quotient + remainder
+  A.ret();
+  EXPECT_EQ(R.run({100, 7}), 100u / 7 + 100u % 7);
+}
+
+TEST(Machine, DivByZeroFaults) {
+  Runner R;
+  Asm &A = R.PB.text();
+  A.movRR(Reg::RAX, Reg::RDI, 8);
+  A.xorRR(Reg::RDX, Reg::RDX, 4);
+  A.divR(Reg::RSI, 8);
+  A.ret();
+  R.run({1, 0}, Machine::Status::Fault);
+}
+
+TEST(Machine, HighByteAccess) {
+  Runner R;
+  Asm &A = R.PB.text();
+  // rax = 0x1234; al <- ah  => 0x1212.
+  A.movRI(Reg::RAX, 0x1234, 8);
+  // 88 e0: mov al, ah (raw bytes; the assembler API doesn't emit ah).
+  A.byte(0x88);
+  A.byte(0xe0);
+  A.ret();
+  EXPECT_EQ(R.run({}), 0x1212u);
+}
+
+TEST(Machine, CmovAndCdqe) {
+  Runner R;
+  Asm &A = R.PB.text();
+  A.movRI(Reg::RAX, -5, 4); // eax = 0xfffffffb; rax zero-extended
+  A.cdqe();                 // rax = sign-extended: -5
+  A.movRI(Reg::RCX, 7, 8);
+  A.cmpRI(Reg::RDI, 0, 8);
+  A.cmovRR(Cond::E, Reg::RAX, Reg::RCX, 8); // rax = 7 iff rdi == 0
+  A.ret();
+  EXPECT_EQ(R.run({0}), 7u);
+}
+
+TEST(Machine, ExternalCallDefaultModel) {
+  ProgramBuilder PB("ext");
+  Asm &A = PB.text();
+  Asm::Label F = A.newLabel();
+  uint64_t Puts = PB.plt("puts");
+  A.bind(F);
+  A.pushR(Reg::RBX);
+  A.movRI(Reg::RBX, 123, 8);
+  A.callAbs(Puts);
+  A.movRR(Reg::RAX, Reg::RBX, 8); // rbx is callee-saved: must survive
+  A.popR(Reg::RBX);
+  A.ret();
+  auto BB = PB.build(F);
+  ASSERT_TRUE(BB.has_value());
+  Machine M(BB->Img);
+  M.setupCall(BB->Img.Entry);
+  ASSERT_EQ(M.run(1000), Machine::Status::Returned);
+  EXPECT_EQ(M.reg(Reg::RAX), 123u);
+}
+
+TEST(Machine, ExitHaltsViaSyscall) {
+  ProgramBuilder PB("exit");
+  Asm &A = PB.text();
+  Asm::Label F = A.newLabel();
+  A.bind(F);
+  A.movRI(Reg::RAX, 60, 4);
+  A.syscall();
+  auto BB = PB.build(F);
+  ASSERT_TRUE(BB.has_value());
+  Machine M(BB->Img);
+  M.setupCall(BB->Img.Entry);
+  EXPECT_EQ(M.run(10), Machine::Status::Halted);
+}
+
+TEST(Machine, SelfModifiedFetchFaults) {
+  ProgramBuilder PB("selfmod");
+  Asm &A = PB.text();
+  Asm::Label F = A.newLabel(), Next = A.newLabel();
+  A.bind(F);
+  // Write over the next instruction's bytes, then fall into them.
+  A.leaRL(Reg::RAX, Next);
+  A.movMI(MemOperand{Reg::RAX, Reg::None, 1, 0, false}, 0x90, 1);
+  A.bind(Next);
+  A.nop();
+  A.ret();
+  auto BB = PB.build(F);
+  ASSERT_TRUE(BB.has_value());
+  Machine M(BB->Img);
+  M.setupCall(BB->Img.Entry);
+  EXPECT_EQ(M.run(10), Machine::Status::Fault)
+      << "self-modifying code is out of scope and must fault";
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+//===- suite_test.cpp - The Table 1 / Table 2 corpus builders ------------===//
+
+#include "corpus/Suites.h"
+#include "hg/Lifter.h"
+
+#include <gtest/gtest.h>
+
+using namespace hglift;
+
+namespace {
+
+TEST(Suites, XenSuiteShape) {
+  corpus::SuiteOptions Opts;
+  Opts.LibraryScale = 100; // tiny, for test speed
+  auto Rows = corpus::buildXenSuite(Opts);
+  ASSERT_EQ(Rows.size(), 8u);
+
+  // The eight directory rows of Table 1, binaries then libraries.
+  EXPECT_EQ(Rows[0].Directory, ".../bin");
+  EXPECT_FALSE(Rows[0].IsLibrary);
+  EXPECT_EQ(Rows[4].Directory, ".../lib");
+  EXPECT_TRUE(Rows[4].IsLibrary);
+
+  // Paper mixes preserved.
+  EXPECT_EQ(Rows[0].Paper.Lifted, 12u);
+  EXPECT_EQ(Rows[0].Paper.Concurrency, 1u);
+  EXPECT_EQ(Rows[1].Paper.Timeout, 1u);
+  EXPECT_EQ(Rows[4].Paper.Lifted, 1874u);
+
+  // Scaled mixes: nonzero categories stay nonzero.
+  EXPECT_GE(Rows[4].Ours.Lifted, 1u);
+  EXPECT_GE(Rows[4].Ours.Unprovable, 1u);
+  EXPECT_GE(Rows[4].Ours.Timeout, 1u);
+  EXPECT_EQ(Rows[7].Ours.Unprovable, 0u);
+
+  // Every row materialized its binaries.
+  for (const corpus::SuiteRow &Row : Rows) {
+    EXPECT_FALSE(Row.Binaries.empty()) << Row.Directory;
+    for (const corpus::BuiltBinary &BB : Row.Binaries)
+      EXPECT_FALSE(BB.Img.Segments.empty()) << Row.Directory;
+  }
+}
+
+TEST(Suites, XenBinaryRowOutcomesRealize) {
+  // Lift one binary row end-to-end and check the outcome mix matches the
+  // suite's intent.
+  corpus::SuiteOptions Opts;
+  Opts.LibraryScale = 100;
+  auto Rows = corpus::buildXenSuite(Opts);
+  const corpus::SuiteRow &Bin = Rows[0]; // .../bin: 12 + 2 + 1 + 0
+
+  hg::LiftConfig Cfg;
+  Cfg.MaxVertices = 3000;
+  Cfg.MaxSeconds = 10;
+  unsigned Lifted = 0, Unprov = 0, Conc = 0, Tout = 0;
+  for (const corpus::BuiltBinary &BB : Bin.Binaries) {
+    hg::Lifter L(BB.Img, Cfg);
+    switch (L.liftBinary().Outcome) {
+    case hg::LiftOutcome::Lifted:
+      ++Lifted;
+      break;
+    case hg::LiftOutcome::UnprovableReturn:
+      ++Unprov;
+      break;
+    case hg::LiftOutcome::Concurrency:
+      ++Conc;
+      break;
+    case hg::LiftOutcome::Timeout:
+      ++Tout;
+      break;
+    }
+  }
+  EXPECT_EQ(Lifted, Bin.Ours.Lifted);
+  EXPECT_EQ(Unprov, Bin.Ours.Unprovable);
+  EXPECT_EQ(Conc, Bin.Ours.Concurrency);
+  EXPECT_EQ(Tout, Bin.Ours.Timeout);
+}
+
+TEST(Suites, CoreutilsSuite) {
+  auto Suite = corpus::buildCoreutilsSuite(0xc0de, /*Scale=*/20);
+  ASSERT_EQ(Suite.size(), 6u);
+  EXPECT_EQ(Suite[0].Name, "hexdump");
+  EXPECT_EQ(Suite[2].Name, "wc");
+  EXPECT_EQ(Suite[2].PaperIndirections, 0u);
+  for (const corpus::Table2Entry &E : Suite) {
+    EXPECT_FALSE(E.Binary.Img.Segments.empty());
+    hg::LiftConfig Cfg;
+    Cfg.MaxVertices = 3000;
+    Cfg.MaxSeconds = 15;
+    hg::Lifter L(E.Binary.Img, Cfg);
+    EXPECT_EQ(L.liftBinary().Outcome, hg::LiftOutcome::Lifted) << E.Name;
+  }
+}
+
+TEST(Suites, Determinism) {
+  // Same seed, same bytes: the corpus must be bit-stable for reproducible
+  // benchmarks.
+  corpus::SuiteOptions Opts;
+  Opts.LibraryScale = 200;
+  auto A = corpus::buildXenSuite(Opts);
+  auto B = corpus::buildXenSuite(Opts);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    ASSERT_EQ(A[I].Binaries.size(), B[I].Binaries.size());
+    for (size_t J = 0; J < A[I].Binaries.size(); ++J)
+      EXPECT_EQ(A[I].Binaries[J].ElfBytes, B[I].Binaries[J].ElfBytes);
+  }
+}
+
+} // namespace

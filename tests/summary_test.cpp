@@ -1,0 +1,108 @@
+//===- summary_test.cpp - HG summaries: round-trip + patch diff ----------===//
+
+#include "corpus/Programs.h"
+#include "export/Summary.h"
+#include "hg/Lifter.h"
+
+#include <gtest/gtest.h>
+
+using namespace hglift;
+using exporter::HgSummary;
+
+namespace {
+
+HgSummary liftSum(const corpus::BuiltBinary &BB) {
+  hg::Lifter L(BB.Img, hg::LiftConfig());
+  return exporter::summarize(L.liftBinary());
+}
+
+TEST(Summary, CapturesStructure) {
+  auto BB = corpus::callChainBinary();
+  ASSERT_TRUE(BB.has_value());
+  HgSummary S = liftSum(*BB);
+  EXPECT_EQ(S.Outcome, "lifted");
+  EXPECT_GE(S.Functions.size(), 4u);
+  size_t Instrs = 0, Edges = 0;
+  for (const auto &[E, F] : S.Functions) {
+    Instrs += F.Instrs.size();
+    Edges += F.Edges.size();
+    EXPECT_EQ(F.Outcome, "lifted");
+  }
+  EXPECT_GT(Instrs, 20u);
+  // Every instruction has an outgoing edge except terminal ones (exit
+  // syscalls, hlt): at most one per function.
+  EXPECT_GE(Edges + S.Functions.size(), Instrs);
+}
+
+TEST(Summary, TextRoundTrip) {
+  auto BB = corpus::weirdEdgeBinary();
+  ASSERT_TRUE(BB.has_value());
+  HgSummary S = liftSum(*BB);
+  std::string Text = exporter::writeSummary(S);
+  auto R = exporter::parseSummary(Text);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Outcome, S.Outcome);
+  ASSERT_EQ(R->Functions.size(), S.Functions.size());
+  for (const auto &[E, F] : S.Functions) {
+    ASSERT_TRUE(R->Functions.count(E));
+    const exporter::FunctionSummary &G = R->Functions[E];
+    EXPECT_EQ(G.Instrs, F.Instrs);
+    EXPECT_EQ(G.Edges, F.Edges);
+    EXPECT_EQ(G.Obligations, F.Obligations);
+    EXPECT_EQ(G.A, F.A);
+    EXPECT_EQ(G.B, F.B);
+    EXPECT_EQ(G.C, F.C);
+    EXPECT_EQ(G.MayReturn, F.MayReturn);
+  }
+  // And the round-tripped summary diffs empty against the original.
+  EXPECT_TRUE(exporter::diffSummaries(S, *R).identical());
+}
+
+TEST(Summary, ParserRejectsGarbage) {
+  EXPECT_FALSE(exporter::parseSummary("").has_value());
+  EXPECT_FALSE(exporter::parseSummary("not a summary\n").has_value());
+  EXPECT_FALSE(exporter::parseSummary("hg-summary 1\n").has_value())
+      << "missing end marker";
+  EXPECT_FALSE(
+      exporter::parseSummary("hg-summary 1\n  edge orphan\nend\n")
+          .has_value())
+      << "facts before any function header";
+}
+
+TEST(Summary, DiffDetectsThePatchRegression) {
+  auto V1 = corpus::jumpTableBinary(6, 0);
+  auto V2 = corpus::jumpTableBinary(6, 1); // off-by-one guard
+  ASSERT_TRUE(V1.has_value());
+  ASSERT_TRUE(V2.has_value());
+  HgSummary S1 = liftSum(*V1), S2 = liftSum(*V2);
+
+  exporter::SummaryDiff D = exporter::diffSummaries(S1, S2);
+  ASSERT_FALSE(D.identical());
+  bool NewUnresolved = false, ChangedGuard = false;
+  for (const std::string &L : D.Lines) {
+    NewUnresolved |= L.find("+ edge") != std::string::npos &&
+                     L.find("unresolved") != std::string::npos;
+    ChangedGuard |= L.find("instr @") != std::string::npos;
+  }
+  EXPECT_TRUE(NewUnresolved)
+      << "the loosened guard must surface as a new annotated edge";
+  EXPECT_TRUE(ChangedGuard) << "the changed cmp must be reported";
+
+  // Identity diff is empty.
+  EXPECT_TRUE(exporter::diffSummaries(S1, S1).identical());
+}
+
+TEST(Summary, DiffSeesOutcomeFlips) {
+  auto Good = corpus::straightlineBinary();
+  auto Bad = corpus::overflowBinary();
+  ASSERT_TRUE(Good.has_value());
+  ASSERT_TRUE(Bad.has_value());
+  exporter::SummaryDiff D =
+      diffSummaries(liftSum(*Good), liftSum(*Bad));
+  bool OutcomeLine = false;
+  for (const std::string &L : D.Lines)
+    OutcomeLine |= L.find("outcome") != std::string::npos;
+  EXPECT_TRUE(OutcomeLine);
+}
+
+} // namespace
