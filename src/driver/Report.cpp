@@ -2,14 +2,18 @@
 
 #include "support/Format.h"
 
+#include <cstdio>
+
 namespace hglift::driver {
 
 using hg::BinaryResult;
 using hg::Edge;
 using hg::FunctionResult;
+using hglift::LiftStats;
 
 void printHoareGraph(std::ostream &OS, const FunctionResult &F,
-                     const expr::ExprContext &Ctx) {
+                     const expr::ExprContext &FallbackCtx) {
+  const expr::ExprContext &Ctx = F.ctxOr(FallbackCtx);
   OS << "function " << hexStr(F.Entry) << " ("
      << hg::liftOutcomeName(F.Outcome) << "), " << F.Graph.numStates()
      << " states, " << F.Graph.Edges.size() << " edges\n";
@@ -58,6 +62,11 @@ void printBinaryReport(std::ostream &OS, const BinaryResult &R,
   OS << "resolved indirections (A): " << R.totalA()
      << "  unresolved jumps (B): " << R.totalB()
      << "  unresolved calls (C): " << R.totalC() << "\n";
+  OS << "lift stats: vertices " << R.Total.Vertices << "  joins "
+     << R.Total.Joins << "  widenings " << R.Total.Widenings << "  steps "
+     << R.Total.Steps << "  forks " << R.Total.Forks << "  solver queries "
+     << R.Total.SolverQueries << "  z3 queries " << R.Total.Z3Queries
+     << "\n";
 
   size_t Weird = 0;
   for (const FunctionResult &F : R.Functions)
@@ -75,6 +84,79 @@ void printBinaryReport(std::ostream &OS, const BinaryResult &R,
   if (Verbose)
     for (const FunctionResult &F : R.Functions)
       printHoareGraph(OS, F, Ctx);
+}
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string jsonNum(double D) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", D);
+  return Buf;
+}
+
+void writeStatsFields(std::ostream &OS, const LiftStats &S) {
+  OS << "\"vertices\": " << S.Vertices << ", \"joins\": " << S.Joins
+     << ", \"widenings\": " << S.Widenings << ", \"steps\": " << S.Steps
+     << ", \"forks\": " << S.Forks
+     << ", \"solver_queries\": " << S.SolverQueries
+     << ", \"z3_queries\": " << S.Z3Queries
+     << ", \"seconds\": " << jsonNum(S.Seconds);
+}
+
+} // namespace
+
+void writeStatsJson(std::ostream &OS, const BinaryResult &R) {
+  OS << "{\n";
+  OS << "  \"binary\": \"" << jsonEscape(R.Name) << "\",\n";
+  OS << "  \"outcome\": \"" << hg::liftOutcomeName(R.Outcome) << "\",\n";
+  OS << "  \"seconds\": " << jsonNum(R.Seconds) << ",\n";
+  OS << "  \"totals\": {";
+  writeStatsFields(OS, R.Total);
+  OS << "},\n";
+  OS << "  \"functions\": [\n";
+  for (size_t I = 0; I < R.Functions.size(); ++I) {
+    const FunctionResult &F = R.Functions[I];
+    OS << "    {\"entry\": \"" << hexStr(F.Entry) << "\", \"outcome\": \""
+       << hg::liftOutcomeName(F.Outcome) << "\", \"instructions\": "
+       << F.numInstructions() << ", \"states\": " << F.Graph.numStates()
+       << ", \"resolved_indirections\": " << F.ResolvedIndirections
+       << ", \"unresolved_jumps\": " << F.UnresolvedJumps
+       << ", \"unresolved_calls\": " << F.UnresolvedCalls
+       << ", \"may_return\": " << (F.MayReturn ? "true" : "false") << ", ";
+    writeStatsFields(OS, F.Stats);
+    OS << "}" << (I + 1 < R.Functions.size() ? "," : "") << "\n";
+  }
+  OS << "  ]\n";
+  OS << "}\n";
 }
 
 } // namespace hglift::driver

@@ -11,6 +11,10 @@
 //     --no-join            ablation: disable state joining
 //     --destroy-always     ablation: no alias/separation branching
 //     --max-seconds N      per-function wall budget (default 60)
+//     --threads N          lifting worker threads (0 = hardware, default 1);
+//                          results are identical for every value
+//     --stats-json F       write lifting statistics (per-function vertices,
+//                          joins, solver calls, wall time) as JSON to F
 //
 //===----------------------------------------------------------------------===//
 
@@ -30,13 +34,14 @@ int main(int argc, char **argv) {
   if (argc < 2) {
     std::cerr << "usage: hglift <binary.elf> [--library] [--check] "
                  "[--export-isabelle FILE] [--dump-hg] [--no-join] "
-                 "[--destroy-always] [--max-seconds N]\n";
+                 "[--destroy-always] [--max-seconds N] [--threads N] "
+                 "[--stats-json FILE]\n";
     return 2;
   }
 
   std::string Path = argv[1];
   bool Library = false, Check = false, DumpHG = false;
-  std::string IsabelleOut, DotOut;
+  std::string IsabelleOut, DotOut, StatsJsonOut;
   hg::LiftConfig Cfg;
   for (int I = 2; I < argc; ++I) {
     std::string A = argv[I];
@@ -56,6 +61,10 @@ int main(int argc, char **argv) {
       DotOut = argv[++I];
     else if (A == "--max-seconds" && I + 1 < argc)
       Cfg.MaxSeconds = std::atof(argv[++I]);
+    else if (A == "--threads" && I + 1 < argc)
+      Cfg.Threads = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (A == "--stats-json" && I + 1 < argc)
+      StatsJsonOut = argv[++I];
     else {
       std::cerr << "unknown option: " << A << "\n";
       return 2;
@@ -71,6 +80,16 @@ int main(int argc, char **argv) {
   hg::Lifter L(*Img, Cfg);
   hg::BinaryResult R = Library ? L.liftLibrary() : L.liftBinary();
   driver::printBinaryReport(std::cout, R, L.exprContext(), DumpHG);
+
+  if (!StatsJsonOut.empty()) {
+    std::ofstream Out(StatsJsonOut);
+    if (!Out) {
+      std::cerr << "cannot open " << StatsJsonOut << " for writing\n";
+      return 2;
+    }
+    driver::writeStatsJson(Out, R);
+    std::cout << "wrote lifting stats to " << StatsJsonOut << "\n";
+  }
 
   if (Check) {
     exporter::CheckResult C = exporter::checkBinary(L, R);

@@ -99,7 +99,7 @@ std::string exportDot(const expr::ExprContext &Ctx, const FunctionResult &F,
                       const DotOptions &Opts) {
   std::string Out = "digraph hg_" + hexStr(F.Entry).substr(2) + " {\n";
   Out += "  rankdir=TB;\n  fontname=monospace;\n";
-  emitFunction(Out, Ctx, F, Opts, "");
+  emitFunction(Out, F.ctxOr(Ctx), F, Opts, "");
   Out += "}\n";
   return Out;
 }
@@ -115,7 +115,7 @@ std::string exportDotBinary(const expr::ExprContext &Ctx,
     std::string Prefix = "f" + std::to_string(N++) + "_";
     Out += "  subgraph cluster_" + Prefix + " {\n";
     Out += "    label=\"" + hexStr(F.Entry) + "\";\n";
-    emitFunction(Out, Ctx, F, Opts, Prefix);
+    emitFunction(Out, F.ctxOr(Ctx), F, Opts, Prefix);
     Out += "  }\n";
   }
   Out += "}\n";

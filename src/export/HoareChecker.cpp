@@ -51,10 +51,13 @@ CheckResult checkFunction(hg::Lifter &L, const FunctionResult &F) {
   if (F.Outcome != hg::LiftOutcome::Lifted)
     return R;
 
-  // A fresh symbolic executor over the same expression context: the check
-  // shares the semantics but none of Algorithm 1's state.
-  SymExec Exec(L.exprContext(), L.solver(), L.image(),
-               L.config().Sym);
+  // Check inside the function's own arena: every expression in F.Graph is
+  // interned there, and the re-derived successors must live in the same
+  // context for entailment to be meaningful. The arena's executor shares
+  // the semantics but none of Algorithm 1's state. (Hand-built results
+  // without an arena fall back to the lifter's scratch context.)
+  SymExec Fallback(L.exprContext(), L.solver(), L.image(), L.config().Sym);
+  SymExec &Exec = F.Arena ? F.Arena->exec() : Fallback;
 
   for (const auto &[Key, V] : F.Graph.Vertices) {
     if (!V.Explored || !V.Instr.isValid())

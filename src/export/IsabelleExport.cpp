@@ -184,6 +184,9 @@ std::string isabellePred(const ExprContext &Ctx, const pred::Pred &P) {
 
 std::string exportFunction(const ExprContext &Ctx, const FunctionResult &F,
                            const IsabelleOptions &Opts) {
+  // Lifted results carry their own arena; the parameter is only a fallback
+  // for hand-built graphs.
+  const ExprContext &FCtx = F.ctxOr(Ctx);
   std::string Out;
   std::string FName = "f_" + hexStr(F.Entry).substr(2);
 
@@ -197,7 +200,7 @@ std::string exportFunction(const ExprContext &Ctx, const FunctionResult &F,
     VName[Key] = Name;
     Out += "definition " + Name + " :: \"state \\<Rightarrow> bool\" where\n";
     Out += "  \"" + Name + " \\<sigma> \\<equiv>\n     " +
-           isabellePred(Ctx, V.State.P) + "\"\n\n";
+           isabellePred(FCtx, V.State.P) + "\"\n\n";
   }
 
   // One lemma per edge: {P_from} instr {P_to}.

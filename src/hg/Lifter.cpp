@@ -1,9 +1,13 @@
 #include "hg/Lifter.h"
 
 #include "support/Format.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
+#include <functional>
+#include <mutex>
 
 namespace hglift::hg {
 
@@ -75,12 +79,29 @@ std::vector<std::string> BinaryResult::allObligations() const {
   return Out;
 }
 
-Lifter::Lifter(const elf::BinaryImage &Img, LiftConfig Cfg)
-    : Img(Img), Cfg(Cfg), Ctx(std::make_unique<expr::ExprContext>()),
+LiftArena::LiftArena(const elf::BinaryImage &Img, const LiftConfig &Cfg)
+    : Ctx(std::make_unique<expr::ExprContext>()),
       Solver(std::make_unique<smt::RelationSolver>(*Ctx, Cfg.Solver)),
       Exec(std::make_unique<sem::SymExec>(*Ctx, *Solver, Img, Cfg.Sym)) {}
 
+LiftArena::~LiftArena() = default;
+
+Lifter::Lifter(const elf::BinaryImage &Img, LiftConfig Cfg)
+    : Img(Img), Cfg(Cfg) {}
+
 Lifter::~Lifter() = default;
+
+expr::ExprContext &Lifter::exprContext() {
+  if (!Scratch)
+    Scratch = std::make_shared<LiftArena>(Img, Cfg);
+  return Scratch->ctx();
+}
+
+smt::RelationSolver &Lifter::solver() {
+  if (!Scratch)
+    Scratch = std::make_shared<LiftArena>(Img, Cfg);
+  return Scratch->solver();
+}
 
 uint64_t Lifter::ctrlHash(const SymState &S) const {
   if (!Cfg.CtrlImmediateException)
@@ -88,7 +109,10 @@ uint64_t Lifter::ctrlHash(const SymState &S) const {
   // §4: states holding *different* immediate pointers into the text
   // section (in registers or in memory clauses) are not joined — those
   // immediates will very likely decide future control flow. Jump-table
-  // reads (Deref values) are fingerprinted the same way.
+  // reads (Deref values) are fingerprinted the same way. Only structural
+  // expression hashes are mixed in (never interned-pointer identities):
+  // vertex keys must be reproducible across runs, contexts, and thread
+  // schedules for the parallel engine's determinism guarantee.
   uint64_t H = 0;
   auto Mix = [&H](uint64_t A, uint64_t B) {
     uint64_t V = A * 0x9e3779b97f4a7c15ULL + B;
@@ -102,7 +126,7 @@ uint64_t Lifter::ctrlHash(const SymState &S) const {
   }
   for (const pred::MemCell &C : S.P.cells()) {
     if (C.Val->isConst() && Img.isTextPointer(C.Val->constVal())) {
-      Mix(reinterpret_cast<uintptr_t>(C.Addr), C.Val->constVal());
+      Mix(C.Addr->hashValue(), C.Val->constVal());
     } else if (C.Val->isDeref()) {
       // Only jump-table-shaped reads (constant read-only base) are
       // control-relevant; fingerprinting stack-slot reads would defeat
@@ -110,14 +134,20 @@ uint64_t Lifter::ctrlHash(const SymState &S) const {
       expr::LinearForm LF = expr::linearize(C.Val->derefAddr());
       if (LF.Constant != 0 &&
           Img.isReadOnly(static_cast<uint64_t>(LF.Constant)))
-        Mix(reinterpret_cast<uintptr_t>(C.Addr),
-            reinterpret_cast<uintptr_t>(C.Val));
+        Mix(C.Addr->hashValue(), C.Val->hashValue());
     }
   }
   return H;
 }
 
 FunctionResult Lifter::liftFunction(uint64_t Entry) {
+  auto Arena = std::make_shared<LiftArena>(Img, Cfg);
+  FunctionResult FR = liftFunctionIn(*Arena, Entry);
+  FR.Arena = std::move(Arena);
+  return FR;
+}
+
+FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
   auto Start = std::chrono::steady_clock::now();
   auto Elapsed = [&]() {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -125,13 +155,18 @@ FunctionResult Lifter::liftFunction(uint64_t Entry) {
         .count();
   };
 
+  expr::ExprContext &Ctx = A.ctx();
+  sem::SymExec &Exec = A.exec();
+
   FunctionResult FR;
   FR.Entry = Entry;
-  FR.RetSym =
-      Ctx->mkVar(VarClass::RetSym, "S_" + hexStr(Entry), 64, Entry);
+  FR.RetSym = Ctx.mkVar(VarClass::RetSym, "S_" + hexStr(Entry), 64, Entry);
+
+  Exec.setStats(&FR.Stats);
+  A.solver().setLiftStats(&FR.Stats);
 
   SymState Init;
-  Init.P = Pred::entry(*Ctx, FR.RetSym);
+  Init.P = Pred::entry(Ctx, FR.RetSym);
   // Seed the memory model with the return-address region.
   const Expr *Rsp0 = Init.P.reg64(x86::Reg::RSP);
   Init.M.Forest.push_back(mem::MemTree{{smt::Region{Rsp0, 8}}, {}});
@@ -146,23 +181,34 @@ FunctionResult Lifter::liftFunction(uint64_t Entry) {
   // Annotation/resolution sites (re-exploration of a vertex after joins
   // must not double-count).
   std::set<uint64_t> ResolvedSites, UnresJumpSites, UnresCallSites;
-  auto finishCounts = [&]() {
+  auto finish = [&]() {
     FR.ResolvedIndirections = static_cast<unsigned>(ResolvedSites.size());
     FR.UnresolvedJumps = static_cast<unsigned>(UnresJumpSites.size());
     FR.UnresolvedCalls = static_cast<unsigned>(UnresCallSites.size());
+    FR.Seconds = Elapsed();
+    FR.Stats.Seconds = FR.Seconds;
+    // FR is about to move out of this frame; the arena must not keep sinks
+    // into it (consumers may re-run the arena's executor, e.g. HoareChecker).
+    Exec.setStats(nullptr);
+    A.solver().setLiftStats(nullptr);
   };
   auto fail = [&](LiftOutcome O, const std::string &Why) {
     FR.Outcome = O;
     FR.FailReason = Why;
-    FR.Seconds = Elapsed();
-    finishCounts();
+    finish();
     return FR;
   };
 
   while (!Bag.empty()) {
-    if (G.Vertices.size() > Cfg.MaxVertices ||
-        (Cfg.MaxSeconds > 0 && Elapsed() > Cfg.MaxSeconds))
-      return fail(LiftOutcome::Timeout, "fuel exhausted");
+    if (G.Vertices.size() > Cfg.MaxVertices)
+      return fail(LiftOutcome::Timeout,
+                  "vertex fuel exhausted (partial graph retained)");
+    // The progress guard (!empty) guarantees even a microscopic budget
+    // leaves at least one explored vertex in the partial graph.
+    if (Cfg.MaxSeconds > 0 && Elapsed() > Cfg.MaxSeconds &&
+        !G.Vertices.empty())
+      return fail(LiftOutcome::Timeout,
+                  "wall-clock budget exhausted (partial graph retained)");
 
     auto [Sigma, Rip] = std::move(Bag.back());
     Bag.pop_back();
@@ -174,7 +220,7 @@ FunctionResult Lifter::liftFunction(uint64_t Entry) {
             (unsigned long long)Rip, Bag.size(), G.Vertices.size(),
             Sigma.P.cells().size(), Sigma.P.ranges().size(),
             Sigma.M.Clobbered.size(), Sigma.M.allRegions().size(),
-            Ctx->numExprs());
+            Ctx.numExprs());
 #endif
 
     // --- Algorithm 1 lines 3-9: find a compatible vertex, join -----------
@@ -201,9 +247,12 @@ FunctionResult Lifter::liftFunction(uint64_t Entry) {
           mem::MemModel::leq(Sigma.M, V->State.M))
         continue; // line 4: already covered
       bool Widen = V->JoinCount >= Cfg.WidenAfterJoins;
-      Cur.P = Pred::join(*Ctx, V->State.P, Sigma.P, Widen);
+      Cur.P = Pred::join(Ctx, V->State.P, Sigma.P, Widen);
       Cur.M = mem::MemModel::join(V->State.M, Sigma.M);
       V->JoinCount++;
+      ++FR.Stats.Joins;
+      if (Widen)
+        ++FR.Stats.Widenings;
       V->State = Cur;
     } else {
       Cur = Sigma;
@@ -213,6 +262,7 @@ FunctionResult Lifter::liftFunction(uint64_t Entry) {
       auto [It, Inserted] = G.Vertices.emplace(Key, std::move(NV));
       static_cast<void>(Inserted);
       V = &It->second;
+      ++FR.Stats.Vertices;
     }
 
     // --- fetch + decode ----------------------------------------------------
@@ -230,7 +280,7 @@ FunctionResult Lifter::liftFunction(uint64_t Entry) {
     V->Explored = true;
 
     // --- Algorithm 1 lines 10-17: explore ----------------------------------
-    StepOut Out = Exec->step(Cur, I, FR.RetSym);
+    StepOut Out = Exec.step(Cur, I, FR.RetSym);
     for (std::string &O : Out.Obligations)
       if (std::find(FR.Obligations.begin(), FR.Obligations.end(), O) ==
           FR.Obligations.end())
@@ -300,8 +350,7 @@ FunctionResult Lifter::liftFunction(uint64_t Entry) {
     }
   }
 
-  FR.Seconds = Elapsed();
-  finishCounts();
+  finish();
   return FR;
 }
 
@@ -310,20 +359,59 @@ BinaryResult Lifter::liftFrom(std::vector<uint64_t> Roots) {
   BinaryResult BR;
   BR.Name = Img.Name;
 
+  // Each function is lifted exactly once, in its own arena; the seen-set
+  // tracks both the roots and callees discovered while lifting. Because
+  // every lift is isolated, the result set — and after the sort below, the
+  // result *order* — does not depend on thread count or scheduling.
   std::set<uint64_t> Queued(Roots.begin(), Roots.end());
-  std::deque<uint64_t> Work(Roots.begin(), Roots.end());
+  std::vector<FunctionResult> Results;
 
-  while (!Work.empty()) {
-    uint64_t Entry = Work.front();
-    Work.pop_front();
-    FunctionResult FR = liftFunction(Entry);
-    for (uint64_t Callee : FR.Callees)
-      if (Queued.insert(Callee).second)
-        Work.push_back(Callee);
-    if (FR.Outcome != LiftOutcome::Lifted && BR.Outcome == LiftOutcome::Lifted) {
-      BR.Outcome = FR.Outcome;
-      BR.FailReason = "function " + hexStr(Entry) + ": " + FR.FailReason;
+  unsigned NThreads =
+      Cfg.Threads == 0 ? ThreadPool::defaultThreads() : Cfg.Threads;
+
+  if (NThreads <= 1) {
+    std::deque<uint64_t> Work(Queued.begin(), Queued.end());
+    while (!Work.empty()) {
+      uint64_t Entry = Work.front();
+      Work.pop_front();
+      FunctionResult FR = liftFunction(Entry);
+      for (uint64_t Callee : FR.Callees)
+        if (Queued.insert(Callee).second)
+          Work.push_back(Callee);
+      Results.push_back(std::move(FR));
     }
+  } else {
+    std::mutex Mu; // guards Queued and Results
+    ThreadPool Pool(NThreads);
+    std::function<void(uint64_t)> LiftTask = [&](uint64_t Entry) {
+      FunctionResult FR = liftFunction(Entry);
+      std::lock_guard<std::mutex> G(Mu);
+      for (uint64_t Callee : FR.Callees)
+        if (Queued.insert(Callee).second)
+          Pool.submit([&LiftTask, Callee] { LiftTask(Callee); });
+      Results.push_back(std::move(FR));
+    };
+    {
+      std::lock_guard<std::mutex> G(Mu);
+      for (uint64_t Entry : Queued)
+        Pool.submit([&LiftTask, Entry] { LiftTask(Entry); });
+    }
+    Pool.waitIdle();
+  }
+
+  // Deterministic merge: order by entry address (also fixes which failure
+  // becomes the binary-level outcome, independent of discovery order).
+  std::sort(Results.begin(), Results.end(),
+            [](const FunctionResult &A, const FunctionResult &B) {
+              return A.Entry < B.Entry;
+            });
+  for (FunctionResult &FR : Results) {
+    if (FR.Outcome != LiftOutcome::Lifted &&
+        BR.Outcome == LiftOutcome::Lifted) {
+      BR.Outcome = FR.Outcome;
+      BR.FailReason = "function " + hexStr(FR.Entry) + ": " + FR.FailReason;
+    }
+    BR.Total.merge(FR.Stats);
     BR.Functions.push_back(std::move(FR));
   }
 

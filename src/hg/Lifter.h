@@ -14,12 +14,23 @@
 // concurrency / timeout, with counts of resolved indirections (A),
 // unresolved jumps (B) and unresolved calls (C).
 //
+// Functions are lifted in isolation: each lift runs in its own LiftArena
+// (a fresh expression context, relation solver, and symbolic executor),
+// which the FunctionResult keeps alive. Isolation is what makes the
+// work-queue parallel engine (LiftConfig::Threads > 1) deterministic —
+// hash-consing tables, fresh-variable counters, and solver caches are
+// never shared between concurrently lifted functions, so every function's
+// result is a pure function of (image, config, entry) and independent of
+// scheduling. Results are merged sorted by entry address, so an N-thread
+// lift is observably identical to the serial one.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef HGLIFT_HG_LIFTER_H
 #define HGLIFT_HG_LIFTER_H
 
 #include "hg/HoareGraph.h"
+#include "support/LiftStats.h"
 
 #include <memory>
 
@@ -44,10 +55,37 @@ struct LiftConfig {
   /// Wall-clock budget per function, seconds (paper: 4h; our corpus is
   /// smaller). 0 = unlimited.
   double MaxSeconds = 60.0;
+  /// Worker threads for liftBinary()/liftLibrary(). 1 = serial (in the
+  /// calling thread); 0 = hardware concurrency. Results are identical for
+  /// every value (see the determinism note above).
+  unsigned Threads = 1;
   /// Disable joining entirely (ablation: state explosion).
   bool EnableJoin = true;
   /// Disable the control-immediates compatibility exception (ablation).
   bool CtrlImmediateException = true;
+};
+
+/// Everything one function lift allocates from: the hash-consing expression
+/// context, the relation solver (with its cache and Z3 backend), and the
+/// symbolic executor. Expressions are interned pointers — comparable only
+/// within one context — so any consumer reading a FunctionResult's
+/// predicates must use that result's arena context, not another lifter's.
+class LiftArena {
+public:
+  LiftArena(const elf::BinaryImage &Img, const LiftConfig &Cfg);
+  ~LiftArena();
+
+  LiftArena(const LiftArena &) = delete;
+  LiftArena &operator=(const LiftArena &) = delete;
+
+  expr::ExprContext &ctx() { return *Ctx; }
+  smt::RelationSolver &solver() { return *Solver; }
+  sem::SymExec &exec() { return *Exec; }
+
+private:
+  std::unique_ptr<expr::ExprContext> Ctx;
+  std::unique_ptr<smt::RelationSolver> Solver;
+  std::unique_ptr<sem::SymExec> Exec;
 };
 
 struct FunctionResult {
@@ -65,6 +103,20 @@ struct FunctionResult {
   std::vector<std::string> Obligations;
   std::set<uint64_t> Callees;
   double Seconds = 0;
+  /// What Algorithm 1 did here (vertices, joins, solver calls, ...).
+  LiftStats Stats;
+
+  /// The arena every expression in Graph/RetSym was interned in. Shared so
+  /// FunctionResult stays copyable; never null for lifter-produced results.
+  std::shared_ptr<LiftArena> Arena;
+
+  /// The expression context this result's predicates live in.
+  expr::ExprContext &ctx() const { return Arena->ctx(); }
+  /// Arena context if present, else the caller-supplied fallback (for
+  /// hand-built results in tests).
+  const expr::ExprContext &ctxOr(const expr::ExprContext &Fallback) const {
+    return Arena ? Arena->ctx() : Fallback;
+  }
 
   size_t numInstructions() const { return Graph.instructionAddrs().size(); }
 };
@@ -80,6 +132,8 @@ struct BinaryResult {
   unsigned totalA() const, totalB() const, totalC() const;
   std::vector<std::string> allObligations() const;
   double Seconds = 0;
+  /// Sum of the per-function stats (exact regardless of thread count).
+  LiftStats Total;
 };
 
 class Lifter {
@@ -93,20 +147,23 @@ public:
   /// Lift every exported function symbol (shared-object mode).
   BinaryResult liftLibrary();
 
-  expr::ExprContext &exprContext() { return *Ctx; }
-  smt::RelationSolver &solver() { return *Solver; }
+  /// Scratch context for callers that need to build expressions outside
+  /// any particular function (NOT the context lifted results live in —
+  /// use FunctionResult::ctx() for those).
+  expr::ExprContext &exprContext();
+  smt::RelationSolver &solver();
   const elf::BinaryImage &image() const { return Img; }
   const LiftConfig &config() const { return Cfg; }
 
 private:
   BinaryResult liftFrom(std::vector<uint64_t> Roots);
+  FunctionResult liftFunctionIn(LiftArena &A, uint64_t Entry);
   uint64_t ctrlHash(const sem::SymState &S) const;
 
   const elf::BinaryImage &Img;
   LiftConfig Cfg;
-  std::unique_ptr<expr::ExprContext> Ctx;
-  std::unique_ptr<smt::RelationSolver> Solver;
-  std::unique_ptr<sem::SymExec> Exec;
+  /// Lazily created scratch arena backing exprContext()/solver().
+  std::shared_ptr<LiftArena> Scratch;
 };
 
 } // namespace hglift::hg

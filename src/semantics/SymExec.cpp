@@ -440,6 +440,17 @@ void SymExec::cleanForCall(SymState &S, const std::string &CalleeName,
 
 StepOut SymExec::step(const SymState &S0, const Instr &I,
                       const Expr *EntryRetSym) {
+  StepOut Out = stepImpl(S0, I, EntryRetSym);
+  if (Stats) {
+    ++Stats->Steps;
+    if (Out.Succs.size() > 1)
+      Stats->Forks += Out.Succs.size() - 1;
+  }
+  return Out;
+}
+
+StepOut SymExec::stepImpl(const SymState &S0, const Instr &I,
+                          const Expr *EntryRetSym) {
   StepOut Out;
   uint64_t Next = I.nextAddr();
 

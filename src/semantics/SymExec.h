@@ -23,6 +23,7 @@
 #include "elf/Binary.h"
 #include "memmodel/MemModel.h"
 #include "pred/Pred.h"
+#include "support/LiftStats.h"
 #include "x86/Decoder.h"
 
 #include <string>
@@ -94,6 +95,11 @@ public:
   StepOut step(const SymState &S, const x86::Instr &I,
                const Expr *EntryRetSym);
 
+  /// Optional stats sink: counts symbolic steps and nondeterministic forks
+  /// (successors beyond the first). Pass nullptr to detach. The sink is not
+  /// synchronized — one SymExec, one lifting thread.
+  void setStats(LiftStats *Sink) { Stats = Sink; }
+
   /// External functions known to never return (hard-coded, §4.2.1).
   static bool isTerminatingExternal(const std::string &Name);
   /// pthread-style concurrency entry points (out of scope, §5.1).
@@ -136,10 +142,14 @@ private:
   /// Returns false if the clause contradicts P (successor unreachable).
   bool addBranchClause(pred::Pred &P, x86::Cond CC, bool Taken);
 
+  StepOut stepImpl(const SymState &S, const x86::Instr &I,
+                   const Expr *EntryRetSym);
+
   ExprContext &Ctx;
   smt::RelationSolver &Solver;
   const elf::BinaryImage &Img;
   SymConfig Cfg;
+  LiftStats *Stats = nullptr;
 };
 
 } // namespace hglift::sem

@@ -98,6 +98,8 @@ MemRel RelationSolver::relateByConstantDelta(int64_t Delta, uint32_t S0,
 MemRel RelationSolver::relate(const Region &R0, const Region &R1,
                               const pred::Pred &P) {
   ++S.Queries;
+  if (LS)
+    ++LS->SolverQueries;
   return relateUncached(R0, R1, P);
 }
 
@@ -176,6 +178,8 @@ MemRel RelationSolver::relateUncached(const Region &R0, const Region &R1,
   // and every query would come back Unknown; skip the round trip.
   if (Z3 && !P.ranges().empty()) {
     ++S.Z3Queries;
+    if (LS)
+      ++LS->Z3Queries;
     MemRel R = Z3->query(R0, R1, P, Ctx);
     if (R != MemRel::Unknown) {
       ++S.Z3Hits;

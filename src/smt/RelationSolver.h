@@ -24,6 +24,7 @@
 
 #include "pred/Pred.h"
 #include "smt/Region.h"
+#include "support/LiftStats.h"
 
 #include <map>
 #include <memory>
@@ -86,6 +87,11 @@ public:
   };
   const Stats &stats() const { return S; }
 
+  /// Optional per-function stats sink: mirrors Queries/Z3Queries into the
+  /// lifting engine's LiftStats. Pass nullptr to detach. Not synchronized —
+  /// one solver, one lifting thread.
+  void setLiftStats(LiftStats *Sink) { LS = Sink; }
+
 private:
   MemRel relateUncached(const Region &R0, const Region &R1,
                         const pred::Pred &P);
@@ -94,6 +100,7 @@ private:
   expr::ExprContext &Ctx;
   Config Cfg;
   Stats S;
+  LiftStats *LS = nullptr;
   std::vector<Assumption> Assumptions;
   std::unique_ptr<Z3Backend> Z3;
 };

@@ -1,0 +1,58 @@
+//===- LiftStats.h - Observability counters for the lifting engine -*- C++ -*-//
+//
+// One LiftStats records what Algorithm 1 did for one function: how many
+// vertices it explored, how often it joined and widened, how many symbolic
+// steps and memory-model forks the semantics produced, and how many
+// necessarily-relation queries reached the solver (and, of those, Z3).
+// The struct lives in support/ so every layer — Lifter, SymExec,
+// RelationSolver — can hold a sink pointer without dependency cycles.
+//
+// Aggregation across functions is a plain merge(); the parallel lifting
+// engine merges per-function stats under its result mutex, so the binary
+// totals are exact regardless of thread count.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_SUPPORT_LIFTSTATS_H
+#define HGLIFT_SUPPORT_LIFTSTATS_H
+
+#include <cstdint>
+
+namespace hglift {
+
+struct LiftStats {
+  /// Vertices of the Hoare Graph explored (fetch+decode+step ran there).
+  uint64_t Vertices = 0;
+  /// Joins performed at existing vertices (Algorithm 1 lines 5-7).
+  uint64_t Joins = 0;
+  /// Joins that widened (JoinCount exceeded LiftConfig::WidenAfterJoins).
+  uint64_t Widenings = 0;
+  /// Symbolic instruction executions (SymExec::step calls).
+  uint64_t Steps = 0;
+  /// Extra successors from nondeterministic forks (memory-model insertion
+  /// outcomes, conditional branches, jump-table fan-out): successors beyond
+  /// the first, summed over steps.
+  uint64_t Forks = 0;
+  /// Necessarily-relation queries answered by the RelationSolver.
+  uint64_t SolverQueries = 0;
+  /// The subset of SolverQueries that reached the Z3 backend.
+  uint64_t Z3Queries = 0;
+  /// Wall-clock seconds (per function: the lift; aggregated: sum of
+  /// per-function times, which exceeds elapsed wall time when parallel).
+  double Seconds = 0;
+
+  void merge(const LiftStats &O) {
+    Vertices += O.Vertices;
+    Joins += O.Joins;
+    Widenings += O.Widenings;
+    Steps += O.Steps;
+    Forks += O.Forks;
+    SolverQueries += O.SolverQueries;
+    Z3Queries += O.Z3Queries;
+    Seconds += O.Seconds;
+  }
+};
+
+} // namespace hglift
+
+#endif // HGLIFT_SUPPORT_LIFTSTATS_H

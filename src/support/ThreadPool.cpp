@@ -1,0 +1,60 @@
+#include "support/ThreadPool.h"
+
+namespace hglift {
+
+unsigned ThreadPool::defaultThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = defaultThreads();
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  waitIdle();
+  {
+    std::lock_guard<std::mutex> G(M);
+    Stopping = true;
+  }
+  HasWork.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> G(M);
+    Queue.push_back(std::move(Job));
+  }
+  HasWork.notify_one();
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> L(M);
+  Idle.wait(L, [this] { return Queue.empty() && Running == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> L(M);
+  while (true) {
+    HasWork.wait(L, [this] { return Stopping || !Queue.empty(); });
+    if (Stopping && Queue.empty())
+      return;
+    std::function<void()> Job = std::move(Queue.front());
+    Queue.pop_front();
+    ++Running;
+    L.unlock();
+    Job();
+    L.lock();
+    --Running;
+    if (Queue.empty() && Running == 0)
+      Idle.notify_all();
+  }
+}
+
+} // namespace hglift

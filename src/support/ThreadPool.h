@@ -1,0 +1,60 @@
+//===- ThreadPool.h - Work queue for parallel per-function lifting -*- C++ -*-//
+//
+// A small fixed-size thread pool with dynamic task submission: running
+// tasks may submit new tasks (the lifter discovers callees while lifting),
+// and waitIdle() blocks until the queue is empty *and* no task is still
+// running — the quiescence condition of the per-function work-queue
+// algorithm, not merely "queue drained".
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_SUPPORT_THREADPOOL_H
+#define HGLIFT_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hglift {
+
+class ThreadPool {
+public:
+  /// Spawns NumThreads workers. NumThreads == 0 resolves to the hardware
+  /// concurrency (at least 1).
+  explicit ThreadPool(unsigned NumThreads);
+  /// Drains the queue (waitIdle), then stops and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueue a task. Safe to call from inside a running task.
+  void submit(std::function<void()> Job);
+
+  /// Block until every submitted task (including ones submitted by running
+  /// tasks after this call started) has finished.
+  void waitIdle();
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// The thread count NumThreads == 0 resolves to.
+  static unsigned defaultThreads();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex M;
+  std::condition_variable HasWork; ///< signalled on submit / stop
+  std::condition_variable Idle;    ///< signalled when a task finishes
+  size_t Running = 0;              ///< tasks currently executing
+  bool Stopping = false;
+};
+
+} // namespace hglift
+
+#endif // HGLIFT_SUPPORT_THREADPOOL_H

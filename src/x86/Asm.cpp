@@ -253,7 +253,17 @@ void Asm::movzxRM(Reg Dst, const MemOperand &M, unsigned SrcSz,
 void Asm::movzxRR(Reg Dst, Reg Src, unsigned SrcSz, unsigned DstSz) {
   assert(SrcSz == 1 || SrcSz == 2);
   opSizePrefix(DstSz);
-  emitRexRR(DstSz, regNum(Dst), regNum(Src), SrcSz == 1);
+  // The byte-sized operand is the r/m field, so emitRexRR's Sz==1 gate
+  // does not apply: force a REX prefix for spl/bpl/sil/dil explicitly.
+  uint8_t R = 0x40;
+  if (DstSz == 8)
+    R |= 8;
+  if (regNum(Dst) >= 8)
+    R |= 4;
+  if (regNum(Src) >= 8)
+    R |= 1;
+  if (R != 0x40 || (SrcSz == 1 && needsRexFor8(regNum(Src))))
+    byte(R);
   byte(0x0f);
   byte(SrcSz == 1 ? 0xb6 : 0xb7);
   emitModRMReg(regNum(Dst), regNum(Src));

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -115,6 +116,142 @@ TEST(Cli, WeirdEdgeVisibleInDot) {
   DotS << DotIn.rdbuf();
   EXPECT_NE(DotS.str().find("weird"), std::string::npos)
       << "the §2 ROP edge must be flagged in the graph";
+}
+
+// Minimal JSON syntax checker: enough to reject unbalanced or truncated
+// output from --stats-json without pulling in a parser dependency.
+bool validJson(const std::string &S, size_t &I);
+
+bool skipWs(const std::string &S, size_t &I) {
+  while (I < S.size() && std::isspace(static_cast<unsigned char>(S[I])))
+    ++I;
+  return I < S.size();
+}
+
+bool validString(const std::string &S, size_t &I) {
+  if (S[I] != '"')
+    return false;
+  for (++I; I < S.size(); ++I) {
+    if (S[I] == '\\')
+      ++I;
+    else if (S[I] == '"') {
+      ++I;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool validJson(const std::string &S, size_t &I) {
+  if (!skipWs(S, I))
+    return false;
+  char C = S[I];
+  if (C == '{' || C == '[') {
+    char Close = C == '{' ? '}' : ']';
+    ++I;
+    if (!skipWs(S, I))
+      return false;
+    if (S[I] == Close) {
+      ++I;
+      return true;
+    }
+    while (true) {
+      if (C == '{') {
+        if (!skipWs(S, I) || !validString(S, I) || !skipWs(S, I) ||
+            S[I] != ':')
+          return false;
+        ++I;
+      }
+      if (!validJson(S, I) || !skipWs(S, I))
+        return false;
+      if (S[I] == ',') {
+        ++I;
+        continue;
+      }
+      if (S[I] == Close) {
+        ++I;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (C == '"')
+    return validString(S, I);
+  size_t J = I;
+  while (J < S.size() && (std::isalnum(static_cast<unsigned char>(S[J])) ||
+                          S[J] == '-' || S[J] == '+' || S[J] == '.'))
+    ++J;
+  if (J == I)
+    return false;
+  I = J;
+  return true;
+}
+
+bool validJsonDoc(const std::string &S) {
+  size_t I = 0;
+  if (!validJson(S, I))
+    return false;
+  skipWs(S, I);
+  return I == S.size();
+}
+
+TEST(Cli, StatsJsonEmitsValidJson) {
+  auto BB = corpus::callChainBinary();
+  ASSERT_TRUE(BB.has_value());
+  std::string Path = tmpPath("stats.elf");
+  writeBinary(*BB, Path);
+  std::string Json = tmpPath("stats.json");
+  std::remove(Json.c_str());
+
+  RunResult R = runCli(Path + " --stats-json " + Json);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("wrote lifting stats"), std::string::npos);
+
+  std::ifstream In(Json);
+  ASSERT_TRUE(In.good()) << "stats file not written";
+  std::stringstream SS;
+  SS << In.rdbuf();
+  std::string Doc = SS.str();
+
+  EXPECT_TRUE(validJsonDoc(Doc)) << Doc;
+  // Per-binary totals and the per-function stat fields must be present.
+  for (const char *Key :
+       {"\"binary\"", "\"outcome\"", "\"totals\"", "\"functions\"",
+        "\"entry\"", "\"vertices\"", "\"joins\"", "\"widenings\"",
+        "\"steps\"", "\"solver_queries\"", "\"seconds\""})
+    EXPECT_NE(Doc.find(Key), std::string::npos) << "missing " << Key << "\n"
+                                                << Doc;
+  // callChainBinary has multiple functions: each gets its own record.
+  size_t Entries = 0;
+  for (size_t P = Doc.find("\"entry\""); P != std::string::npos;
+       P = Doc.find("\"entry\"", P + 1))
+    ++Entries;
+  EXPECT_GE(Entries, 2u);
+}
+
+TEST(Cli, ThreadsFlagMatchesSerial) {
+  auto BB = corpus::jumpTableBinary(5);
+  ASSERT_TRUE(BB.has_value());
+  std::string Path = tmpPath("threads.elf");
+  writeBinary(*BB, Path);
+
+  RunResult R1 = runCli(Path + " --threads 1");
+  RunResult R4 = runCli(Path + " --threads 4");
+  EXPECT_EQ(R1.ExitCode, 0) << R1.Output;
+  EXPECT_EQ(R4.ExitCode, R1.ExitCode);
+  EXPECT_NE(R4.Output.find("outcome: lifted"), std::string::npos)
+      << R4.Output;
+  // The reports must agree apart from wall-clock timing lines.
+  auto Strip = [](const std::string &S) {
+    std::stringstream In(S), Out;
+    std::string Line;
+    while (std::getline(In, Line))
+      if (Line.find("seconds") == std::string::npos &&
+          Line.find("wall") == std::string::npos)
+        Out << Line << "\n";
+    return Out.str();
+  };
+  EXPECT_EQ(Strip(R1.Output), Strip(R4.Output));
 }
 
 TEST(Cli, BadFileRejected) {

@@ -73,8 +73,7 @@ TEST(HoareChecker, DetectsTamperedInvariant) {
     for (auto &[K, V] : F.Graph.Vertices) {
       if (!V.Explored || V.Instr.isTerminator())
         continue;
-      V.State.P.setReg64(x86::Reg::RBX,
-                         L.exprContext().mkConst(0x1234567, 64));
+      V.State.P.setReg64(x86::Reg::RBX, F.ctx().mkConst(0x1234567, 64));
       Tampered = true;
       break;
     }

@@ -81,8 +81,7 @@ TEST(Lifter, ReturnSymbolSemantics) {
   ASSERT_EQ(R.Outcome, hg::LiftOutcome::Lifted);
   for (const hg::FunctionResult &FR : R.Functions) {
     ASSERT_NE(FR.RetSym, nullptr);
-    const expr::VarInfo &VI =
-        L.exprContext().varInfo(FR.RetSym->varId());
+    const expr::VarInfo &VI = FR.ctx().varInfo(FR.RetSym->varId());
     EXPECT_EQ(VI.Cls, expr::VarClass::RetSym);
     EXPECT_EQ(VI.Aux, FR.Entry) << "symbol is keyed by the entry address";
     EXPECT_TRUE(FR.MayReturn);
@@ -218,6 +217,42 @@ TEST(Lifter, WideningTerminatesSymbolicLoops) {
   hg::BinaryResult R = L.liftBinary();
   EXPECT_EQ(R.Outcome, hg::LiftOutcome::Lifted) << R.FailReason;
   EXPECT_LT(R.totalStates(), 60u) << "joining must collapse the loop states";
+}
+
+TEST(Lifter, TimeoutRetainsPartialGraph) {
+  // Exhausting the vertex fuel must flag Timeout but keep everything built
+  // so far: the partial Hoare Graph, its stats, and the annotation counts —
+  // a truncated graph is still a sound prefix of the exploration.
+  ProgramBuilder PB("fuel");
+  Asm &A = PB.text();
+  Asm::Label F = A.newLabel();
+  A.bind(F);
+  for (int I = 0; I < 8; ++I)
+    A.nop();
+  A.ret();
+  auto BB = PB.build(F);
+  ASSERT_TRUE(BB.has_value());
+  hg::LiftConfig Cfg;
+  Cfg.MaxVertices = 3; // far fewer than the 9 instructions
+  hg::Lifter L(BB->Img, Cfg);
+  hg::BinaryResult R = L.liftBinary();
+  ASSERT_EQ(R.Outcome, hg::LiftOutcome::Timeout);
+  ASSERT_EQ(R.Functions.size(), 1u);
+  const hg::FunctionResult &FR = R.Functions[0];
+  EXPECT_EQ(FR.Outcome, hg::LiftOutcome::Timeout);
+  EXPECT_NE(FR.FailReason.find("partial graph retained"), std::string::npos)
+      << FR.FailReason;
+  // The partial graph is retained, not dropped.
+  EXPECT_GE(FR.Graph.Vertices.size(), Cfg.MaxVertices);
+  EXPECT_FALSE(FR.Graph.Edges.empty());
+  EXPECT_EQ(FR.Stats.Vertices, FR.Graph.Vertices.size());
+  EXPECT_GT(FR.Stats.Steps, 0u);
+  // Wall-clock timeouts keep the partial graph too.
+  hg::LiftConfig CfgT;
+  CfgT.MaxSeconds = 1e-9;
+  hg::BinaryResult RT = hg::Lifter(BB->Img, CfgT).liftBinary();
+  ASSERT_EQ(RT.Outcome, hg::LiftOutcome::Timeout);
+  EXPECT_FALSE(RT.Functions[0].Graph.Vertices.empty());
 }
 
 TEST(Lifter, ObligationsDeduplicated) {
