@@ -1,0 +1,353 @@
+//===- bench_step1_hotpath.cpp - Hot-path caching/scheduling ablation -----===//
+//
+// Measures what the Step-1 hot-path work buys — the version-keyed relation
+// cache (smt/RelationSolver), the leq memo (hg/StateMemo.h) and the
+// address-ordered worklist (hg/Lifter) — by lifting one corpus under the
+// four configurations
+//
+//     {caches off, caches on} x {LIFO bag, ordered worklist}
+//
+// and reporting wall time, solver queries, cache hit rates, joins and
+// widenings for each. Three gates:
+//
+//   * cache invisibility: within each worklist order, caches on and off
+//     produce bit-identical Hoare graphs, verification errors and proof
+//     obligations (modulo fresh-variable numbering; edge lists and
+//     obligation sets compared as sets) — the caches are pure memoization;
+//   * structural identity: all four configurations agree on per-function
+//     outcomes and on the set of instructions explored. (Full identity
+//     across *orders* is not a sound expectation: Algorithm 1's join is
+//     order-sensitive in this non-distributive domain, so LIFO and
+//     ordered exploration may stabilize on different — equally sound —
+//     invariants, obligations, edges, and failure messages.)
+//   * speedup (full mode only): caches+ordered is >= 1.3x faster than the
+//     unoptimized baseline.
+//
+// Results go to BENCH_hotpath.json (override with --out PATH). --smoke
+// runs a tiny corpus and only the identity gate — that mode is wired into
+// ctest so CI exercises this harness on every change.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Programs.h"
+#include "hg/Lifter.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace hglift;
+
+namespace {
+
+struct ConfigDef {
+  const char *Name;
+  bool Caches;
+  bool Ordered;
+};
+
+const ConfigDef Configs[] = {
+    {"nocache_lifo", false, false},
+    {"nocache_ordered", false, true},
+    {"cache_lifo", true, false},
+    {"cache_ordered", true, true},
+};
+
+struct ConfigTotals {
+  double Seconds = 0;
+  LiftStats Stats;
+};
+
+/// Strip fresh-variable numbering ("clob_rcx#12" -> "clob_rcx#"): the
+/// fresh counter advances in exploration order, so identity comparisons
+/// must ignore the suffix while keeping the hint.
+std::string stripFreshNumbers(const std::string &S) {
+  std::string Out;
+  for (size_t I = 0; I < S.size(); ++I) {
+    Out += S[I];
+    if (S[I] == '#')
+      while (I + 1 < S.size() && isdigit(static_cast<unsigned char>(S[I + 1])))
+        ++I;
+  }
+  return Out;
+}
+
+/// Everything observable of one lift — outcomes, failure reasons, vertex
+/// invariants, edges, obligations — with fresh numbering normalized and
+/// order-insensitive parts (edge lists, obligation lists) sorted. Two
+/// configurations with equal full fingerprints are observably identical.
+std::string fullFingerprint(const hg::BinaryResult &R) {
+  std::string S;
+  S += std::string(hg::liftOutcomeName(R.Outcome)) + " '" + R.FailReason +
+       "'\n";
+  for (const hg::FunctionResult &F : R.Functions) {
+    S += "fn " + hexStr(F.Entry) + " " + hg::liftOutcomeName(F.Outcome) +
+         " '" + F.FailReason + "' ret " + std::to_string(F.MayReturn) +
+         " A " + std::to_string(F.ResolvedIndirections) + " B " +
+         std::to_string(F.UnresolvedJumps) + " C " +
+         std::to_string(F.UnresolvedCalls) + "\n";
+    for (const auto &[Key, V] : F.Graph.Vertices)
+      S += "  v " + hexStr(Key.Rip) + "/" + hexStr(Key.CtrlHash) + " P " +
+           V.State.P.str(F.ctx()) + " M " + V.State.M.str(F.ctx()) + "\n";
+    std::vector<std::string> Lines;
+    for (const hg::Edge &E : F.Graph.Edges)
+      Lines.push_back("  e " + hexStr(E.From.Rip) + "/" +
+                      hexStr(E.From.CtrlHash) + " -> " + hexStr(E.To.Rip) +
+                      "/" + hexStr(E.To.CtrlHash));
+    for (const std::string &O : F.Obligations)
+      Lines.push_back("  o " + O);
+    std::sort(Lines.begin(), Lines.end());
+    for (const std::string &L : Lines)
+      S += L + "\n";
+  }
+  return stripFreshNumbers(S);
+}
+
+/// The order-independent core: per-function outcome classes and, for
+/// lifted functions, the set of explored instruction addresses. Edge sets
+/// and control hashes are deliberately excluded — edges derive from the
+/// invariants (indirect-target and return resolution), so a less precise
+/// join can add pseudo-edges that a more precise one proves away.
+std::string shapeFingerprint(const hg::BinaryResult &R) {
+  std::string S = std::string(hg::liftOutcomeName(R.Outcome)) + "\n";
+  for (const hg::FunctionResult &F : R.Functions) {
+    S += "fn " + hexStr(F.Entry) + " " + hg::liftOutcomeName(F.Outcome);
+    if (F.Outcome != hg::LiftOutcome::Lifted) {
+      // Everything else about a failed lift — the partial graph, how far
+      // exploration got, even MayReturn — is order-dependent state.
+      S += "\n";
+      continue;
+    }
+    S += " ret " + std::to_string(F.MayReturn) + "\n";
+    std::vector<uint64_t> Rips;
+    for (const auto &[Key, V] : F.Graph.Vertices)
+      if (Key.Rip < 0xfffffffffffffff0ull) // skip synthetic sinks
+        Rips.push_back(Key.Rip);
+    std::sort(Rips.begin(), Rips.end());
+    Rips.erase(std::unique(Rips.begin(), Rips.end()), Rips.end());
+    for (uint64_t Rip : Rips)
+      S += "  i " + hexStr(Rip) + "\n";
+  }
+  return S;
+}
+
+struct CorpusItem {
+  std::string Name;
+  corpus::BuiltBinary BB;
+  bool Library;
+};
+
+std::vector<CorpusItem> buildCorpus(bool Smoke) {
+  std::vector<CorpusItem> Items;
+  auto Add = [&](const char *Name, std::optional<corpus::BuiltBinary> BB,
+                 bool Library) {
+    if (BB)
+      Items.push_back({Name, std::move(*BB), Library});
+    else
+      std::fprintf(stderr, "warning: corpus item %s failed to build\n", Name);
+  };
+
+  Add("branch_loop", corpus::branchLoopBinary(), false);
+  Add("weird_edge", corpus::weirdEdgeBinary(), false);
+  if (Smoke) {
+    Add("call_chain", corpus::callChainBinary(), false);
+    return Items;
+  }
+
+  Add("straightline", corpus::straightlineBinary(), false);
+  Add("call_chain", corpus::callChainBinary(), false);
+  Add("jump_table", corpus::jumpTableBinary(), false);
+  Add("callback", corpus::callbackBinary(), false);
+  Add("recursion", corpus::recursionBinary(), false);
+  Add("ret2win", corpus::ret2winBinary(), false);
+  Add("overflow", corpus::overflowBinary(), false);
+  Add("stack_probe", corpus::stackProbeBinary(), false);
+
+  // Generated libraries: loop- and join-heavy code is where repeated
+  // relation queries and leq probes dominate, i.e. where the caches earn
+  // their keep.
+  struct LibDef {
+    uint64_t Seed;
+    unsigned Funcs, Instrs, JumpTablePct;
+  };
+  for (LibDef D : {LibDef{0x40710a, 6, 120, 30}, LibDef{0x40710b, 4, 250, 20},
+                   LibDef{0x40710c, 8, 60, 40}}) {
+    corpus::GenOptions G;
+    G.Seed = D.Seed;
+    G.NumFuncs = D.Funcs;
+    G.TargetInstrs = D.Instrs;
+    G.JumpTablePct = D.JumpTablePct;
+    G.Name = "hotpath_lib_" + std::to_string(D.Seed & 0xf);
+    Add(G.Name.c_str(), corpus::randomLibrary(G), true);
+  }
+  return Items;
+}
+
+hg::LiftConfig makeConfig(const ConfigDef &C) {
+  hg::LiftConfig Cfg;
+  Cfg.Solver.EnableCache = C.Caches;
+  Cfg.LeqMemo = C.Caches;
+  Cfg.OrderedWorklist = C.Ordered;
+  return Cfg;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  std::string OutPath = "BENCH_hotpath.json";
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--smoke")
+      Smoke = true;
+    else if (A == "--out" && I + 1 < argc)
+      OutPath = argv[++I];
+    else {
+      std::fprintf(stderr, "usage: bench_step1_hotpath [--smoke] [--out F]\n");
+      return 2;
+    }
+  }
+
+  std::vector<CorpusItem> Corpus = buildCorpus(Smoke);
+  const int Reps = Smoke ? 1 : 3;
+
+  std::printf("Step-1 hot path: %zu corpus binaries, %d timing rep%s\n\n",
+              Corpus.size(), Reps, Reps == 1 ? "" : "s");
+
+  ConfigTotals Totals[4];
+  // Two identity gates (see the header comment): the full fingerprint must
+  // match between cache-off and cache-on *at the same worklist order*, and
+  // the structural fingerprint must match across all four configurations.
+  std::vector<std::string> FullRef[2];   // indexed by Ordered flag
+  FullRef[0].resize(Corpus.size());
+  FullRef[1].resize(Corpus.size());
+  std::vector<std::string> ShapeRef(Corpus.size());
+  bool CacheInvisible = true, ShapeIdentical = true;
+
+  for (size_t CI = 0; CI < 4; ++CI) {
+    const ConfigDef &C = Configs[CI];
+    hg::LiftConfig Cfg = makeConfig(C);
+    double Best = -1;
+    for (int Rep = 0; Rep < Reps; ++Rep) {
+      LiftStats RunStats;
+      auto T0 = std::chrono::steady_clock::now();
+      for (size_t I = 0; I < Corpus.size(); ++I) {
+        hg::Lifter L(Corpus[I].BB.Img, Cfg);
+        hg::BinaryResult R =
+            Corpus[I].Library ? L.liftLibrary() : L.liftBinary();
+        RunStats.merge(R.Total);
+        if (Rep == 0) {
+          std::string Full = fullFingerprint(R);
+          if (!C.Caches) // configs 0,1 set the per-order reference
+            FullRef[C.Ordered][I] = std::move(Full);
+          else if (Full != FullRef[C.Ordered][I]) {
+            CacheInvisible = false;
+            std::fprintf(stderr,
+                         "CACHE VISIBLE: %s differs between %s and %s\n",
+                         Corpus[I].Name.c_str(),
+                         Configs[C.Ordered ? 1 : 0].Name, C.Name);
+          }
+          std::string Shape = shapeFingerprint(R);
+          if (CI == 0)
+            ShapeRef[I] = std::move(Shape);
+          else if (Shape != ShapeRef[I]) {
+            ShapeIdentical = false;
+            std::fprintf(stderr,
+                         "SHAPE VIOLATION: %s differs between %s and %s\n"
+                         "--- %s ---\n%s--- %s ---\n%s",
+                         Corpus[I].Name.c_str(), Configs[0].Name, C.Name,
+                         Configs[0].Name, ShapeRef[I].c_str(), C.Name,
+                         Shape.c_str());
+          }
+        }
+      }
+      double Secs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - T0)
+                        .count();
+      if (Best < 0 || Secs < Best) {
+        Best = Secs;
+        Totals[CI].Stats = RunStats;
+      }
+    }
+    Totals[CI].Seconds = Best;
+  }
+
+  auto HitRate = [](const LiftStats &S) {
+    uint64_t Total = S.RelCacheHits + S.RelCacheMisses;
+    return Total ? 100.0 * static_cast<double>(S.RelCacheHits) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  };
+  auto LeqRate = [](const LiftStats &S) {
+    uint64_t Total = S.LeqHits + S.LeqMisses;
+    return Total ? 100.0 * static_cast<double>(S.LeqHits) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  };
+
+  std::printf("%-16s %9s %12s %8s %9s %9s %8s\n", "config", "seconds",
+              "solver_q", "hit%", "joins", "widen", "leq%");
+  for (size_t CI = 0; CI < 4; ++CI) {
+    const LiftStats &S = Totals[CI].Stats;
+    std::printf("%-16s %9.3f %12llu %7.1f%% %9llu %9llu %7.1f%%\n",
+                Configs[CI].Name, Totals[CI].Seconds,
+                static_cast<unsigned long long>(S.SolverQueries), HitRate(S),
+                static_cast<unsigned long long>(S.Joins),
+                static_cast<unsigned long long>(S.Widenings), LeqRate(S));
+  }
+
+  double Speedup =
+      Totals[3].Seconds > 0 ? Totals[0].Seconds / Totals[3].Seconds : 0;
+  bool Identical = CacheInvisible && ShapeIdentical;
+  std::printf("\ncache invisibility (per order) -> %s\n",
+              CacheInvisible ? "OK" : "VIOLATED");
+  std::printf("structural identity (all configs) -> %s\n",
+              ShapeIdentical ? "OK" : "VIOLATED");
+  std::printf("speedup cache_ordered vs nocache_lifo: %.2fx%s\n", Speedup,
+              Smoke ? " (not gated in smoke mode)" : "");
+
+  bool SpeedOK = Smoke || Speedup >= 1.3;
+  if (!SpeedOK)
+    std::printf("speedup -> MISMATCH (gate: >= 1.30x)\n");
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", OutPath.c_str());
+    return 2;
+  }
+  Out << "{\n  \"bench\": \"step1_hotpath\",\n";
+  Out << "  \"smoke\": " << (Smoke ? "true" : "false") << ",\n";
+  Out << "  \"corpus_binaries\": " << Corpus.size() << ",\n";
+  Out << "  \"cache_invisible\": " << (CacheInvisible ? "true" : "false")
+      << ",\n";
+  Out << "  \"structure_identical\": " << (ShapeIdentical ? "true" : "false")
+      << ",\n";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", Speedup);
+  Out << "  \"speedup_cache_ordered_vs_nocache_lifo\": " << Buf << ",\n";
+  Out << "  \"configs\": [\n";
+  for (size_t CI = 0; CI < 4; ++CI) {
+    const LiftStats &S = Totals[CI].Stats;
+    std::snprintf(Buf, sizeof(Buf), "%.4f", Totals[CI].Seconds);
+    Out << "    {\"name\": \"" << Configs[CI].Name
+        << "\", \"seconds\": " << Buf
+        << ", \"solver_queries\": " << S.SolverQueries
+        << ", \"rel_cache_hits\": " << S.RelCacheHits
+        << ", \"rel_cache_misses\": " << S.RelCacheMisses
+        << ", \"rel_cache_invalidated\": " << S.RelCacheInvalidated
+        << ", \"leq_hits\": " << S.LeqHits
+        << ", \"leq_misses\": " << S.LeqMisses << ", \"joins\": " << S.Joins
+        << ", \"widenings\": " << S.Widenings
+        << ", \"steps\": " << S.Steps << ", \"vertices\": " << S.Vertices
+        << "}" << (CI + 1 < 4 ? "," : "") << "\n";
+  }
+  Out << "  ]\n}\n";
+  std::printf("wrote %s\n", OutPath.c_str());
+
+  return Identical && SpeedOK ? 0 : 1;
+}

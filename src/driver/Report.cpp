@@ -129,6 +129,11 @@ void writeStatsFields(std::ostream &OS, const LiftStats &S) {
      << ", \"forks\": " << S.Forks
      << ", \"solver_queries\": " << S.SolverQueries
      << ", \"z3_queries\": " << S.Z3Queries
+     << ", \"rel_cache_hits\": " << S.RelCacheHits
+     << ", \"rel_cache_misses\": " << S.RelCacheMisses
+     << ", \"rel_cache_invalidated\": " << S.RelCacheInvalidated
+     << ", \"leq_hits\": " << S.LeqHits
+     << ", \"leq_misses\": " << S.LeqMisses
      << ", \"seconds\": " << jsonNum(S.Seconds);
 }
 

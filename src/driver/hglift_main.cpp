@@ -10,11 +10,17 @@
 //     --dump-hg            print the full Hoare Graph
 //     --no-join            ablation: disable state joining
 //     --destroy-always     ablation: no alias/separation branching
+//     --no-hotpath-cache   ablation: disable the relation-query cache and
+//                          the leq memo
+//     --lifo-worklist      ablation: historical LIFO exploration order
+//                          instead of the address-ordered worklist
 //     --max-seconds N      per-function wall budget (default 60)
-//     --threads N          lifting worker threads (0 = hardware, default 1);
-//                          results are identical for every value
+//     --threads N          worker threads for lifting and the Step-2 check
+//                          (0 = hardware, default 1); results are identical
+//                          for every value
 //     --stats-json F       write lifting statistics (per-function vertices,
-//                          joins, solver calls, wall time) as JSON to F
+//                          joins, solver calls, cache hit/miss counts, leq
+//                          memo counts, wall time) as JSON to F
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,8 +40,8 @@ int main(int argc, char **argv) {
   if (argc < 2) {
     std::cerr << "usage: hglift <binary.elf> [--library] [--check] "
                  "[--export-isabelle FILE] [--dump-hg] [--no-join] "
-                 "[--destroy-always] [--max-seconds N] [--threads N] "
-                 "[--stats-json FILE]\n";
+                 "[--destroy-always] [--no-hotpath-cache] [--lifo-worklist] "
+                 "[--max-seconds N] [--threads N] [--stats-json FILE]\n";
     return 2;
   }
 
@@ -55,6 +61,11 @@ int main(int argc, char **argv) {
       Cfg.EnableJoin = false;
     else if (A == "--destroy-always")
       Cfg.Sym.Policy = mem::UnknownPolicy::DestroyAlways;
+    else if (A == "--no-hotpath-cache") {
+      Cfg.Solver.EnableCache = false;
+      Cfg.LeqMemo = false;
+    } else if (A == "--lifo-worklist")
+      Cfg.OrderedWorklist = false;
     else if (A == "--export-isabelle" && I + 1 < argc)
       IsabelleOut = argv[++I];
     else if (A == "--export-dot" && I + 1 < argc)
@@ -92,7 +103,7 @@ int main(int argc, char **argv) {
   }
 
   if (Check) {
-    exporter::CheckResult C = exporter::checkBinary(L, R);
+    exporter::CheckResult C = exporter::checkBinary(L, R, Cfg.Threads);
     std::cout << "step 2: " << C.Proven << "/" << C.Theorems
               << " Hoare triples proven\n";
     for (const std::string &F : C.Failures)

@@ -1,6 +1,10 @@
 #include "export/HoareChecker.h"
 
+#include "hg/StateMemo.h"
 #include "support/Format.h"
+#include "support/ThreadPool.h"
+
+#include <mutex>
 
 namespace hglift::exporter {
 
@@ -17,9 +21,11 @@ using sem::SymExec;
 namespace {
 
 /// Does some vertex at address Rip entail the post-state S, with an edge
-/// From -> that address present?
+/// From -> that address present? The entailment probes go through the
+/// function-local leq memo (re-derived post-states repeat whenever several
+/// predecessors reach the same invariant).
 bool covered(const HoareGraph &G, const VertexKey &From, uint64_t Rip,
-             const sem::SymState &S) {
+             const sem::SymState &S, hg::StateLeqMemo &Memo) {
   bool EdgeExists = false;
   for (const Edge &E : G.Edges)
     if (E.From == From && E.To.Rip == Rip) {
@@ -30,8 +36,8 @@ bool covered(const HoareGraph &G, const VertexKey &From, uint64_t Rip,
     return false;
   for (auto It = G.Vertices.lower_bound(VertexKey{Rip, 0});
        It != G.Vertices.end() && It->first.Rip == Rip; ++It) {
-    if (pred::Pred::leq(S.P, It->second.State.P) &&
-        mem::MemModel::leq(S.M, It->second.State.M))
+    if (Memo.predLeq(S.P, It->second.State.P) &&
+        Memo.memLeq(S.M, It->second.State.M))
       return true;
   }
   return false;
@@ -44,20 +50,12 @@ bool edgeTo(const HoareGraph &G, const VertexKey &From, uint64_t SpecialRip) {
   return false;
 }
 
-} // namespace
-
-CheckResult checkFunction(hg::Lifter &L, const FunctionResult &F) {
+/// The per-function check body, over a caller-chosen executor. Everything
+/// it touches — Exec, F's arena, the memo — is private to one task, which
+/// is what licenses the parallel fan-out in checkBinary().
+CheckResult checkFunctionWith(SymExec &Exec, const FunctionResult &F) {
   CheckResult R;
-  if (F.Outcome != hg::LiftOutcome::Lifted)
-    return R;
-
-  // Check inside the function's own arena: every expression in F.Graph is
-  // interned there, and the re-derived successors must live in the same
-  // context for entailment to be meaningful. The arena's executor shares
-  // the semantics but none of Algorithm 1's state. (Hand-built results
-  // without an arena fall back to the lifter's scratch context.)
-  SymExec Fallback(L.exprContext(), L.solver(), L.image(), L.config().Sym);
-  SymExec &Exec = F.Arena ? F.Arena->exec() : Fallback;
+  hg::StateLeqMemo Memo;
 
   for (const auto &[Key, V] : F.Graph.Vertices) {
     if (!V.Explored || !V.Instr.isValid())
@@ -79,7 +77,7 @@ CheckResult checkFunction(hg::Lifter &L, const FunctionResult &F) {
       case CtrlKind::CallInternal:
       case CtrlKind::CallExternal:
       case CtrlKind::UnresCall:
-        OK = covered(F.Graph, Key, S.NextAddr, S.S);
+        OK = covered(F.Graph, Key, S.NextAddr, S.S, Memo);
         break;
       case CtrlKind::Ret:
         OK = edgeTo(F.Graph, Key, hg::RetTargetRip);
@@ -103,10 +101,70 @@ CheckResult checkFunction(hg::Lifter &L, const FunctionResult &F) {
   return R;
 }
 
-CheckResult checkBinary(hg::Lifter &L, const hg::BinaryResult &B) {
+} // namespace
+
+CheckResult checkFunction(hg::Lifter &L, const FunctionResult &F) {
+  if (F.Outcome != hg::LiftOutcome::Lifted)
+    return CheckResult();
+
+  // Check inside the function's own arena: every expression in F.Graph is
+  // interned there, and the re-derived successors must live in the same
+  // context for entailment to be meaningful. A task-local executor shares
+  // the semantics but none of Algorithm 1's state. (Hand-built results
+  // without an arena fall back to the lifter's scratch context — only
+  // built when actually needed, since touching it from a worker thread
+  // would race.)
+  if (F.Arena) {
+    SymExec Exec(F.Arena->ctx(), F.Arena->solver(), L.image(),
+                 L.config().Sym);
+    return checkFunctionWith(Exec, F);
+  }
+  SymExec Fallback(L.exprContext(), L.solver(), L.image(), L.config().Sym);
+  return checkFunctionWith(Fallback, F);
+}
+
+CheckResult checkBinary(hg::Lifter &L, const hg::BinaryResult &B,
+                        unsigned Threads) {
+  unsigned NThreads =
+      Threads == 0 ? ThreadPool::defaultThreads() : Threads;
+  if (NThreads <= 1 || B.Functions.size() <= 1) {
+    CheckResult R;
+    for (const FunctionResult &F : B.Functions)
+      R.merge(checkFunction(L, F));
+    return R;
+  }
+
+  // One task per arena-ful function: each re-checks entirely inside that
+  // function's own arena, so nothing is shared between workers. Arena-less
+  // functions (hand-built in tests) would all share the lifter's scratch
+  // context and are kept on this thread. Per-function results land in a
+  // slot vector and merge in function order, so the outcome — including
+  // the order of Failures — is identical to the serial check.
+  std::vector<CheckResult> Slots(B.Functions.size());
+  {
+    ThreadPool Pool(NThreads);
+    for (size_t I = 0; I < B.Functions.size(); ++I) {
+      const FunctionResult &F = B.Functions[I];
+      if (!F.Arena || F.Outcome != hg::LiftOutcome::Lifted)
+        continue;
+      CheckResult *Slot = &Slots[I];
+      Pool.submit([&L, &F, Slot] {
+        SymExec Exec(F.Arena->ctx(), F.Arena->solver(), L.image(),
+                     L.config().Sym);
+        *Slot = checkFunctionWith(Exec, F);
+      });
+    }
+    Pool.waitIdle();
+  }
+  for (size_t I = 0; I < B.Functions.size(); ++I) {
+    const FunctionResult &F = B.Functions[I];
+    if (!F.Arena && F.Outcome == hg::LiftOutcome::Lifted)
+      Slots[I] = checkFunction(L, B.Functions[I]);
+  }
+
   CheckResult R;
-  for (const FunctionResult &F : B.Functions)
-    R.merge(checkFunction(L, F));
+  for (CheckResult &S : Slots)
+    R.merge(S);
   return R;
 }
 

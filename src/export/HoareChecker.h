@@ -15,6 +15,14 @@
 // remains trusted is the instruction semantics and the entailment checker,
 // exactly the trusted base of the paper's Isabelle step.
 //
+// Like the paper's "thousands of mutually independent theorems", the
+// re-validation parallelizes: checkBinary() can fan functions out over a
+// thread pool. Each task re-checks one function entirely inside that
+// function's own LiftArena (its ExprContext, RelationSolver, and a
+// task-local SymExec), so no interning table or solver cache is ever
+// shared between concurrent tasks; results merge in function order, making
+// the parallel check observably identical to the serial one.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef HGLIFT_EXPORT_HOARECHECKER_H
@@ -40,8 +48,12 @@ struct CheckResult {
 /// Re-verify every edge of one lifted function.
 CheckResult checkFunction(hg::Lifter &L, const hg::FunctionResult &F);
 
-/// Re-verify every function of a lifted binary.
-CheckResult checkBinary(hg::Lifter &L, const hg::BinaryResult &B);
+/// Re-verify every function of a lifted binary. Threads: 1 = serial in the
+/// calling thread, 0 = hardware concurrency, N = N workers. Functions
+/// without an arena (hand-built in tests) are always checked serially;
+/// results are identical for every thread count.
+CheckResult checkBinary(hg::Lifter &L, const hg::BinaryResult &B,
+                        unsigned Threads = 1);
 
 } // namespace hglift::exporter
 

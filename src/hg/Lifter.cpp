@@ -1,5 +1,6 @@
 #include "hg/Lifter.h"
 
+#include "hg/StateMemo.h"
 #include "support/Format.h"
 #include "support/ThreadPool.h"
 
@@ -7,6 +8,7 @@
 #include <chrono>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 
 namespace hglift::hg {
@@ -174,9 +176,43 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
   HoareGraph &G = FR.Graph;
   G.Initial = VertexKey{Entry, ctrlHash(Init)};
 
+  // Abstraction-order memo for the covered/subsumption probes below.
+  StateLeqMemo Memo;
+  Memo.setEnabled(Cfg.LeqMemo);
+  Memo.setLiftStats(&FR.Stats);
 
-  std::deque<std::pair<SymState, uint64_t>> Bag;
-  Bag.emplace_back(std::move(Init), Entry);
+  // The worklist. Ordered mode keeps states keyed by instruction address
+  // and always pops the lowest address (FIFO among states at one address),
+  // approximating reverse post-order; LIFO mode is the historical bag,
+  // kept for the ablation bench. Both modes are exhaustive — only the
+  // exploration *order* (and hence join batching) differs.
+  std::map<uint64_t, std::deque<SymState>> Ordered;
+  std::deque<std::pair<SymState, uint64_t>> Lifo;
+  size_t Pending = 0;
+  auto push = [&](SymState S, uint64_t Rip) {
+    ++Pending;
+    if (Cfg.OrderedWorklist)
+      Ordered[Rip].push_back(std::move(S));
+    else
+      Lifo.emplace_back(std::move(S), Rip);
+  };
+  auto pop = [&]() -> std::pair<SymState, uint64_t> {
+    --Pending;
+    if (Cfg.OrderedWorklist) {
+      auto It = Ordered.begin();
+      uint64_t Rip = It->first;
+      SymState S = std::move(It->second.front());
+      It->second.pop_front();
+      if (It->second.empty())
+        Ordered.erase(It);
+      return {std::move(S), Rip};
+    }
+    auto P = std::move(Lifo.back());
+    Lifo.pop_back();
+    return P;
+  };
+
+  push(std::move(Init), Entry);
   uint64_t Serial = 0;
   // Annotation/resolution sites (re-exploration of a vertex after joins
   // must not double-count).
@@ -199,7 +235,7 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
     return FR;
   };
 
-  while (!Bag.empty()) {
+  while (Pending) {
     if (G.Vertices.size() > Cfg.MaxVertices)
       return fail(LiftOutcome::Timeout,
                   "vertex fuel exhausted (partial graph retained)");
@@ -210,14 +246,13 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
       return fail(LiftOutcome::Timeout,
                   "wall-clock budget exhausted (partial graph retained)");
 
-    auto [Sigma, Rip] = std::move(Bag.back());
-    Bag.pop_back();
+    auto [Sigma, Rip] = pop();
 
 #ifdef HGLIFT_TRACE_LIFT
     fprintf(stderr,
             "pop rip=%llx bag=%zu verts=%zu cells=%zu ranges=%zu clob=%zu "
             "forest=%zu exprs=%zu\n",
-            (unsigned long long)Rip, Bag.size(), G.Vertices.size(),
+            (unsigned long long)Rip, Pending, G.Vertices.size(),
             Sigma.P.cells().size(), Sigma.P.ranges().size(),
             Sigma.M.Clobbered.size(), Sigma.M.allRegions().size(),
             Ctx.numExprs());
@@ -232,8 +267,8 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
       // Ablation: no joining — only exact subsumption stops exploration.
       for (auto It = G.Vertices.lower_bound(VertexKey{Rip, 0});
            It != G.Vertices.end() && It->first.Rip == Rip; ++It)
-        if (Pred::leq(Sigma.P, It->second.State.P) &&
-            mem::MemModel::leq(Sigma.M, It->second.State.M)) {
+        if (Memo.predLeq(Sigma.P, It->second.State.P) &&
+            Memo.memLeq(Sigma.M, It->second.State.M)) {
           V = &It->second;
           break;
         }
@@ -243,8 +278,8 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
 
     SymState Cur;
     if (V && V->Explored) {
-      if (Pred::leq(Sigma.P, V->State.P) &&
-          mem::MemModel::leq(Sigma.M, V->State.M))
+      if (Memo.predLeq(Sigma.P, V->State.P) &&
+          Memo.memLeq(Sigma.M, V->State.M))
         continue; // line 4: already covered
       bool Widen = V->JoinCount >= Cfg.WidenAfterJoins;
       Cur.P = Pred::join(Ctx, V->State.P, Sigma.P, Widen);
@@ -312,7 +347,7 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
       case CtrlKind::CallExternal: {
         E.To = VertexKey{S.NextAddr, ctrlHash(S.S)};
         G.addEdge(E);
-        Bag.emplace_back(std::move(S.S), S.NextAddr);
+        push(std::move(S.S), S.NextAddr);
         break;
       }
       case CtrlKind::CallInternal: {
@@ -320,7 +355,7 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
         E.CalleeAddr = Out.CalleeAddr;
         FR.Callees.insert(Out.CalleeAddr);
         G.addEdge(E);
-        Bag.emplace_back(std::move(S.S), S.NextAddr);
+        push(std::move(S.S), S.NextAddr);
         break;
       }
       case CtrlKind::Ret: {
@@ -341,7 +376,7 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
         G.addEdge(E);
         UnresCallSites.insert(I.Addr);
         // Treated as an unknown external function: continue (§5.1).
-        Bag.emplace_back(std::move(S.S), S.NextAddr);
+        push(std::move(S.S), S.NextAddr);
         break;
       }
       case CtrlKind::Terminal:

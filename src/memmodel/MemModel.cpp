@@ -571,6 +571,42 @@ bool MemModel::leq(const MemModel &A, const MemModel &B) {
   return true;
 }
 
+// --- digest ------------------------------------------------------------------
+
+namespace {
+
+inline uint64_t mixDigest(uint64_t H, uint64_t V) {
+  V *= 0x9e3779b97f4a7c15ULL;
+  V ^= V >> 29;
+  H ^= V;
+  return H * 0xbf58476d1ce4e5b9ULL + 1;
+}
+
+uint64_t digestTree(uint64_t H, const MemTree &T) {
+  H = mixDigest(H, 0xa11ce); // node marker: separates siblings from nesting
+  for (const Region &R : T.Node) {
+    H = mixDigest(H, R.Addr->hashValue());
+    H = mixDigest(H, R.Size);
+  }
+  for (const MemTree &C : T.Children)
+    H = digestTree(H, C);
+  return mixDigest(H, 0xc105e);
+}
+
+} // namespace
+
+uint64_t MemModel::digest() const {
+  uint64_t H = 0xf04e57;
+  for (const MemTree &T : Forest)
+    H = digestTree(H, T);
+  H = mixDigest(H, (HavocAll ? 2 : 0) | (HavocGlobals ? 1 : 0));
+  for (const Region &R : Clobbered) {
+    H = mixDigest(H, R.Addr->hashValue());
+    H = mixDigest(H, R.Size);
+  }
+  return H;
+}
+
 // --- semantic satisfaction (Definition 3.9) --------------------------------------
 
 bool MemModel::holds(const expr::VarValuation &Vars,

@@ -120,6 +120,13 @@ public:
   /// enclosure numerically.
   bool holds(const expr::VarValuation &Vars, const expr::MemOracle &Mem) const;
 
+  /// Structural content digest over the forest shape (region address
+  /// hashes + sizes + nesting), the clobber set, and the havoc flags.
+  /// Consistent with operator== : equal models have equal digests. Used by
+  /// the lifter's leq memo (hg/StateMemo.h); collisions are resolved there
+  /// by a full equality check, never trusted blindly.
+  uint64_t digest() const;
+
   std::string str(const expr::ExprContext &Ctx) const;
 
 private:

@@ -1,9 +1,57 @@
 #include "pred/Pred.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
 namespace hglift::pred {
+
+// --- version stamps ----------------------------------------------------------
+
+namespace {
+/// Process-wide stamp source. Stamp *values* are only ever compared for
+/// equality (never ordered or persisted), so cross-thread interleaving of
+/// increments cannot change any observable behavior — each function lift
+/// sees a schedule-independent equality structure over its own stamps.
+std::atomic<uint64_t> VersionCounter{1};
+
+inline uint64_t mix64(uint64_t H, uint64_t V) {
+  V *= 0x9e3779b97f4a7c15ULL;
+  V ^= V >> 29;
+  H ^= V;
+  return H * 0xbf58476d1ce4e5b9ULL + 1;
+}
+} // namespace
+
+void Pred::bumpVersion() {
+  Version = VersionCounter.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Pred::digest() const {
+  if (DigestVersion == Version)
+    return DigestValue;
+  uint64_t H = Bottom ? 0x5eed : 0x1234;
+  for (unsigned I = 0; I < x86::NumGPRs; ++I)
+    H = mix64(H, Regs[I] ? Regs[I]->hashValue() : I + 1);
+  H = mix64(H, static_cast<uint64_t>(Flags.K) * 131 + Flags.Width);
+  if (Flags.L)
+    H = mix64(H, Flags.L->hashValue());
+  if (Flags.R)
+    H = mix64(H, Flags.R->hashValue());
+  for (const MemCell &C : Cells) {
+    H = mix64(H, C.Addr->hashValue());
+    H = mix64(H, C.Size);
+    H = mix64(H, C.Val->hashValue());
+  }
+  for (const RangeClause &C : Ranges) {
+    H = mix64(H, C.E->hashValue());
+    H = mix64(H, static_cast<uint64_t>(C.Op) * 0x101 + 0x57);
+    H = mix64(H, C.Bound);
+  }
+  DigestVersion = Version;
+  DigestValue = H;
+  return H;
+}
 
 using expr::ExprKind;
 using expr::Opcode;
@@ -55,6 +103,7 @@ Pred Pred::entry(ExprContext &Ctx, const Expr *RetSymTop) {
   const Expr *Ret =
       RetSymTop ? RetSymTop : Ctx.mkVar(VarClass::RetAddr, "a_r", 64);
   P.Cells.push_back(MemCell{Rsp0, 8, Ret});
+  P.bumpVersion();
   return P;
 }
 
@@ -75,6 +124,7 @@ const Expr *Pred::readReg(ExprContext &Ctx, Reg R, unsigned SizeBytes,
 
 void Pred::writeReg(ExprContext &Ctx, Reg R, unsigned SizeBytes, bool HighByte,
                     const Expr *V) {
+  bumpVersion();
   unsigned N = x86::regNum(R);
   const Expr *Old = Regs[N];
   switch (SizeBytes) {
@@ -110,20 +160,24 @@ void Pred::writeReg(ExprContext &Ctx, Reg R, unsigned SizeBytes, bool HighByte,
 
 void Pred::setFlagsCmp(const Expr *L, const Expr *R, unsigned Width) {
   Flags = FlagState{FlagState::Kind::Cmp, L, R, static_cast<uint8_t>(Width)};
+  bumpVersion();
 }
 
 void Pred::setFlagsTest(const Expr *L, const Expr *R, unsigned Width) {
   Flags = FlagState{FlagState::Kind::Test, L, R, static_cast<uint8_t>(Width)};
+  bumpVersion();
 }
 
 void Pred::setFlagsRes(const Expr *Res, unsigned Width) {
   Flags =
       FlagState{FlagState::Kind::Res, Res, nullptr, static_cast<uint8_t>(Width)};
+  bumpVersion();
 }
 
 void Pred::setFlagsZeroOf(const Expr *L, unsigned Width) {
   Flags = FlagState{FlagState::Kind::ZeroOf, L, nullptr,
                     static_cast<uint8_t>(Width)};
+  bumpVersion();
 }
 
 const Expr *Pred::condExpr(ExprContext &Ctx, Cond CC) const {
@@ -253,24 +307,34 @@ const MemCell *Pred::findCell(const Expr *Addr, uint32_t Size) const {
 void Pred::setCell(const Expr *Addr, uint32_t Size, const Expr *Val) {
   for (MemCell &C : Cells)
     if (C.Addr == Addr && C.Size == Size) {
+      if (C.Val == Val)
+        return; // content unchanged; keep the stamp (and cache entries)
       C.Val = Val;
+      bumpVersion();
       return;
     }
   Cells.push_back(MemCell{Addr, Size, Val});
+  bumpVersion();
 }
 
 void Pred::removeCell(const Expr *Addr, uint32_t Size) {
+  size_t Before = Cells.size();
   Cells.erase(std::remove_if(Cells.begin(), Cells.end(),
                              [&](const MemCell &C) {
                                return C.Addr == Addr && C.Size == Size;
                              }),
               Cells.end());
+  if (Cells.size() != Before)
+    bumpVersion();
 }
 
 void Pred::filterCells(const std::function<bool(const MemCell &)> &Keep) {
+  size_t Before = Cells.size();
   Cells.erase(std::remove_if(Cells.begin(), Cells.end(),
                              [&](const MemCell &C) { return !Keep(C); }),
               Cells.end());
+  if (Cells.size() != Before)
+    bumpVersion();
 }
 
 // --- range clauses ------------------------------------------------------------
@@ -282,14 +346,19 @@ void Pred::addRange(const Expr *E, RelOp Op, uint64_t Bound) {
   for (const RangeClause &Existing : Ranges)
     if (Existing == C)
       return;
-  if (Ranges.size() < MaxRanges)
+  if (Ranges.size() < MaxRanges) {
     Ranges.push_back(C);
+    bumpVersion();
+  }
 }
 
 void Pred::clearRangesFor(const Expr *E) {
+  size_t Before = Ranges.size();
   Ranges.erase(std::remove_if(Ranges.begin(), Ranges.end(),
                               [&](const RangeClause &C) { return C.E == E; }),
                Ranges.end());
+  if (Ranges.size() != Before)
+    bumpVersion();
 }
 
 namespace {
@@ -484,6 +553,7 @@ Pred Pred::join(ExprContext &Ctx, const Pred &A, const Pred &B, bool Widen) {
     }
   }
 
+  J.bumpVersion();
   return J;
 }
 

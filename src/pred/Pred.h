@@ -18,6 +18,14 @@
 // drops everything else by substituting Fresh variables — only ever
 // weakening, as Definition 3.15 requires.
 //
+// Every Pred carries a *version stamp*: a process-wide monotone counter
+// value re-assigned by every mutating operation (copies keep their source's
+// stamp). Two Preds with equal stamps are guaranteed content-identical, so
+// the stamp serves as an exact O(1) identity for caching — the relation
+// solver keys its query cache on it, and mutating a predicate implicitly
+// invalidates every cache entry derived from its old state (the stale key
+// can never be produced again).
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef HGLIFT_PRED_PRED_H
@@ -90,13 +98,40 @@ public:
   static Pred entry(ExprContext &Ctx, const Expr *RetSymTop = nullptr);
 
   bool isBottom() const { return Bottom; }
-  void setBottom() { Bottom = true; }
+  void setBottom() {
+    Bottom = true;
+    bumpVersion();
+  }
+
+  // --- identity / caching support -----------------------------------------
+
+  /// Monotone version stamp: re-assigned (from a process-wide counter) by
+  /// every mutating member function. Equal stamps imply identical content;
+  /// a mutation makes the old stamp unreproducible, which is what
+  /// invalidates version-keyed caches.
+  uint64_t version() const { return Version; }
+
+  /// Structural content digest: mixes the interned-expression hashes of
+  /// every clause. Memoized per version stamp (not synchronized — one Pred,
+  /// one thread, like the rest of this class).
+  uint64_t digest() const;
+
+  /// Content equality (clause-for-clause, via interned pointers); the
+  /// version stamp and digest memo are *not* compared. Only meaningful for
+  /// predicates from the same ExprContext.
+  bool operator==(const Pred &O) const {
+    return Bottom == O.Bottom && Regs == O.Regs && Flags == O.Flags &&
+           Cells == O.Cells && Ranges == O.Ranges;
+  }
 
   // --- registers -----------------------------------------------------------
 
   /// Full 64-bit value of R.
   const Expr *reg64(x86::Reg R) const { return Regs[x86::regNum(R)]; }
-  void setReg64(x86::Reg R, const Expr *V) { Regs[x86::regNum(R)] = V; }
+  void setReg64(x86::Reg R, const Expr *V) {
+    Regs[x86::regNum(R)] = V;
+    bumpVersion();
+  }
 
   /// Value of R viewed at SizeBytes (1/2/4/8), honoring high-byte access.
   const Expr *readReg(ExprContext &Ctx, x86::Reg R, unsigned SizeBytes,
@@ -114,7 +149,10 @@ public:
   void setFlagsTest(const Expr *L, const Expr *R, unsigned Width);
   void setFlagsRes(const Expr *Res, unsigned Width);
   void setFlagsZeroOf(const Expr *L, unsigned Width);
-  void clearFlags() { Flags = FlagState{}; }
+  void clearFlags() {
+    Flags = FlagState{};
+    bumpVersion();
+  }
 
   /// The 1-bit expression for condition CC under the current flag state, or
   /// nullptr if unknown (e.g. overflow/parity conditions after Res).
@@ -171,11 +209,21 @@ public:
   std::string str(const ExprContext &Ctx) const;
 
 private:
+  /// Take a fresh stamp from the process-wide counter. Called by every
+  /// mutator; cheap (one relaxed atomic increment).
+  void bumpVersion();
+
   bool Bottom = false;
   std::array<const Expr *, x86::NumGPRs> Regs;
   FlagState Flags;
   std::vector<MemCell> Cells;
   std::vector<RangeClause> Ranges;
+  /// See version(). 0 = the shared stamp of all default-constructed
+  /// (empty) predicates.
+  uint64_t Version = 0;
+  /// digest() memo, keyed by the version stamp at computation time.
+  mutable uint64_t DigestVersion = ~uint64_t(0);
+  mutable uint64_t DigestValue = 0;
 };
 
 } // namespace hglift::pred

@@ -9,6 +9,27 @@ using expr::ExprContext;
 using expr::LinearForm;
 using expr::VarClass;
 
+namespace {
+inline size_t mixHash(size_t H, uint64_t V) {
+  V *= 0x9e3779b97f4a7c15ULL;
+  V ^= V >> 29;
+  return (H ^ V) * 0xbf58476d1ce4e5b9ULL + 1;
+}
+} // namespace
+
+size_t RelationSolver::RelKeyHash::operator()(const RelKey &K) const {
+  size_t H = mixHash(0x5e1a7e, K.A0->hashValue());
+  H = mixHash(H, K.A1->hashValue());
+  H = mixHash(H, (uint64_t(K.S0) << 32) | K.S1);
+  return mixHash(H, K.Ver);
+}
+
+size_t RelationSolver::EqKeyHash::operator()(const EqKey &K) const {
+  size_t H = mixHash(0xe9a1, K.E0->hashValue());
+  H = mixHash(H, K.E1->hashValue());
+  return mixHash(H, K.Ver);
+}
+
 const char *memRelName(MemRel R) {
   switch (R) {
   case MemRel::MustAlias:
@@ -95,12 +116,48 @@ MemRel RelationSolver::relateByConstantDelta(int64_t Delta, uint32_t S0,
   return MemRel::MustPartial;
 }
 
+void RelationSolver::boundCaches(uint64_t LiveVer) {
+  if (RelCache.size() + EqCache.size() < Cfg.CacheCap)
+    return;
+  size_t Before = RelCache.size() + EqCache.size();
+  for (auto It = RelCache.begin(); It != RelCache.end();)
+    It = It->first.Ver == LiveVer ? std::next(It) : RelCache.erase(It);
+  for (auto It = EqCache.begin(); It != EqCache.end();)
+    It = It->first.Ver == LiveVer ? std::next(It) : EqCache.erase(It);
+  if (RelCache.size() + EqCache.size() == Before) {
+    // Everything belongs to the live version: clearing is the only way to
+    // respect the cap.
+    RelCache.clear();
+    EqCache.clear();
+  }
+  uint64_t Dropped = Before - (RelCache.size() + EqCache.size());
+  S.CacheInvalidated += Dropped;
+  if (LS)
+    LS->RelCacheInvalidated += Dropped;
+}
+
 MemRel RelationSolver::relate(const Region &R0, const Region &R1,
                               const pred::Pred &P) {
   ++S.Queries;
   if (LS)
     ++LS->SolverQueries;
-  return relateUncached(R0, R1, P);
+  if (!Cfg.EnableCache)
+    return relateUncached(R0, R1, P);
+
+  RelKey Key{R0.Addr, R1.Addr, R0.Size, R1.Size, P.version()};
+  if (auto It = RelCache.find(Key); It != RelCache.end()) {
+    ++S.CacheHits;
+    if (LS)
+      ++LS->RelCacheHits;
+    return It->second;
+  }
+  ++S.CacheMisses;
+  if (LS)
+    ++LS->RelCacheMisses;
+  MemRel R = relateUncached(R0, R1, P);
+  boundCaches(Key.Ver);
+  RelCache.emplace(Key, R);
+  return R;
 }
 
 MemRel RelationSolver::relateUncached(const Region &R0, const Region &R1,
@@ -181,6 +238,7 @@ MemRel RelationSolver::relateUncached(const Region &R0, const Region &R1,
     if (LS)
       ++LS->Z3Queries;
     MemRel R = Z3->query(R0, R1, P, Ctx);
+    S.Z3TransEvictions = Z3->numEvictions();
     if (R != MemRel::Unknown) {
       ++S.Z3Hits;
       return R;
@@ -200,8 +258,25 @@ bool RelationSolver::mustEqual(const Expr *E0, const Expr *E1,
   if (L0.sameBase(L1))
     return L0.Constant == L1.Constant;
 #ifdef HGLIFT_WITH_Z3
-  if (Z3)
-    return Z3->mustEqual(E0, E1, P, Ctx);
+  if (Z3) {
+    if (!Cfg.EnableCache)
+      return Z3->mustEqual(E0, E1, P, Ctx);
+    EqKey Key{E0, E1, P.version()};
+    if (auto It = EqCache.find(Key); It != EqCache.end()) {
+      ++S.CacheHits;
+      if (LS)
+        ++LS->RelCacheHits;
+      return It->second;
+    }
+    ++S.CacheMisses;
+    if (LS)
+      ++LS->RelCacheMisses;
+    bool Eq = Z3->mustEqual(E0, E1, P, Ctx);
+    S.Z3TransEvictions = Z3->numEvictions();
+    boundCaches(Key.Ver);
+    EqCache.emplace(Key, Eq);
+    return Eq;
+  }
 #endif
   return false;
 }

@@ -15,7 +15,18 @@
 //      uses Z3 ("the SMT solver Z3 is used to establish whether these
 //      necessarily-relations hold for symbolic addresses").
 //
-// Results are cached per (addr, size, addr, size, predicate-version).
+// Results are cached. The cache key is the exact query identity
+//   (addr0, size0, addr1, size1, Pred::version())
+// where the addresses are interned Expr pointers (pointer equality ==
+// structural equality within one ExprContext; Expr::hashValue() is the
+// key's hash function) and the version is the predicate's monotone stamp.
+// Invalidation rule: any clause mutation re-stamps the Pred from a
+// process-wide counter, so entries keyed under the old stamp can never be
+// hit again — mutation IS invalidation. When the map reaches Config::
+// CacheCap, entries whose stamp differs from the current query's are swept
+// (counted in Stats::CacheInvalidated); mustEqual() is memoized the same
+// way. Hit/miss/invalidation counters live in Stats and are mirrored into
+// LiftStats for --stats-json.
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +39,7 @@
 
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 namespace hglift::smt {
@@ -59,6 +71,13 @@ public:
     /// (recorded as proof obligations). Turning this off is the rigorous
     /// but mostly-useless mode discussed in §1.
     bool AllocClassAssumptions = true;
+    /// Memoize relate()/mustEqual() per (addresses, sizes, Pred version).
+    /// Off is the ablation mode of bench_step1_hotpath.
+    bool EnableCache = true;
+    /// Combined entry cap for the two memo maps. At the cap, entries whose
+    /// version differs from the current query's are swept first; if the
+    /// sweep frees nothing (single hot predicate) the maps are cleared.
+    size_t CacheCap = 1u << 16;
   };
 
   explicit RelationSolver(expr::ExprContext &Ctx)
@@ -84,6 +103,15 @@ public:
     uint64_t ClassAssumptionHits = 0;
     uint64_t Z3Queries = 0;
     uint64_t Z3Hits = 0;
+    /// relate()/mustEqual() answered from the version-keyed memo.
+    uint64_t CacheHits = 0;
+    /// Cache enabled but the key was absent (answered uncached, inserted).
+    uint64_t CacheMisses = 0;
+    /// Entries dropped by the stale-version sweep at CacheCap.
+    uint64_t CacheInvalidated = 0;
+    /// Z3 expression-translation cache evictions (bounded cache in the
+    /// backend; mirrored here so --stats-json can report it).
+    uint64_t Z3TransEvictions = 0;
   };
   const Stats &stats() const { return S; }
 
@@ -97,12 +125,38 @@ private:
                         const pred::Pred &P);
   MemRel relateByConstantDelta(int64_t Delta, uint32_t S0, uint32_t S1);
 
+  /// Evict stale-version entries (or clear) once the maps reach CacheCap.
+  void boundCaches(uint64_t LiveVer);
+
+  /// Exact query identity: interned address pointers + sizes + the
+  /// predicate's version stamp. Pointer equality is structural equality
+  /// within one ExprContext; hashValue() only drives bucketing.
+  struct RelKey {
+    const expr::Expr *A0, *A1;
+    uint32_t S0, S1;
+    uint64_t Ver;
+    bool operator==(const RelKey &O) const = default;
+  };
+  struct RelKeyHash {
+    size_t operator()(const RelKey &K) const;
+  };
+  struct EqKey {
+    const expr::Expr *E0, *E1;
+    uint64_t Ver;
+    bool operator==(const EqKey &O) const = default;
+  };
+  struct EqKeyHash {
+    size_t operator()(const EqKey &K) const;
+  };
+
   expr::ExprContext &Ctx;
   Config Cfg;
   Stats S;
   LiftStats *LS = nullptr;
   std::vector<Assumption> Assumptions;
   std::unique_ptr<Z3Backend> Z3;
+  std::unordered_map<RelKey, MemRel, RelKeyHash> RelCache;
+  std::unordered_map<EqKey, bool, EqKeyHash> EqCache;
 };
 
 } // namespace hglift::smt

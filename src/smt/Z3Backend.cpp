@@ -16,7 +16,11 @@ using pred::RelOp;
 
 struct Z3Backend::Impl {
   z3::context C;
+  /// Expression-translation memo. Bounded: boundTransCache() clears it
+  /// between top-level queries once it exceeds MaxCacheEntries, so a long
+  /// lifting run over many functions cannot grow it without limit.
   std::unordered_map<const Expr *, z3::expr> Cache;
+  static constexpr size_t MaxCacheEntries = 4096;
   uint64_t NameCounter = 0;
 
   z3::expr boolToBv1(const z3::expr &B) {
@@ -141,9 +145,17 @@ struct Z3Backend::Impl {
 Z3Backend::Z3Backend() : I(new Impl()) {}
 Z3Backend::~Z3Backend() { delete I; }
 
+void Z3Backend::boundTransCache() {
+  if (I->Cache.size() <= Impl::MaxCacheEntries)
+    return;
+  I->Cache.clear();
+  ++Evictions;
+}
+
 MemRel Z3Backend::query(const Region &R0, const Region &R1,
                         const pred::Pred &P, const ExprContext &Ctx) {
   ++Queries;
+  boundTransCache();
   try {
     z3::solver S(I->C);
     S.set("timeout", 200u); // per-query millisecond budget
@@ -196,6 +208,7 @@ MemRel Z3Backend::query(const Region &R0, const Region &R1,
 bool Z3Backend::mustEqual(const Expr *E0, const Expr *E1, const pred::Pred &P,
                           const ExprContext &Ctx) {
   ++Queries;
+  boundTransCache();
   try {
     z3::solver S(I->C);
     S.set("timeout", 200u);

@@ -34,10 +34,19 @@ public:
 
   uint64_t numQueries() const { return Queries; }
 
+  /// Times the bounded expression-translation cache was cleared because it
+  /// reached its cap (checked between top-level queries, so in-flight
+  /// z3::expr references are never dropped mid-translation).
+  uint64_t numEvictions() const { return Evictions; }
+
 private:
+  /// Enforce the translation-cache bound; called at query entry.
+  void boundTransCache();
+
   struct Impl;
   Impl *I;
   uint64_t Queries = 0;
+  uint64_t Evictions = 0;
 };
 
 } // namespace hglift::smt

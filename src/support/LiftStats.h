@@ -37,6 +37,16 @@ struct LiftStats {
   uint64_t SolverQueries = 0;
   /// The subset of SolverQueries that reached the Z3 backend.
   uint64_t Z3Queries = 0;
+  /// Relation-solver queries answered from the version-keyed memo.
+  uint64_t RelCacheHits = 0;
+  /// Relation-solver queries that missed the memo (answered uncached).
+  uint64_t RelCacheMisses = 0;
+  /// Memo entries dropped by the stale-version sweep at the cache cap.
+  uint64_t RelCacheInvalidated = 0;
+  /// Pred/MemModel leq probes answered from the lifter's digest memo.
+  uint64_t LeqHits = 0;
+  /// leq probes that fell through to the full comparison.
+  uint64_t LeqMisses = 0;
   /// Wall-clock seconds (per function: the lift; aggregated: sum of
   /// per-function times, which exceeds elapsed wall time when parallel).
   double Seconds = 0;
@@ -49,6 +59,11 @@ struct LiftStats {
     Forks += O.Forks;
     SolverQueries += O.SolverQueries;
     Z3Queries += O.Z3Queries;
+    RelCacheHits += O.RelCacheHits;
+    RelCacheMisses += O.RelCacheMisses;
+    RelCacheInvalidated += O.RelCacheInvalidated;
+    LeqHits += O.LeqHits;
+    LeqMisses += O.LeqMisses;
     Seconds += O.Seconds;
   }
 };

@@ -1,0 +1,125 @@
+//===- parallel_checker_test.cpp - Parallel Step-2 validation ------------===//
+//
+// The acceptance bar for the parallel Hoare-triple checker: checkBinary()
+// with N worker threads accepts and rejects exactly what the serial check
+// does — same theorem count, same proven count, same failure messages in
+// the same order. Each worker task re-checks one function inside that
+// function's own arena, so the only thing parallelism can change is
+// scheduling; these tests pin that it changes nothing else. The file name
+// keeps the "parallel" stem so the TSAN configuration (-R parallel) races
+// it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Programs.h"
+#include "export/HoareChecker.h"
+#include "hg/Lifter.h"
+
+#include <gtest/gtest.h>
+
+using namespace hglift;
+
+namespace {
+
+std::string checkFingerprint(const exporter::CheckResult &C) {
+  std::string S = std::to_string(C.Theorems) + "/" + std::to_string(C.Proven);
+  for (const std::string &F : C.Failures)
+    S += "\n" + F;
+  return S;
+}
+
+TEST(ParallelChecker, CorpusIdenticalAcrossThreadCounts) {
+  // Some corpus binaries (e.g. the stack probe) intentionally fail to
+  // lift; the checker must behave identically across thread counts on
+  // those too (it skips unlifted functions), so they stay in the loop.
+  size_t LiftedBinaries = 0;
+  for (auto Make :
+       {corpus::straightlineBinary, corpus::branchLoopBinary,
+        corpus::callChainBinary, corpus::callbackBinary,
+        corpus::weirdEdgeBinary, corpus::recursionBinary,
+        corpus::stackProbeBinary}) {
+    auto BB = Make();
+    ASSERT_TRUE(BB.has_value());
+    hg::Lifter L(BB->Img, hg::LiftConfig());
+    hg::BinaryResult R = L.liftBinary();
+
+    exporter::CheckResult Serial = exporter::checkBinary(L, R, 1);
+    if (R.Outcome == hg::LiftOutcome::Lifted) {
+      ++LiftedBinaries;
+      EXPECT_GT(Serial.Theorems, 0u);
+      EXPECT_EQ(Serial.Proven, Serial.Theorems)
+          << (Serial.Failures.empty() ? "" : Serial.Failures[0]);
+    }
+    for (unsigned T : {2u, 4u, 8u, 0u})
+      EXPECT_EQ(checkFingerprint(Serial),
+                checkFingerprint(exporter::checkBinary(L, R, T)))
+          << "threads=" << T;
+  }
+  EXPECT_GE(LiftedBinaries, 5u);
+}
+
+TEST(ParallelChecker, MultiFunctionLibraryIdentical) {
+  // Many functions is where the fan-out actually schedules: one task per
+  // function, merged in function order.
+  corpus::GenOptions G;
+  G.Seed = 0xc4ec4;
+  G.NumFuncs = 8;
+  G.TargetInstrs = 40;
+  auto BB = corpus::randomLibrary(G);
+  ASSERT_TRUE(BB.has_value());
+  hg::LiftConfig Cfg;
+  Cfg.Threads = 4; // parallel lift feeding the parallel check
+  hg::Lifter L(BB->Img, Cfg);
+  hg::BinaryResult R = L.liftLibrary();
+
+  std::string Serial = checkFingerprint(exporter::checkBinary(L, R, 1));
+  for (unsigned T : {2u, 4u, 8u})
+    EXPECT_EQ(Serial, checkFingerprint(exporter::checkBinary(L, R, T)))
+        << "threads=" << T;
+}
+
+TEST(ParallelChecker, RejectsTamperedInvariantIdentically) {
+  // Rejection paths must be schedule-independent too: corrupt one vertex
+  // invariant and require the serial and parallel checks to produce the
+  // exact same (non-empty) failure set.
+  auto BB = corpus::branchLoopBinary();
+  ASSERT_TRUE(BB.has_value());
+  hg::Lifter L(BB->Img, hg::LiftConfig());
+  hg::BinaryResult R = L.liftBinary();
+  ASSERT_EQ(R.Outcome, hg::LiftOutcome::Lifted);
+
+  bool Tampered = false;
+  for (hg::FunctionResult &F : R.Functions) {
+    for (auto &[K, V] : F.Graph.Vertices) {
+      if (!V.Explored || V.Instr.isTerminator())
+        continue;
+      V.State.P.setReg64(x86::Reg::RBX, F.ctx().mkConst(0x1234567, 64));
+      Tampered = true;
+      break;
+    }
+    if (Tampered)
+      break;
+  }
+  ASSERT_TRUE(Tampered);
+
+  exporter::CheckResult Serial = exporter::checkBinary(L, R, 1);
+  EXPECT_LT(Serial.Proven, Serial.Theorems);
+  EXPECT_FALSE(Serial.Failures.empty());
+  for (unsigned T : {2u, 4u, 8u})
+    EXPECT_EQ(checkFingerprint(Serial),
+              checkFingerprint(exporter::checkBinary(L, R, T)))
+        << "threads=" << T;
+}
+
+TEST(ParallelChecker, RepeatedParallelRunsStable) {
+  auto BB = corpus::callChainBinary();
+  ASSERT_TRUE(BB.has_value());
+  hg::Lifter L(BB->Img, hg::LiftConfig());
+  hg::BinaryResult R = L.liftBinary();
+  std::string First = checkFingerprint(exporter::checkBinary(L, R, 4));
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(First, checkFingerprint(exporter::checkBinary(L, R, 4)))
+        << "run " << I;
+}
+
+} // namespace
