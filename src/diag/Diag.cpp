@@ -1,0 +1,39 @@
+#include "diag/Diag.h"
+
+#include <atomic>
+
+namespace hglift::diag {
+
+const char *diagKindName(DiagKind K) {
+  switch (K) {
+  case DiagKind::VerificationError:
+    return "verification-error";
+  case DiagKind::ProofObligation:
+    return "proof-obligation";
+  case DiagKind::UnsoundnessAnnotation:
+    return "unsoundness-annotation";
+  }
+  return "?";
+}
+
+const char *componentName(Component C) {
+  switch (C) {
+  case Component::Lifter:
+    return "lifter";
+  case Component::SymExec:
+    return "symexec";
+  case Component::RelationSolver:
+    return "relation-solver";
+  case Component::HoareChecker:
+    return "hoare-checker";
+  }
+  return "?";
+}
+
+unsigned workerOrdinal() {
+  static std::atomic<unsigned> Next{0};
+  thread_local unsigned Mine = Next.fetch_add(1, std::memory_order_relaxed);
+  return Mine;
+}
+
+} // namespace hglift::diag

@@ -1,0 +1,112 @@
+//===- Diag.h - Provenance-carrying diagnostics ----------------*- C++ -*-===//
+//
+// The paper's trust story (§1) is that every failure is *explainable*:
+// verification errors, proof obligations, and unsoundness annotations are
+// first-class outputs, not log lines. This header makes them structured.
+// A Diagnostic is one such fact; its Provenance records where it was born:
+// the function entry, the instruction address and decoded mnemonic, the
+// predicate clause involved (when one can be identified), the chain of
+// relation-solver queries that led to the decision, and the worker that
+// produced it.
+//
+// Provenance is always collected — attaching it costs a few string copies
+// at diagnostic-creation time only, and diagnostics are rare (obligations,
+// annotations, rejections). The hot paths (relate(), the worklist loop)
+// never build strings; the solver keeps a tiny POD ring of recent queries
+// that is rendered lazily, and only when a diagnostic actually needs it.
+//
+// Layering: this library sits right above support/ so that smt, semantics,
+// hg, and export can all attach diagnostics without dependency cycles.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_DIAG_DIAG_H
+#define HGLIFT_DIAG_DIAG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hglift::diag {
+
+/// Version of the --report-json document shape. Any change to the set of
+/// keys emitted (adding, removing, or renaming) MUST bump this and
+/// regenerate tests/golden/report_schema_v*.txt (report_schema_test pins
+/// the shape).
+constexpr unsigned ReportSchemaVersion = 1;
+
+/// Version of the --trace JSON-Lines event shape, pinned the same way by
+/// tests/golden/trace_schema_v*.txt.
+constexpr unsigned TraceSchemaVersion = 1;
+
+/// The three diagnostic categories of the paper (§1, §5): a function
+/// rejection, an explicit assumption, or a residual overapproximation.
+enum class DiagKind : uint8_t {
+  /// A sanity property could not be established (unprovable return
+  /// address, calling-convention violation, undecodable instruction,
+  /// budget exhaustion, ...) — or, from the Step-2 checker, a Hoare-triple
+  /// edge whose postcondition is not entailed. The function is rejected.
+  VerificationError,
+  /// An assumption lifting had to make (alias-class separation,
+  /// MUST-PRESERVE across external calls). The result is sound only under
+  /// the assumption, which is why it is surfaced (§5.2).
+  ProofObligation,
+  /// A residual overapproximation: an unresolvable indirection (columns
+  /// B/C) or an overlapping-instruction ("weird") edge.
+  UnsoundnessAnnotation,
+};
+
+const char *diagKindName(DiagKind K);
+
+/// The subsystem a diagnostic originates from.
+enum class Component : uint8_t {
+  Lifter,         ///< Algorithm 1 (worklist, fuel, decode)
+  SymExec,        ///< the transformer τ (sanity checks, obligations)
+  RelationSolver, ///< necessarily-relation decisions / assumptions
+  HoareChecker,   ///< the Step-2 re-verification
+};
+
+const char *componentName(Component C);
+
+/// Where a diagnostic was born. FunctionEntry is always stamped (by the
+/// Lifter or the checker); Addr/Mnemonic whenever an instruction is in
+/// scope. ClauseId/ClauseText identify the predicate clause at issue when
+/// one can be singled out (the Step-2 checker's entailment diagnosis does
+/// this; see pred::Pred::leqExplain). QueryChain is the rendered tail of
+/// the relation-solver query ring at creation time — the solver decisions
+/// on the path to this diagnostic, most recent first.
+struct Provenance {
+  Component Origin = Component::Lifter;
+  uint64_t FunctionEntry = 0;
+  uint64_t Addr = 0;
+  std::string Mnemonic;
+  int ClauseId = -1;
+  std::string ClauseText;
+  std::vector<std::string> QueryChain;
+  /// Worker ordinal that produced the diagnostic. Schedule-dependent by
+  /// nature, so it is serialized into the trace (whose interleaving is
+  /// schedule-dependent anyway) but *excluded* from --report-json, which
+  /// is byte-identical across thread counts.
+  unsigned Worker = 0;
+
+  bool empty() const {
+    return FunctionEntry == 0 && Addr == 0 && Mnemonic.empty();
+  }
+};
+
+/// One structured diagnostic: a category, the human-readable message (the
+/// same text the flat reports always printed), and its provenance.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::ProofObligation;
+  std::string Message;
+  Provenance Prov;
+};
+
+/// Small ordinal for the calling thread (0 for the first thread that asks,
+/// 1 for the second, ...). Stable within a thread's lifetime; used for
+/// Provenance::Worker and the tracer's "tid" field.
+unsigned workerOrdinal();
+
+} // namespace hglift::diag
+
+#endif // HGLIFT_DIAG_DIAG_H

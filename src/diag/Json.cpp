@@ -1,0 +1,238 @@
+#include "diag/Json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hglift::diag {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+const JValue *JValue::get(const std::string &Key) const {
+  if (K != Kind::Obj)
+    return nullptr;
+  for (const auto &[Name, V] : Obj)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+std::string JValue::str(const std::string &Key, const std::string &Dflt) const {
+  const JValue *V = get(Key);
+  return V && V->K == Kind::Str ? V->Str : Dflt;
+}
+
+double JValue::num(const std::string &Key, double Dflt) const {
+  const JValue *V = get(Key);
+  return V && V->K == Kind::Num ? V->Num : Dflt;
+}
+
+namespace {
+
+struct Parser {
+  const std::string &S;
+  size_t I = 0;
+
+  bool ws() {
+    while (I < S.size() && std::isspace(static_cast<unsigned char>(S[I])))
+      ++I;
+    return I < S.size();
+  }
+
+  bool lit(const char *L, JValue &Out, JValue::Kind K, bool B) {
+    size_t N = std::char_traits<char>::length(L);
+    if (S.compare(I, N, L) != 0)
+      return false;
+    I += N;
+    Out.K = K;
+    Out.B = B;
+    return true;
+  }
+
+  bool string(std::string &Out) {
+    if (S[I] != '"')
+      return false;
+    for (++I; I < S.size(); ++I) {
+      char C = S[I];
+      if (C == '"') {
+        ++I;
+        return true;
+      }
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (++I >= S.size())
+        return false;
+      switch (S[I]) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += S[I];
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (I + 4 >= S.size())
+          return false;
+        unsigned Code = static_cast<unsigned>(
+            std::strtoul(S.substr(I + 1, 4).c_str(), nullptr, 16));
+        // Latin-1 subset only; everything we emit stays in it.
+        Out += static_cast<char>(Code & 0xff);
+        I += 4;
+        break;
+      }
+      default:
+        return false;
+      }
+    }
+    return false;
+  }
+
+  bool value(JValue &Out) {
+    if (!ws())
+      return false;
+    char C = S[I];
+    if (C == 'n')
+      return lit("null", Out, JValue::Kind::Null, false);
+    if (C == 't')
+      return lit("true", Out, JValue::Kind::Bool, true);
+    if (C == 'f')
+      return lit("false", Out, JValue::Kind::Bool, false);
+    if (C == '"') {
+      Out.K = JValue::Kind::Str;
+      return string(Out.Str);
+    }
+    if (C == '[') {
+      ++I;
+      Out.K = JValue::Kind::Arr;
+      if (!ws())
+        return false;
+      if (S[I] == ']') {
+        ++I;
+        return true;
+      }
+      while (true) {
+        JValue Elem;
+        if (!value(Elem))
+          return false;
+        Out.Arr.push_back(std::move(Elem));
+        if (!ws())
+          return false;
+        if (S[I] == ',') {
+          ++I;
+          continue;
+        }
+        if (S[I] == ']') {
+          ++I;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (C == '{') {
+      ++I;
+      Out.K = JValue::Kind::Obj;
+      if (!ws())
+        return false;
+      if (S[I] == '}') {
+        ++I;
+        return true;
+      }
+      while (true) {
+        if (!ws())
+          return false;
+        std::string Key;
+        if (!string(Key) || !ws() || S[I] != ':')
+          return false;
+        ++I;
+        JValue Member;
+        if (!value(Member))
+          return false;
+        Out.Obj.emplace_back(std::move(Key), std::move(Member));
+        if (!ws())
+          return false;
+        if (S[I] == ',') {
+          ++I;
+          continue;
+        }
+        if (S[I] == '}') {
+          ++I;
+          return true;
+        }
+        return false;
+      }
+    }
+    // Number.
+    size_t J = I;
+    while (J < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[J])) || S[J] == '-' ||
+            S[J] == '+' || S[J] == '.' || S[J] == 'e' || S[J] == 'E'))
+      ++J;
+    if (J == I)
+      return false;
+    Out.K = JValue::Kind::Num;
+    Out.Num = std::strtod(S.substr(I, J - I).c_str(), nullptr);
+    I = J;
+    return true;
+  }
+};
+
+} // namespace
+
+std::optional<JValue> parseJson(const std::string &Text) {
+  Parser P{Text};
+  JValue V;
+  if (!P.value(V))
+    return std::nullopt;
+  P.ws();
+  if (P.I != Text.size())
+    return std::nullopt;
+  return V;
+}
+
+} // namespace hglift::diag

@@ -1,0 +1,56 @@
+//===- Json.h - Minimal JSON: escaping, values, parsing --------*- C++ -*-===//
+//
+// Just enough JSON for the diagnostics layer: the escaping every emitter
+// shares, and a small recursive-descent parser feeding `hglift explain`
+// (which re-reads the --report-json we emit ourselves) and the schema
+// tests (which re-read --trace lines). Not a general-purpose library: no
+// \uXXXX decoding beyond Latin-1, numbers are doubles, input is trusted
+// to be reasonably sized.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_DIAG_JSON_H
+#define HGLIFT_DIAG_JSON_H
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hglift::diag {
+
+/// Escape S for inclusion inside a JSON string literal.
+std::string jsonEscape(const std::string &S);
+
+/// A parsed JSON value. Object member order is preserved (the reports are
+/// written in a deliberate order and explain re-renders in it).
+struct JValue {
+  enum class Kind : uint8_t { Null, Bool, Num, Str, Arr, Obj };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JValue> Arr;
+  std::vector<std::pair<std::string, JValue>> Obj;
+
+  bool isObj() const { return K == Kind::Obj; }
+  bool isArr() const { return K == Kind::Arr; }
+  bool isStr() const { return K == Kind::Str; }
+  bool isNum() const { return K == Kind::Num; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JValue *get(const std::string &Key) const;
+
+  /// Convenience accessors with defaults.
+  std::string str(const std::string &Key, const std::string &Dflt = "") const;
+  double num(const std::string &Key, double Dflt = 0) const;
+};
+
+/// Parse one JSON document (must consume the whole input modulo trailing
+/// whitespace). nullopt on malformed input.
+std::optional<JValue> parseJson(const std::string &Text);
+
+} // namespace hglift::diag
+
+#endif // HGLIFT_DIAG_JSON_H

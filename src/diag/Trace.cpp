@@ -1,0 +1,132 @@
+#include "diag/Trace.h"
+
+#include "diag/Json.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hglift::diag {
+
+// --- TraceEvent --------------------------------------------------------------
+
+TraceEvent::TraceEvent(const char *Type) {
+  Buf = "{\"ev\": \"";
+  Buf += Type;
+  Buf += '"';
+}
+
+TraceEvent &TraceEvent::field(const char *Key, uint64_t V) {
+  Buf += ", \"";
+  Buf += Key;
+  Buf += "\": ";
+  Buf += std::to_string(V);
+  return *this;
+}
+
+TraceEvent &TraceEvent::field(const char *Key, int64_t V) {
+  Buf += ", \"";
+  Buf += Key;
+  Buf += "\": ";
+  Buf += std::to_string(V);
+  return *this;
+}
+
+TraceEvent &TraceEvent::field(const char *Key, double V) {
+  char Num[32];
+  std::snprintf(Num, sizeof(Num), "%.6f", V);
+  Buf += ", \"";
+  Buf += Key;
+  Buf += "\": ";
+  Buf += Num;
+  return *this;
+}
+
+TraceEvent &TraceEvent::field(const char *Key, bool V) {
+  Buf += ", \"";
+  Buf += Key;
+  Buf += "\": ";
+  Buf += V ? "true" : "false";
+  return *this;
+}
+
+TraceEvent &TraceEvent::field(const char *Key, const std::string &V) {
+  Buf += ", \"";
+  Buf += Key;
+  Buf += "\": \"";
+  Buf += jsonEscape(V);
+  Buf += '"';
+  return *this;
+}
+
+TraceEvent &TraceEvent::field(const char *Key, const char *V) {
+  return field(Key, std::string(V));
+}
+
+TraceEvent &TraceEvent::hex(const char *Key, uint64_t V) {
+  char Num[24];
+  std::snprintf(Num, sizeof(Num), "0x%" PRIx64, V);
+  Buf += ", \"";
+  Buf += Key;
+  Buf += "\": \"";
+  Buf += Num;
+  Buf += '"';
+  return *this;
+}
+
+std::string TraceEvent::finish() && {
+  Buf += '}';
+  return std::move(Buf);
+}
+
+// --- Tracer ------------------------------------------------------------------
+
+std::atomic<Tracer *> Tracer::Active{nullptr};
+
+Tracer::Tracer(std::ostream &OS, const std::string &Name)
+    : OS(OS), Start(std::chrono::steady_clock::now()) {
+  TraceEvent E("trace_begin");
+  E.field("schema", static_cast<uint64_t>(TraceSchemaVersion));
+  E.field("name", Name);
+  emit(std::move(E));
+}
+
+Tracer::~Tracer() {
+  // Defensive: a still-installed tracer must not dangle.
+  if (active() == this)
+    uninstall();
+  TraceEvent E("trace_end");
+  E.field("events", Events);
+  emit(std::move(E));
+  OS.flush();
+}
+
+double Tracer::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+void Tracer::emit(TraceEvent &&E) {
+  E.field("ts", now());
+  E.field("tid", static_cast<uint64_t>(workerOrdinal()));
+  std::string Line = std::move(E).finish();
+  std::lock_guard<std::mutex> G(Mu);
+  ++Events;
+  OS << Line << '\n';
+}
+
+// --- TraceContext ------------------------------------------------------------
+
+namespace {
+thread_local uint64_t CurrentFn = 0;
+} // namespace
+
+uint64_t TraceContext::currentFunction() { return CurrentFn; }
+
+TraceContext::FunctionScope::FunctionScope(uint64_t Entry) : Saved(CurrentFn) {
+  CurrentFn = Entry;
+}
+
+TraceContext::FunctionScope::~FunctionScope() { CurrentFn = Saved; }
+
+} // namespace hglift::diag

@@ -1,0 +1,167 @@
+#include "driver/Explain.h"
+
+#include "diag/Diag.h"
+#include "diag/Json.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace hglift::driver {
+
+using diag::JValue;
+
+namespace {
+
+/// Parse "0x401000" / "401000h-style-free" / decimal into an address.
+/// Returns false on garbage (the filter then matches nothing, loudly).
+bool parseAddr(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(S.c_str(), &End, 0);
+  return End && *End == '\0';
+}
+
+uint64_t hexField(const JValue &Obj, const std::string &Key) {
+  uint64_t V = 0;
+  parseAddr(Obj.str(Key), V);
+  return V;
+}
+
+/// One diagnostic, rendered as an indented narrative block.
+void renderDiag(std::ostream &OS, const JValue &D) {
+  const JValue *Prov = D.get("provenance");
+  std::string Kind = D.str("kind", "diagnostic");
+  std::string Addr = Prov ? Prov->str("addr") : std::string();
+  std::string Mnem = Prov ? Prov->str("mnemonic") : std::string();
+  std::string Origin = Prov ? Prov->str("origin") : std::string();
+
+  OS << "  " << Kind;
+  if (!Addr.empty() && Addr != "0x0")
+    OS << " at " << Addr;
+  if (!Mnem.empty())
+    OS << " `" << Mnem << "`";
+  if (!Origin.empty())
+    OS << "  [" << Origin << "]";
+  OS << "\n";
+  OS << "    " << D.str("message", "(no message)") << "\n";
+
+  if (Prov) {
+    double ClauseId = Prov->num("clause_id", -1);
+    std::string Clause = Prov->str("clause");
+    if (ClauseId >= 0 && !Clause.empty())
+      OS << "    failing clause: #" << static_cast<int>(ClauseId) << " `"
+         << Clause << "`\n";
+    if (const JValue *Q = Prov->get("queries"); Q && Q->isArr() &&
+                                                !Q->Arr.empty()) {
+      OS << "    recent relation queries (newest first):\n";
+      for (const JValue &E : Q->Arr)
+        OS << "      " << E.Str << "\n";
+    }
+  }
+}
+
+/// Does diagnostic D survive the --addr filter?
+bool diagMatches(const JValue &D, bool HaveAddr, uint64_t Addr) {
+  if (!HaveAddr)
+    return true;
+  const JValue *Prov = D.get("provenance");
+  return Prov && hexField(*Prov, "addr") == Addr;
+}
+
+} // namespace
+
+int runExplain(const ExplainOptions &Opts, std::ostream &OS,
+               std::ostream &ES) {
+  std::ifstream In(Opts.ReportPath);
+  if (!In) {
+    ES << "explain: cannot open " << Opts.ReportPath << "\n";
+    return 2;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::optional<JValue> Doc = diag::parseJson(Buf.str());
+  if (!Doc || !Doc->isObj()) {
+    ES << "explain: " << Opts.ReportPath << " is not a JSON report\n";
+    return 2;
+  }
+  double Schema = Doc->num("schema_version", -1);
+  if (Schema != diag::ReportSchemaVersion) {
+    ES << "explain: unsupported report schema version " << Schema
+       << " (this build reads version " << diag::ReportSchemaVersion
+       << ")\n";
+    return 2;
+  }
+
+  uint64_t FnFilter = 0, AddrFilter = 0;
+  bool HaveFn = parseAddr(Opts.FunctionFilter, FnFilter);
+  bool HaveAddr = parseAddr(Opts.AddrFilter, AddrFilter);
+  if (!Opts.FunctionFilter.empty() && !HaveFn) {
+    ES << "explain: bad --function address `" << Opts.FunctionFilter
+       << "`\n";
+    return 2;
+  }
+  if (!Opts.AddrFilter.empty() && !HaveAddr) {
+    ES << "explain: bad --addr address `" << Opts.AddrFilter << "`\n";
+    return 2;
+  }
+
+  OS << "verification report for " << Doc->str("binary", "(unnamed)")
+     << " — outcome: " << Doc->str("outcome", "?") << "\n";
+  if (std::string FR = Doc->str("fail_reason"); !FR.empty())
+    OS << "binary-level failure: " << FR << "\n";
+
+  size_t Shown = 0, Total = 0;
+  const JValue *Fns = Doc->get("functions");
+  if (Fns && Fns->isArr())
+    for (const JValue &F : Fns->Arr) {
+      if (HaveFn && hexField(F, "entry") != FnFilter)
+        continue;
+      const JValue *Diags = F.get("diagnostics");
+      size_t NDiags = Diags && Diags->isArr() ? Diags->Arr.size() : 0;
+      Total += NDiags;
+      std::string Outcome = F.str("outcome", "?");
+      // Clean functions are noise unless explicitly selected.
+      if (!HaveFn && NDiags == 0 && Outcome == "lifted")
+        continue;
+      OS << "\nfunction " << F.str("entry", "?") << " — " << Outcome;
+      if (std::string FR = F.str("fail_reason"); !FR.empty())
+        OS << " (" << FR << ")";
+      OS << "\n";
+      if (NDiags == 0) {
+        OS << "  no diagnostics\n";
+        continue;
+      }
+      for (const JValue &D : Diags->Arr)
+        if (diagMatches(D, HaveAddr, AddrFilter)) {
+          renderDiag(OS, D);
+          ++Shown;
+        }
+    }
+
+  if (const JValue *Check = Doc->get("check"); Check && Check->isObj()) {
+    OS << "\nstep-2 check: " << static_cast<uint64_t>(Check->num("proven"))
+       << "/" << static_cast<uint64_t>(Check->num("theorems"))
+       << " Hoare triples proven\n";
+    if (const JValue *Diags = Check->get("diagnostics");
+        Diags && Diags->isArr())
+      for (const JValue &D : Diags->Arr) {
+        const JValue *Prov = D.get("provenance");
+        if (HaveFn && (!Prov || hexField(*Prov, "function") != FnFilter))
+          continue;
+        if (!diagMatches(D, HaveAddr, AddrFilter))
+          continue;
+        renderDiag(OS, D);
+        ++Shown;
+      }
+  }
+
+  if (Shown == 0)
+    OS << "\nno diagnostics"
+       << (HaveFn || HaveAddr ? " matched the filter" : " in the report")
+       << (Total ? " (try without --function/--addr)" : "") << "\n";
+  return 0;
+}
+
+} // namespace hglift::driver

@@ -1,5 +1,6 @@
 #include "driver/Report.h"
 
+#include "diag/Json.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -88,34 +89,7 @@ void printBinaryReport(std::ostream &OS, const BinaryResult &R,
 
 namespace {
 
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  return Out;
-}
+using diag::jsonEscape;
 
 std::string jsonNum(double D) {
   char Buf[32];
@@ -135,6 +109,26 @@ void writeStatsFields(std::ostream &OS, const LiftStats &S) {
      << ", \"leq_hits\": " << S.LeqHits
      << ", \"leq_misses\": " << S.LeqMisses
      << ", \"seconds\": " << jsonNum(S.Seconds);
+}
+
+/// One structured diagnostic as a report-JSON object. Provenance worker
+/// ordinals are deliberately omitted: they depend on scheduling, and the
+/// report must be byte-identical for every thread count (they do appear in
+/// the trace, which is schedule-dependent anyway).
+void writeDiagJson(std::ostream &OS, const diag::Diagnostic &D,
+                   const char *Indent) {
+  OS << Indent << "{\"kind\": \"" << diag::diagKindName(D.Kind)
+     << "\", \"message\": \"" << jsonEscape(D.Message) << "\",\n"
+     << Indent << " \"provenance\": {\"origin\": \""
+     << diag::componentName(D.Prov.Origin) << "\", \"function\": \""
+     << hexStr(D.Prov.FunctionEntry) << "\", \"addr\": \""
+     << hexStr(D.Prov.Addr) << "\", \"mnemonic\": \""
+     << jsonEscape(D.Prov.Mnemonic) << "\", \"clause_id\": "
+     << D.Prov.ClauseId << ", \"clause\": \"" << jsonEscape(D.Prov.ClauseText)
+     << "\", \"queries\": [";
+  for (size_t I = 0; I < D.Prov.QueryChain.size(); ++I)
+    OS << (I ? ", " : "") << "\"" << jsonEscape(D.Prov.QueryChain[I]) << "\"";
+  OS << "]}}";
 }
 
 } // namespace
@@ -162,6 +156,46 @@ void writeStatsJson(std::ostream &OS, const BinaryResult &R) {
   }
   OS << "  ]\n";
   OS << "}\n";
+}
+
+void writeReportJson(std::ostream &OS, const BinaryResult &R,
+                     const exporter::CheckResult *Check) {
+  OS << "{\n";
+  OS << "  \"schema_version\": " << diag::ReportSchemaVersion << ",\n";
+  OS << "  \"binary\": \"" << jsonEscape(R.Name) << "\",\n";
+  OS << "  \"outcome\": \"" << hg::liftOutcomeName(R.Outcome) << "\",\n";
+  OS << "  \"fail_reason\": \"" << jsonEscape(R.FailReason) << "\",\n";
+  OS << "  \"functions\": [\n";
+  for (size_t I = 0; I < R.Functions.size(); ++I) {
+    const FunctionResult &F = R.Functions[I];
+    OS << "    {\"entry\": \"" << hexStr(F.Entry) << "\", \"outcome\": \""
+       << hg::liftOutcomeName(F.Outcome) << "\", \"fail_reason\": \""
+       << jsonEscape(F.FailReason) << "\",\n";
+    OS << "     \"may_return\": " << (F.MayReturn ? "true" : "false")
+       << ", \"instructions\": " << F.numInstructions()
+       << ", \"states\": " << F.Graph.numStates()
+       << ", \"resolved_indirections\": " << F.ResolvedIndirections
+       << ", \"unresolved_jumps\": " << F.UnresolvedJumps
+       << ", \"unresolved_calls\": " << F.UnresolvedCalls << ",\n";
+    OS << "     \"diagnostics\": [";
+    for (size_t J = 0; J < F.Diags.size(); ++J) {
+      OS << (J ? ",\n" : "\n");
+      writeDiagJson(OS, F.Diags[J], "      ");
+    }
+    OS << (F.Diags.empty() ? "" : "\n     ") << "]}"
+       << (I + 1 < R.Functions.size() ? "," : "") << "\n";
+  }
+  OS << "  ]";
+  if (Check) {
+    OS << ",\n  \"check\": {\"theorems\": " << Check->Theorems
+       << ", \"proven\": " << Check->Proven << ",\n   \"diagnostics\": [";
+    for (size_t J = 0; J < Check->Diags.size(); ++J) {
+      OS << (J ? ",\n" : "\n");
+      writeDiagJson(OS, Check->Diags[J], "    ");
+    }
+    OS << (Check->Diags.empty() ? "" : "\n   ") << "]}";
+  }
+  OS << "\n}\n";
 }
 
 } // namespace hglift::driver

@@ -3,6 +3,7 @@
 #ifndef HGLIFT_DRIVER_REPORT_H
 #define HGLIFT_DRIVER_REPORT_H
 
+#include "export/HoareChecker.h"
 #include "hg/Lifter.h"
 
 #include <ostream>
@@ -24,6 +25,15 @@ void printHoareGraph(std::ostream &OS, const hg::FunctionResult &F,
 /// outcome, aggregate totals, and one record per function with vertices,
 /// joins, widenings, steps, forks, solver/Z3 queries and wall time.
 void writeStatsJson(std::ostream &OS, const hg::BinaryResult &R);
+
+/// Emit the machine-readable verification report (the --report-json
+/// payload, schema version diag::ReportSchemaVersion): outcome and
+/// structured diagnostics with provenance for every function, plus the
+/// Step-2 summary when Check is non-null. Deliberately excludes wall times
+/// and worker ordinals so the bytes are identical for every --threads
+/// value (see docs/CLI.md).
+void writeReportJson(std::ostream &OS, const hg::BinaryResult &R,
+                     const exporter::CheckResult *Check = nullptr);
 
 } // namespace hglift::driver
 

@@ -1,7 +1,13 @@
 //===- hglift_main.cpp - The hglift command-line tool --------------------===//
 //
 // Usage:
-//   hglift <binary.elf> [options]
+//   hglift <binary.elf> [options]        lift (and optionally check) a binary
+//   hglift --lift <binary.elf> [options] same, explicit spelling
+//   hglift explain <report.json> [--function F] [--addr A]
+//                                        render root-cause narratives from a
+//                                        --report-json file
+//
+// Lifting options:
 //     --library            lift every exported function symbol instead of
 //                          the entry point (shared-object mode, §5.1)
 //     --check              run the Step-2 Hoare-triple checker
@@ -21,9 +27,19 @@
 //     --stats-json F       write lifting statistics (per-function vertices,
 //                          joins, solver calls, cache hit/miss counts, leq
 //                          memo counts, wall time) as JSON to F
+//     --report-json F      write the machine-readable verification report
+//                          (structured diagnostics with provenance; bytes
+//                          identical for every --threads value) to F
+//     --trace F            stream structured trace events (lift spans,
+//                          fixpoint iterations, solver calls, Step-2 edge
+//                          checks) as JSON Lines to F
+//
+// All three JSON payloads are documented field by field in docs/CLI.md.
 //
 //===----------------------------------------------------------------------===//
 
+#include "diag/Trace.h"
+#include "driver/Explain.h"
 #include "driver/Report.h"
 #include "elf/ElfReader.h"
 #include "export/HoareChecker.h"
@@ -33,23 +49,71 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 using namespace hglift;
 
+namespace {
+
+void printUsage(std::ostream &OS) {
+  OS << "usage: hglift <binary.elf> [--library] [--check] "
+        "[--export-isabelle FILE] [--export-dot FILE] [--dump-hg] "
+        "[--no-join] [--destroy-always] [--no-hotpath-cache] "
+        "[--lifo-worklist] [--max-seconds N] [--threads N] "
+        "[--stats-json FILE] [--report-json FILE] [--trace FILE]\n"
+        "       hglift --lift <binary.elf> [options]\n"
+        "       hglift explain <report.json> [--function F] [--addr A]\n";
+}
+
+int explainMain(int argc, char **argv) {
+  driver::ExplainOptions Opts;
+  for (int I = 2; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--function" && I + 1 < argc)
+      Opts.FunctionFilter = argv[++I];
+    else if (A == "--addr" && I + 1 < argc)
+      Opts.AddrFilter = argv[++I];
+    else if (Opts.ReportPath.empty() && !A.empty() && A[0] != '-')
+      Opts.ReportPath = A;
+    else {
+      std::cerr << "explain: unknown option: " << A << "\n";
+      printUsage(std::cerr);
+      return 2;
+    }
+  }
+  if (Opts.ReportPath.empty()) {
+    std::cerr << "explain: no report file given\n";
+    printUsage(std::cerr);
+    return 2;
+  }
+  return driver::runExplain(Opts, std::cout, std::cerr);
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
   if (argc < 2) {
-    std::cerr << "usage: hglift <binary.elf> [--library] [--check] "
-                 "[--export-isabelle FILE] [--dump-hg] [--no-join] "
-                 "[--destroy-always] [--no-hotpath-cache] [--lifo-worklist] "
-                 "[--max-seconds N] [--threads N] [--stats-json FILE]\n";
+    printUsage(std::cerr);
     return 2;
   }
 
-  std::string Path = argv[1];
+  if (std::string(argv[1]) == "explain")
+    return explainMain(argc, argv);
+
+  int ArgStart = 1;
+  if (std::string(argv[1]) == "--lift") {
+    if (argc < 3) {
+      printUsage(std::cerr);
+      return 2;
+    }
+    ArgStart = 2;
+  }
+
+  std::string Path = argv[ArgStart];
   bool Library = false, Check = false, DumpHG = false;
-  std::string IsabelleOut, DotOut, StatsJsonOut;
+  std::string IsabelleOut, DotOut, StatsJsonOut, ReportJsonOut, TraceOut;
   hg::LiftConfig Cfg;
-  for (int I = 2; I < argc; ++I) {
+  for (int I = ArgStart + 1; I < argc; ++I) {
     std::string A = argv[I];
     if (A == "--library")
       Library = true;
@@ -76,10 +140,30 @@ int main(int argc, char **argv) {
       Cfg.Threads = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (A == "--stats-json" && I + 1 < argc)
       StatsJsonOut = argv[++I];
+    else if (A == "--report-json" && I + 1 < argc)
+      ReportJsonOut = argv[++I];
+    else if (A == "--trace" && I + 1 < argc)
+      TraceOut = argv[++I];
     else {
       std::cerr << "unknown option: " << A << "\n";
       return 2;
     }
+  }
+
+  // The tracer must outlive lifting AND checking; installing it before the
+  // lifter is created also captures arena setup. Scope ends before the
+  // report/export writers run (their output is not traced).
+  std::unique_ptr<std::ofstream> TraceFile;
+  std::unique_ptr<diag::Tracer> Tracer;
+  std::unique_ptr<diag::TracerScope> TracerInstall;
+  if (!TraceOut.empty()) {
+    TraceFile = std::make_unique<std::ofstream>(TraceOut);
+    if (!*TraceFile) {
+      std::cerr << "cannot open " << TraceOut << " for writing\n";
+      return 2;
+    }
+    Tracer = std::make_unique<diag::Tracer>(*TraceFile, Path);
+    TracerInstall = std::make_unique<diag::TracerScope>(*Tracer);
   }
 
   auto Img = elf::readElfFile(Path);
@@ -102,15 +186,30 @@ int main(int argc, char **argv) {
     std::cout << "wrote lifting stats to " << StatsJsonOut << "\n";
   }
 
+  exporter::CheckResult C;
   if (Check) {
-    exporter::CheckResult C = exporter::checkBinary(L, R, Cfg.Threads);
+    C = exporter::checkBinary(L, R, Cfg.Threads);
     std::cout << "step 2: " << C.Proven << "/" << C.Theorems
               << " Hoare triples proven\n";
     for (const std::string &F : C.Failures)
       std::cout << "  FAILED: " << F << "\n";
-    if (!C.allProven())
-      return 1;
   }
+
+  if (!ReportJsonOut.empty()) {
+    std::ofstream Out(ReportJsonOut);
+    if (!Out) {
+      std::cerr << "cannot open " << ReportJsonOut << " for writing\n";
+      return 2;
+    }
+    driver::writeReportJson(Out, R, Check ? &C : nullptr);
+    std::cout << "wrote verification report to " << ReportJsonOut << "\n";
+  }
+
+  // Flush the trace before the exporters (they are untraced anyway) so a
+  // crash in them still leaves a complete, well-formed trace file.
+  TracerInstall.reset();
+  Tracer.reset();
+  TraceFile.reset();
 
   if (!IsabelleOut.empty()) {
     exporter::IsabelleOptions Opts;
@@ -129,5 +228,7 @@ int main(int argc, char **argv) {
     std::cout << "wrote Graphviz graph to " << DotOut << "\n";
   }
 
+  if (Check && !C.allProven())
+    return 1;
   return R.Outcome == hg::LiftOutcome::Lifted ? 0 : 1;
 }

@@ -1,5 +1,6 @@
 #include "export/HoareChecker.h"
 
+#include "diag/Trace.h"
 #include "hg/StateMemo.h"
 #include "support/Format.h"
 #include "support/ThreadPool.h"
@@ -50,12 +51,89 @@ bool edgeTo(const HoareGraph &G, const VertexKey &From, uint64_t SpecialRip) {
   return false;
 }
 
-/// The per-function check body, over a caller-chosen executor. Everything
-/// it touches — Exec, F's arena, the memo — is private to one task, which
-/// is what licenses the parallel fan-out in checkBinary().
-CheckResult checkFunctionWith(SymExec &Exec, const FunctionResult &F) {
+/// Root-cause detail for an uncovered post-state: which part of covered()
+/// failed, and — when it was entailment — the first postcondition clause
+/// the first candidate invariant does not entail (Pred::leqExplain's
+/// clause numbering).
+struct UncoveredWhy {
+  int ClauseId = -1;
+  std::string Clause;
+  std::string Detail;
+};
+
+UncoveredWhy explainUncovered(const HoareGraph &G, const VertexKey &From,
+                              uint64_t Rip, const sem::SymState &S,
+                              const expr::ExprContext &Ctx) {
+  UncoveredWhy W;
+  bool EdgeExists = false;
+  for (const Edge &E : G.Edges)
+    if (E.From == From && E.To.Rip == Rip) {
+      EdgeExists = true;
+      break;
+    }
+  if (!EdgeExists) {
+    W.Detail = "no edge to " + hexStr(Rip) + " in the Hoare graph";
+    return W;
+  }
+  auto It = G.Vertices.lower_bound(VertexKey{Rip, 0});
+  if (It == G.Vertices.end() || It->first.Rip != Rip) {
+    W.Detail = "no invariant vertex at " + hexStr(Rip);
+    return W;
+  }
+  // Several invariants may exist at Rip (one per control context); explain
+  // against the first candidate — enough to show what kind of clause broke.
+  const sem::SymState &Target = It->second.State;
+  if (auto F = pred::Pred::leqExplain(Ctx, S.P, Target.P)) {
+    W.ClauseId = F->ClauseId;
+    W.Clause = F->Clause;
+    W.Detail = "postcondition clause #" + std::to_string(F->ClauseId) +
+               " `" + F->Clause + "` not entailed (" + F->Why + ")";
+    return W;
+  }
+  std::string MemWhy = mem::MemModel::leqExplain(Ctx, S.M, Target.M);
+  W.Detail = MemWhy.empty()
+                 ? std::string("a later candidate invariant at this address "
+                               "rejected the post-state")
+                 : "memory model not entailed: " + MemWhy;
+  return W;
+}
+
+/// The per-function check body, over a caller-chosen executor and its
+/// solver. Everything it touches — Exec, F's arena, the memo — is private
+/// to one task, which is what licenses the parallel fan-out in
+/// checkBinary().
+CheckResult checkFunctionWith(SymExec &Exec, smt::RelationSolver &Solver,
+                              const FunctionResult &F) {
   CheckResult R;
   hg::StateLeqMemo Memo;
+  const expr::ExprContext &Ctx = Exec.exprContext();
+  diag::TraceContext::FunctionScope TraceFn(F.Entry);
+
+  if (diag::Tracer *T = diag::Tracer::active()) {
+    diag::TraceEvent E("check_begin");
+    E.hex("fn", F.Entry);
+    E.field("vertices", static_cast<uint64_t>(F.Graph.Vertices.size()));
+    T->emit(std::move(E));
+  }
+
+  // Checker failures carry the failing edge in their provenance; ClauseId
+  // is filled when entailment (not edge existence) was the root cause.
+  auto addFailure = [&](const VertexKey &Key, const hg::Vertex &V,
+                        const std::string &Legacy, const UncoveredWhy &W) {
+    R.Failures.push_back(Legacy);
+    diag::Diagnostic D;
+    D.Kind = diag::DiagKind::VerificationError;
+    D.Message = W.Detail.empty() ? Legacy : Legacy + ": " + W.Detail;
+    D.Prov.Origin = diag::Component::HoareChecker;
+    D.Prov.FunctionEntry = F.Entry;
+    D.Prov.Addr = Key.Rip;
+    D.Prov.Mnemonic = V.Instr.str();
+    D.Prov.ClauseId = W.ClauseId;
+    D.Prov.ClauseText = W.Clause;
+    D.Prov.QueryChain = Solver.recentQueries();
+    D.Prov.Worker = diag::workerOrdinal();
+    R.Diags.push_back(std::move(D));
+  };
 
   for (const auto &[Key, V] : F.Graph.Vertices) {
     if (!V.Explored || !V.Instr.isValid())
@@ -64,19 +142,23 @@ CheckResult checkFunctionWith(SymExec &Exec, const FunctionResult &F) {
     StepOut Out = Exec.step(V.State, V.Instr, F.RetSym);
     if (Out.VerifError) {
       ++R.Theorems;
-      R.Failures.push_back("vertex " + hexStr(Key.Rip) +
-                           ": semantics rejected: " + Out.VerifReason);
+      addFailure(Key, V,
+                 "vertex " + hexStr(Key.Rip) +
+                     ": semantics rejected: " + Out.VerifReason,
+                 UncoveredWhy{});
       continue;
     }
 
     for (const Succ &S : Out.Succs) {
       ++R.Theorems;
       bool OK = false;
+      bool Entail = false; // coverage (vs. special-edge existence) theorem
       switch (S.K) {
       case CtrlKind::Fall:
       case CtrlKind::CallInternal:
       case CtrlKind::CallExternal:
       case CtrlKind::UnresCall:
+        Entail = true;
         OK = covered(F.Graph, Key, S.NextAddr, S.S, Memo);
         break;
       case CtrlKind::Ret:
@@ -89,14 +171,43 @@ CheckResult checkFunctionWith(SymExec &Exec, const FunctionResult &F) {
         OK = true; // no proof obligation: execution stops
         break;
       }
-      if (OK)
+
+      if (diag::Tracer *T = diag::Tracer::active()) {
+        diag::TraceEvent E("edge_check");
+        E.hex("fn", F.Entry);
+        E.hex("from", Key.Rip);
+        E.hex("to", S.K == CtrlKind::Ret          ? hg::RetTargetRip
+                    : S.K == CtrlKind::UnresJump ? hg::UnresolvedTargetRip
+                                                 : S.NextAddr);
+        E.field("ok", OK);
+        T->emit(std::move(E));
+      }
+
+      if (OK) {
         ++R.Proven;
+        continue;
+      }
+      UncoveredWhy W;
+      if (Entail)
+        W = explainUncovered(F.Graph, Key, S.NextAddr, S.S, Ctx);
       else
-        R.Failures.push_back(
-            "vertex " + hexStr(Key.Rip) + " (" + V.Instr.str() +
-            "): post-state at " + hexStr(S.NextAddr) +
-            " not entailed by any target invariant");
+        W.Detail = S.K == CtrlKind::Ret
+                       ? "no return edge in the Hoare graph"
+                       : "no unresolved-jump edge in the Hoare graph";
+      addFailure(Key, V,
+                 "vertex " + hexStr(Key.Rip) + " (" + V.Instr.str() +
+                     "): post-state at " + hexStr(S.NextAddr) +
+                     " not entailed by any target invariant",
+                 W);
     }
+  }
+
+  if (diag::Tracer *T = diag::Tracer::active()) {
+    diag::TraceEvent E("check_end");
+    E.hex("fn", F.Entry);
+    E.field("theorems", static_cast<uint64_t>(R.Theorems));
+    E.field("proven", static_cast<uint64_t>(R.Proven));
+    T->emit(std::move(E));
   }
   return R;
 }
@@ -117,10 +228,10 @@ CheckResult checkFunction(hg::Lifter &L, const FunctionResult &F) {
   if (F.Arena) {
     SymExec Exec(F.Arena->ctx(), F.Arena->solver(), L.image(),
                  L.config().Sym);
-    return checkFunctionWith(Exec, F);
+    return checkFunctionWith(Exec, F.Arena->solver(), F);
   }
   SymExec Fallback(L.exprContext(), L.solver(), L.image(), L.config().Sym);
-  return checkFunctionWith(Fallback, F);
+  return checkFunctionWith(Fallback, L.solver(), F);
 }
 
 CheckResult checkBinary(hg::Lifter &L, const hg::BinaryResult &B,
@@ -151,7 +262,7 @@ CheckResult checkBinary(hg::Lifter &L, const hg::BinaryResult &B,
       Pool.submit([&L, &F, Slot] {
         SymExec Exec(F.Arena->ctx(), F.Arena->solver(), L.image(),
                      L.config().Sym);
-        *Slot = checkFunctionWith(Exec, F);
+        *Slot = checkFunctionWith(Exec, F.Arena->solver(), F);
       });
     }
     Pool.waitIdle();

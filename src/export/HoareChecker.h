@@ -36,12 +36,19 @@ struct CheckResult {
   size_t Theorems = 0; ///< one per (vertex, successor) proof obligation
   size_t Proven = 0;
   std::vector<std::string> Failures;
+  /// One structured diagnostic per failure, with provenance: the edge, the
+  /// instruction, and — when entailment failed — which postcondition
+  /// clause was not entailed (ClauseId/ClauseText from Pred::leqExplain).
+  /// Ordered like Failures: vertex order within a function, function order
+  /// across the binary, for every thread count.
+  std::vector<diag::Diagnostic> Diags;
 
   bool allProven() const { return Proven == Theorems; }
   void merge(const CheckResult &O) {
     Theorems += O.Theorems;
     Proven += O.Proven;
     Failures.insert(Failures.end(), O.Failures.begin(), O.Failures.end());
+    Diags.insert(Diags.end(), O.Diags.begin(), O.Diags.end());
   }
 };
 

@@ -1,5 +1,6 @@
 #include "hg/Lifter.h"
 
+#include "diag/Trace.h"
 #include "hg/StateMemo.h"
 #include "support/Format.h"
 #include "support/ThreadPool.h"
@@ -78,6 +79,13 @@ std::vector<std::string> BinaryResult::allObligations() const {
     for (const std::string &O : F.Obligations)
       if (std::find(Out.begin(), Out.end(), O) == Out.end())
         Out.push_back(O);
+  return Out;
+}
+
+std::vector<diag::Diagnostic> BinaryResult::allDiagnostics() const {
+  std::vector<diag::Diagnostic> Out;
+  for (const FunctionResult &F : Functions)
+    Out.insert(Out.end(), F.Diags.begin(), F.Diags.end());
   return Out;
 }
 
@@ -160,6 +168,15 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
   expr::ExprContext &Ctx = A.ctx();
   sem::SymExec &Exec = A.exec();
 
+  // Attribute this worker's trace events (including the solver's) to the
+  // function being lifted, and open the lift span.
+  diag::TraceContext::FunctionScope TraceFn(Entry);
+  if (diag::Tracer *T = diag::Tracer::active()) {
+    diag::TraceEvent E("lift_begin");
+    E.hex("fn", Entry);
+    T->emit(std::move(E));
+  }
+
   FunctionResult FR;
   FR.Entry = Entry;
   FR.RetSym = Ctx.mkVar(VarClass::RetSym, "S_" + hexStr(Entry), 64, Entry);
@@ -223,16 +240,87 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
     FR.UnresolvedCalls = static_cast<unsigned>(UnresCallSites.size());
     FR.Seconds = Elapsed();
     FR.Stats.Seconds = FR.Seconds;
+    // Overlapping-instruction edges are residual overapproximations too:
+    // surface each as an annotation with the edge in its provenance.
+    for (const Edge &W : G.weirdEdges()) {
+      diag::Diagnostic D;
+      D.Kind = diag::DiagKind::UnsoundnessAnnotation;
+      D.Message = "edge " + hexStr(W.From.Rip) + " -> " + hexStr(W.To.Rip) +
+                  " jumps into the middle of another decoded instruction "
+                  "(weird edge)";
+      D.Prov.Origin = diag::Component::Lifter;
+      D.Prov.Addr = W.From.Rip;
+      D.Prov.Mnemonic = W.Instr.str();
+      D.Prov.Worker = diag::workerOrdinal();
+      FR.Diags.push_back(std::move(D));
+    }
+    // Deterministic diagnostic order, independent of exploration history:
+    // (address, kind, message), stable for equal keys.
+    std::stable_sort(FR.Diags.begin(), FR.Diags.end(),
+                     [](const diag::Diagnostic &X, const diag::Diagnostic &Y) {
+                       if (X.Prov.Addr != Y.Prov.Addr)
+                         return X.Prov.Addr < Y.Prov.Addr;
+                       if (X.Kind != Y.Kind)
+                         return X.Kind < Y.Kind;
+                       return X.Message < Y.Message;
+                     });
+    for (diag::Diagnostic &D : FR.Diags)
+      D.Prov.FunctionEntry = Entry;
     // FR is about to move out of this frame; the arena must not keep sinks
     // into it (consumers may re-run the arena's executor, e.g. HoareChecker).
     Exec.setStats(nullptr);
     A.solver().setLiftStats(nullptr);
+    if (diag::Tracer *T = diag::Tracer::active()) {
+      diag::TraceEvent E("lift_end");
+      E.hex("fn", Entry);
+      E.field("outcome", liftOutcomeName(FR.Outcome));
+      E.field("vertices", FR.Stats.Vertices);
+      E.field("joins", FR.Stats.Joins);
+      E.field("widenings", FR.Stats.Widenings);
+      E.field("steps", FR.Stats.Steps);
+      E.field("forks", FR.Stats.Forks);
+      E.field("solver_queries", FR.Stats.SolverQueries);
+      E.field("z3_queries", FR.Stats.Z3Queries);
+      E.field("rel_cache_hits", FR.Stats.RelCacheHits);
+      E.field("rel_cache_misses", FR.Stats.RelCacheMisses);
+      E.field("leq_hits", FR.Stats.LeqHits);
+      E.field("leq_misses", FR.Stats.LeqMisses);
+      E.field("diags", static_cast<uint64_t>(FR.Diags.size()));
+      E.field("seconds", FR.Seconds);
+      T->emit(std::move(E));
+    }
   };
-  auto fail = [&](LiftOutcome O, const std::string &Why) {
+  // FailAddr: the instruction the failure is attached to (0 when none is
+  // in scope, e.g. budget exhaustion). Rejections whose diagnostic the
+  // semantics already produced (Out.VerifError) pass AddDiag = false.
+  auto fail = [&](LiftOutcome O, const std::string &Why, uint64_t FailAddr = 0,
+                  bool AddDiag = true) {
     FR.Outcome = O;
     FR.FailReason = Why;
+    if (AddDiag) {
+      diag::Diagnostic D;
+      D.Kind = diag::DiagKind::VerificationError;
+      D.Message = Why;
+      D.Prov.Origin = diag::Component::Lifter;
+      D.Prov.Addr = FailAddr;
+      D.Prov.QueryChain = A.solver().recentQueries();
+      D.Prov.Worker = diag::workerOrdinal();
+      FR.Diags.push_back(std::move(D));
+    }
     finish();
     return FR;
+  };
+  // Unsoundness annotations for unresolved indirections (columns B/C).
+  auto unresDiag = [&](const Instr &I, std::string Msg) {
+    diag::Diagnostic D;
+    D.Kind = diag::DiagKind::UnsoundnessAnnotation;
+    D.Message = std::move(Msg);
+    D.Prov.Origin = diag::Component::Lifter;
+    D.Prov.Addr = I.Addr;
+    D.Prov.Mnemonic = I.str();
+    D.Prov.QueryChain = A.solver().recentQueries();
+    D.Prov.Worker = diag::workerOrdinal();
+    return D;
   };
 
   while (Pending) {
@@ -247,6 +335,15 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
                   "wall-clock budget exhausted (partial graph retained)");
 
     auto [Sigma, Rip] = pop();
+
+    if (diag::Tracer *T = diag::Tracer::active()) {
+      diag::TraceEvent E("fixpoint_iter");
+      E.hex("fn", Entry);
+      E.hex("rip", Rip);
+      E.field("pending", static_cast<uint64_t>(Pending));
+      E.field("vertices", static_cast<uint64_t>(G.Vertices.size()));
+      T->emit(std::move(E));
+    }
 
 #ifdef HGLIFT_TRACE_LIFT
     fprintf(stderr,
@@ -306,11 +403,12 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
     if (!Bytes || !Img.isExec(Rip))
       return fail(LiftOutcome::UnprovableReturn,
                   "control flow reaches unmapped/non-executable address " +
-                      hexStr(Rip));
+                      hexStr(Rip),
+                  Rip);
     Instr I = x86::decodeInstr(Bytes, Avail, Rip);
     if (!I.isValid())
       return fail(LiftOutcome::UnprovableReturn,
-                  "undecodable instruction at " + hexStr(Rip));
+                  "undecodable instruction at " + hexStr(Rip), Rip);
     V->Instr = I;
     V->Explored = true;
 
@@ -320,11 +418,29 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
       if (std::find(FR.Obligations.begin(), FR.Obligations.end(), O) ==
           FR.Obligations.end())
         FR.Obligations.push_back(std::move(O));
+    // Adopt the step's structured diagnostics. Obligation diags dedup in
+    // lockstep with the strings above (re-visits of a vertex regenerate
+    // the same assumption text); error diags always land.
+    for (diag::Diagnostic &D : Out.Diags) {
+      if (D.Kind == diag::DiagKind::ProofObligation) {
+        bool Dup = false;
+        for (const diag::Diagnostic &Seen : FR.Diags)
+          if (Seen.Kind == D.Kind && Seen.Message == D.Message) {
+            Dup = true;
+            break;
+          }
+        if (Dup)
+          continue;
+      }
+      FR.Diags.push_back(std::move(D));
+    }
     if (Out.SawConcurrency)
       return fail(LiftOutcome::Concurrency,
-                  "call to concurrency primitive " + Out.ExtName);
+                  "call to concurrency primitive " + Out.ExtName, I.Addr);
     if (Out.VerifError)
-      return fail(LiftOutcome::UnprovableReturn, Out.VerifReason);
+      // The semantics already attached the structured diagnostic.
+      return fail(LiftOutcome::UnprovableReturn, Out.VerifReason, I.Addr,
+                  /*AddDiag=*/false);
 
     // Column A counts resolved indirection *sites*: an indirect jmp/call
     // whose targets were all overapproximatively established. Re-visits of
@@ -367,14 +483,27 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
       case CtrlKind::UnresJump: {
         E.To = VertexKey{UnresolvedTargetRip, 0};
         G.addEdge(E);
-        UnresJumpSites.insert(I.Addr);
+        if (UnresJumpSites.insert(I.Addr).second)
+          FR.Diags.push_back(unresDiag(
+              I, "indirect jump target could not be bounded (rip = " +
+                     (S.RipVal ? S.RipVal->str(Ctx) : std::string("?")) +
+                     "); path abandoned"));
         // Annotation: stop exploration along this path (Algorithm 1 l.13).
         break;
       }
       case CtrlKind::UnresCall: {
         E.To = VertexKey{S.NextAddr, ctrlHash(S.S)};
         G.addEdge(E);
-        UnresCallSites.insert(I.Addr);
+        if (UnresCallSites.insert(I.Addr).second)
+          FR.Diags.push_back(unresDiag(
+              I, "indirect call " +
+                     (Out.ExtName.empty()
+                          ? "(rip = " + (S.RipVal ? S.RipVal->str(Ctx)
+                                                  : std::string("?")) +
+                                ")"
+                          : "to " + Out.ExtName) +
+                     " could not be resolved; treated as unknown external "
+                     "call"));
         // Treated as an unknown external function: continue (§5.1).
         push(std::move(S.S), S.NextAddr);
         break;

@@ -29,6 +29,7 @@
 #ifndef HGLIFT_HG_LIFTER_H
 #define HGLIFT_HG_LIFTER_H
 
+#include "diag/Diag.h"
 #include "hg/HoareGraph.h"
 #include "support/LiftStats.h"
 
@@ -111,6 +112,13 @@ struct FunctionResult {
   unsigned UnresolvedJumps = 0;      ///< column B
   unsigned UnresolvedCalls = 0;      ///< column C
   std::vector<std::string> Obligations;
+  /// Every diagnostic this lift produced — the obligations above plus
+  /// verification errors and unsoundness annotations — as structured
+  /// records with provenance (diag::Diagnostic). Sorted by (address,
+  /// kind, message); with functions merged in entry order this yields the
+  /// report's deterministic (function-entry, address) diagnostic order at
+  /// any thread count.
+  std::vector<diag::Diagnostic> Diags;
   std::set<uint64_t> Callees;
   double Seconds = 0;
   /// What Algorithm 1 did here (vertices, joins, solver calls, ...).
@@ -141,6 +149,10 @@ struct BinaryResult {
   size_t totalStates() const;
   unsigned totalA() const, totalB() const, totalC() const;
   std::vector<std::string> allObligations() const;
+  /// Every function's diagnostics, concatenated in entry-address order
+  /// (functions are merged sorted, so this is deterministic for every
+  /// thread count).
+  std::vector<diag::Diagnostic> allDiagnostics() const;
   double Seconds = 0;
   /// Sum of the per-function stats (exact regardless of thread count).
   LiftStats Total;

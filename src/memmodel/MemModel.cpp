@@ -571,6 +571,45 @@ bool MemModel::leq(const MemModel &A, const MemModel &B) {
   return true;
 }
 
+std::string MemModel::leqExplain(const expr::ExprContext &Ctx,
+                                 const MemModel &A, const MemModel &B) {
+  std::vector<RegionRel> RA = A.relations();
+  auto AssertedByA = [&](const RegionRel &R) {
+    for (const RegionRel &S : RA) {
+      if (S.R0 == R.R0 && S.R1 == R.R1 && S.Rel == R.Rel)
+        return true;
+      if (S.R0 == R.R1 && S.R1 == R.R0) {
+        if (S.Rel == R.Rel &&
+            (R.Rel == MemRel::MustAlias || R.Rel == MemRel::MustSep))
+          return true;
+        if ((S.Rel == MemRel::MustEnc01 && R.Rel == MemRel::MustEnc10) ||
+            (S.Rel == MemRel::MustEnc10 && R.Rel == MemRel::MustEnc01))
+          return true;
+      }
+    }
+    return false;
+  };
+  for (const RegionRel &R : B.relations())
+    if (!AssertedByA(R))
+      return "memory relation " + R.R0.str(Ctx) + " " + memRelName(R.Rel) +
+             " " + R.R1.str(Ctx) + " required by the target is not asserted "
+             "by the state's forest";
+
+  if (A.HavocAll && !B.HavocAll)
+    return "state may have clobbered all of memory but the target does not "
+           "allow it";
+  if (A.HavocGlobals && !(B.HavocGlobals || B.HavocAll))
+    return "state may have clobbered global memory but the target does not "
+           "allow it";
+  if (!B.HavocAll)
+    for (const Region &R : A.Clobbered)
+      if (std::find(B.Clobbered.begin(), B.Clobbered.end(), R) ==
+          B.Clobbered.end())
+        return "state may have written region " + R.str(Ctx) +
+               " but the target's clobber set does not include it";
+  return std::string();
+}
+
 // --- digest ------------------------------------------------------------------
 
 namespace {

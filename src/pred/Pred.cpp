@@ -720,6 +720,103 @@ bool Pred::leq(const Pred &A, const Pred &B) {
   return true;
 }
 
+std::optional<Pred::LeqFailure> Pred::leqExplain(const ExprContext &Ctx,
+                                                 const Pred &A,
+                                                 const Pred &B) {
+  if (A.Bottom)
+    return std::nullopt;
+  if (B.Bottom)
+    return LeqFailure{-1, "⊥", "target invariant is unreachable (bottom)"};
+
+  // The walk below must mirror leq() clause for clause — a shared Matcher
+  // accumulates bindings across clauses, so probing clauses in isolation
+  // would report different (and sometimes spurious) failures.
+  Matcher M;
+  for (unsigned I = 0; I < x86::NumGPRs; ++I)
+    if (!M.match(B.Regs[I], A.Regs[I])) {
+      x86::Reg R = x86::regFromNum(I);
+      return LeqFailure{
+          static_cast<int>(I),
+          x86::regName(R) + " == " + B.Regs[I]->str(Ctx),
+          "state has " + x86::regName(R) + " == " + A.Regs[I]->str(Ctx)};
+    }
+
+  int Id = static_cast<int>(x86::NumGPRs); // 16: the flag clause
+  if (B.Flags.K != FlagState::Kind::Unknown) {
+    auto FlagsStr = [&](const FlagState &F) {
+      std::string S = "flags(" + std::string(F.K == FlagState::Kind::Cmp ? "cmp"
+                                             : F.K == FlagState::Kind::Test
+                                                 ? "test"
+                                             : F.K == FlagState::Kind::Res
+                                                 ? "res"
+                                                 : "zero-of");
+      S += F.L ? " " + F.L->str(Ctx) : std::string();
+      if (F.R)
+        S += ", " + F.R->str(Ctx);
+      return S + ")/" + std::to_string(F.Width);
+    };
+    bool OK = A.Flags.K == B.Flags.K && A.Flags.Width == B.Flags.Width &&
+              M.match(B.Flags.L, A.Flags.L) &&
+              (!B.Flags.R || (A.Flags.R && M.match(B.Flags.R, A.Flags.R)));
+    if (!OK)
+      return LeqFailure{Id, FlagsStr(B.Flags),
+                        A.Flags.K == FlagState::Kind::Unknown
+                            ? "state has no flag knowledge"
+                            : "state has " + FlagsStr(A.Flags)};
+  }
+  ++Id;
+
+  for (const MemCell &CB : B.Cells) {
+    bool Found = false;
+    for (const MemCell &CA : A.Cells) {
+      if (CA.Size != CB.Size)
+        continue;
+      Matcher Saved = M;
+      if (M.match(CB.Addr, CA.Addr) && M.match(CB.Val, CA.Val)) {
+        Found = true;
+        break;
+      }
+      M = Saved;
+    }
+    if (!Found)
+      return LeqFailure{Id,
+                        "*[" + CB.Addr->str(Ctx) + "," +
+                            std::to_string(CB.Size) +
+                            "] == " + CB.Val->str(Ctx),
+                        "no matching memory clause in the state"};
+    ++Id;
+  }
+
+  for (const RangeClause &C : B.Ranges) {
+    Interval I = M.intervalInA(A, C.E);
+    Interval Implied = clauseInterval(C.Op, C.Bound);
+    bool OK = !I.isEmpty() && !I.isTop() && Implied.contains(I);
+    if (!OK && C.Op == RelOp::Ne && !I.isEmpty() &&
+        !I.contains(static_cast<int64_t>(C.Bound)))
+      OK = true;
+    if (!OK)
+      for (const RangeClause &CA : A.Ranges)
+        if (CA.E == C.E && CA.Op == C.Op && CA.Bound == C.Bound) {
+          OK = true;
+          break;
+        }
+    if (!OK) {
+      std::string Have =
+          I.isTop() ? std::string("no interval for it")
+                    : "its interval in the state is [" +
+                          std::to_string(I.lo()) + ", " +
+                          std::to_string(I.hi()) + "]";
+      return LeqFailure{Id,
+                        C.E->str(Ctx) + " " + relOpName(C.Op) + " " +
+                            std::to_string(C.Bound),
+                        Have};
+    }
+    ++Id;
+  }
+
+  return std::nullopt;
+}
+
 // --- semantic satisfaction -------------------------------------------------------
 
 bool Pred::holds(const expr::VarValuation &Vars,

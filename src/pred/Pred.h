@@ -198,6 +198,22 @@ public:
   /// entailment check of the Step-2 Hoare-triple checker.
   static bool leq(const Pred &A, const Pred &B);
 
+  /// One failing clause of a leq(A, B) check, for diagnostics. ClauseId
+  /// numbers B's clauses: 0–15 the registers (by register number), 16 the
+  /// flag abstraction, then memory cells, then range clauses, in order.
+  struct LeqFailure {
+    int ClauseId = -1;
+    std::string Clause; ///< the B clause that failed, rendered
+    std::string Why;    ///< why A does not entail it
+  };
+
+  /// Cold-path mirror of leq(): repeats the same matching walk (same
+  /// Matcher semantics, same clause order) and reports the first clause of
+  /// B that A fails to entail. Returns nullopt when leq(A, B) holds. Only
+  /// called after a failed leq, so it favors clarity over speed.
+  static std::optional<LeqFailure> leqExplain(const ExprContext &Ctx,
+                                              const Pred &A, const Pred &B);
+
   /// Semantic satisfaction s ⊢ P (Definition 4.4), for the property tests.
   /// Vars values the symbolic variables and InitMem is the *initial* memory
   /// of the function (Deref leaves denote initial contents); RegVals and

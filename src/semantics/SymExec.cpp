@@ -446,6 +446,25 @@ StepOut SymExec::step(const SymState &S0, const Instr &I,
     if (Out.Succs.size() > 1)
       Stats->Forks += Out.Succs.size() - 1;
   }
+
+  // Structure the step's findings (cold: most steps produce neither). The
+  // provenance snapshot — decoded mnemonic plus the solver's recent
+  // relation-query chain — is taken here, while the queries that led to
+  // the obligation/rejection are still the newest in the ring.
+  if (!Out.Obligations.empty() || Out.VerifError) {
+    diag::Provenance Prov;
+    Prov.Origin = diag::Component::SymExec;
+    Prov.Addr = I.Addr;
+    Prov.Mnemonic = I.str();
+    Prov.QueryChain = Solver.recentQueries();
+    Prov.Worker = diag::workerOrdinal();
+    for (const std::string &O : Out.Obligations)
+      Out.Diags.push_back(
+          diag::Diagnostic{diag::DiagKind::ProofObligation, O, Prov});
+    if (Out.VerifError)
+      Out.Diags.push_back(diag::Diagnostic{diag::DiagKind::VerificationError,
+                                           Out.VerifReason, Prov});
+  }
   return Out;
 }
 

@@ -20,6 +20,7 @@
 #ifndef HGLIFT_SEMANTICS_SYMEXEC_H
 #define HGLIFT_SEMANTICS_SYMEXEC_H
 
+#include "diag/Diag.h"
 #include "elf/Binary.h"
 #include "memmodel/MemModel.h"
 #include "pred/Pred.h"
@@ -67,6 +68,13 @@ struct StepOut {
   std::string VerifReason;
   /// Assumptions and MUST-PRESERVE obligations generated at this step.
   std::vector<std::string> Obligations;
+  /// The same facts, structured: one Diagnostic per obligation (kind
+  /// ProofObligation) plus one per verification error, each carrying
+  /// provenance (instruction address, mnemonic, the solver's recent
+  /// relation-query chain). Filled by step() after the semantics ran;
+  /// FunctionEntry is stamped later by whoever knows it (the Lifter or
+  /// the Step-2 checker).
+  std::vector<diag::Diagnostic> Diags;
   /// A pthread_*-style call was seen: the binary is out of scope.
   bool SawConcurrency = false;
   /// For CallInternal successors: the callee's entry address.

@@ -1,6 +1,9 @@
 #include "smt/RelationSolver.h"
 
+#include "diag/Trace.h"
 #include "smt/Z3Backend.h"
+
+#include <algorithm>
 
 namespace hglift::smt {
 
@@ -142,7 +145,7 @@ MemRel RelationSolver::relate(const Region &R0, const Region &R1,
   if (LS)
     ++LS->SolverQueries;
   if (!Cfg.EnableCache)
-    return relateUncached(R0, R1, P);
+    return relateRecorded(R0, R1, P);
 
   RelKey Key{R0.Addr, R1.Addr, R0.Size, R1.Size, P.version()};
   if (auto It = RelCache.find(Key); It != RelCache.end()) {
@@ -154,10 +157,56 @@ MemRel RelationSolver::relate(const Region &R0, const Region &R1,
   ++S.CacheMisses;
   if (LS)
     ++LS->RelCacheMisses;
-  MemRel R = relateUncached(R0, R1, P);
+  MemRel R = relateRecorded(R0, R1, P);
   boundCaches(Key.Ver);
   RelCache.emplace(Key, R);
   return R;
+}
+
+namespace {
+/// Indexed by QueryRec::Layer.
+const char *const LayerNames[] = {"syntactic", "interval", "alloc-class",
+                                  "z3", "undecided"};
+} // namespace
+
+MemRel RelationSolver::relateRecorded(const Region &R0, const Region &R1,
+                                      const pred::Pred &P) {
+  Stats Before = S;
+  MemRel R = relateUncached(R0, R1, P);
+  uint8_t Layer = 4; // undecided
+  if (S.SyntacticHits != Before.SyntacticHits)
+    Layer = 0;
+  else if (S.IntervalHits != Before.IntervalHits)
+    Layer = 1;
+  else if (S.ClassAssumptionHits != Before.ClassAssumptionHits)
+    Layer = 2;
+  else if (S.Z3Hits != Before.Z3Hits)
+    Layer = 3;
+  Recent[RecentCount++ % QueryRingSize] =
+      QueryRec{R0.Addr, R1.Addr, R0.Size, R1.Size, R, Layer};
+
+  if (diag::Tracer *T = diag::Tracer::active()) {
+    diag::TraceEvent E("solver_call");
+    E.hex("fn", diag::TraceContext::currentFunction());
+    E.field("r0", R0.str(Ctx));
+    E.field("r1", R1.str(Ctx));
+    E.field("rel", memRelName(R));
+    E.field("layer", LayerNames[Layer]);
+    T->emit(std::move(E));
+  }
+  return R;
+}
+
+std::vector<std::string> RelationSolver::recentQueries(size_t Max) const {
+  std::vector<std::string> Out;
+  uint64_t N = std::min<uint64_t>({RecentCount, QueryRingSize, Max});
+  for (uint64_t I = 0; I < N; ++I) {
+    const QueryRec &Q = Recent[(RecentCount - 1 - I) % QueryRingSize];
+    Out.push_back(Region{Q.A0, Q.S0}.str(Ctx) + " vs " +
+                  Region{Q.A1, Q.S1}.str(Ctx) + " -> " +
+                  memRelName(Q.Res) + " (" + LayerNames[Q.Layer] + ")");
+  }
+  return Out;
 }
 
 MemRel RelationSolver::relateUncached(const Region &R0, const Region &R1,

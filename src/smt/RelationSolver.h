@@ -95,6 +95,14 @@ public:
   const std::vector<Assumption> &assumptions() const { return Assumptions; }
   void clearAssumptions() { Assumptions.clear(); }
 
+  /// The most recent relate() decisions that were actually *computed*
+  /// (cache hits re-deliver a recorded decision and are not re-recorded),
+  /// rendered newest-first: "[rax,8] vs [rsp0-0x10,8] -> separate
+  /// (interval)". This is the relation-query chain stamped into
+  /// diagnostic provenance (diag::Provenance::QueryChain). The ring
+  /// stores PODs; rendering happens only here, on the cold path.
+  std::vector<std::string> recentQueries(size_t Max = 4) const;
+
   /// Statistics for the ablation bench.
   struct Stats {
     uint64_t Queries = 0;
@@ -123,6 +131,11 @@ public:
 private:
   MemRel relateUncached(const Region &R0, const Region &R1,
                         const pred::Pred &P);
+  /// relateUncached plus provenance: infers which layer decided (by
+  /// diffing the per-layer counters), records the decision in the query
+  /// ring, and emits a solver_call trace event when tracing is on.
+  MemRel relateRecorded(const Region &R0, const Region &R1,
+                        const pred::Pred &P);
   MemRel relateByConstantDelta(int64_t Delta, uint32_t S0, uint32_t S1);
 
   /// Evict stale-version entries (or clear) once the maps reach CacheCap.
@@ -149,11 +162,24 @@ private:
     size_t operator()(const EqKey &K) const;
   };
 
+  /// One computed relate() decision, kept as PODs (no strings on the hot
+  /// path; recentQueries() renders lazily). Layer: which solver layer
+  /// decided (see LayerNames in the .cpp).
+  struct QueryRec {
+    const expr::Expr *A0 = nullptr, *A1 = nullptr;
+    uint32_t S0 = 0, S1 = 0;
+    MemRel Res = MemRel::Unknown;
+    uint8_t Layer = 0;
+  };
+  static constexpr size_t QueryRingSize = 8;
+
   expr::ExprContext &Ctx;
   Config Cfg;
   Stats S;
   LiftStats *LS = nullptr;
   std::vector<Assumption> Assumptions;
+  QueryRec Recent[QueryRingSize];
+  uint64_t RecentCount = 0; ///< total recorded; ring index = count % size
   std::unique_ptr<Z3Backend> Z3;
   std::unordered_map<RelKey, MemRel, RelKeyHash> RelCache;
   std::unordered_map<EqKey, bool, EqKeyHash> EqCache;

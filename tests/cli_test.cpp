@@ -267,4 +267,123 @@ TEST(Cli, UnknownFlagUsage) {
   EXPECT_EQ(R.ExitCode, 2);
 }
 
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+TEST(Cli, LiftSpellingAccepted) {
+  auto BB = corpus::callChainBinary();
+  ASSERT_TRUE(BB.has_value());
+  std::string Path = tmpPath("liftspelling.elf");
+  writeBinary(*BB, Path);
+
+  RunResult R = runCli("--lift " + Path);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("outcome: lifted"), std::string::npos) << R.Output;
+}
+
+TEST(Cli, ReportJsonDeterministicAcrossThreads) {
+  auto BB = corpus::overflowBinary();
+  ASSERT_TRUE(BB.has_value());
+  std::string Path = tmpPath("reportdet.elf");
+  writeBinary(*BB, Path);
+
+  std::string First;
+  for (unsigned Threads : {1u, 2u, 4u}) {
+    std::string Json = tmpPath("reportdet.json");
+    std::remove(Json.c_str());
+    RunResult R = runCli("--lift " + Path + " --check --threads " +
+                         std::to_string(Threads) + " --report-json " + Json);
+    EXPECT_NE(R.Output.find("wrote verification report"), std::string::npos)
+        << R.Output;
+    std::string Doc = slurp(Json);
+    ASSERT_FALSE(Doc.empty());
+    EXPECT_TRUE(validJsonDoc(Doc)) << Doc;
+    EXPECT_NE(Doc.find("\"schema_version\""), std::string::npos);
+    EXPECT_NE(Doc.find("\"provenance\""), std::string::npos)
+        << "diagnostics must carry provenance:\n"
+        << Doc;
+    if (First.empty())
+      First = Doc;
+    else
+      EXPECT_EQ(First, Doc)
+          << "report bytes must not depend on --threads (threads="
+          << Threads << ")";
+  }
+}
+
+TEST(Cli, ExplainRendersRootCauseNarrative) {
+  // The acceptance-criteria walkthrough: induce a verification error
+  // (overflowBinary writes through the return address), produce a report,
+  // and render it. The narrative must name the failing instruction and
+  // show the relation-query chain.
+  auto BB = corpus::overflowBinary();
+  ASSERT_TRUE(BB.has_value());
+  std::string Path = tmpPath("explain.elf");
+  writeBinary(*BB, Path);
+  std::string Json = tmpPath("explain.json");
+
+  RunResult Lift = runCli(Path + " --check --report-json " + Json);
+  EXPECT_NE(Lift.ExitCode, 0) << "overflow must be rejected";
+
+  RunResult R = runCli("explain " + Json);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("verification report for"), std::string::npos);
+  EXPECT_NE(R.Output.find("verification-error"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("`ret`"), std::string::npos)
+      << "the failing instruction's mnemonic must appear:\n"
+      << R.Output;
+  EXPECT_NE(R.Output.find("relation queries"), std::string::npos)
+      << R.Output;
+
+  // --function filters to one function; a bogus filter matches nothing.
+  RunResult None = runCli("explain " + Json + " --function 0xdead");
+  EXPECT_EQ(None.ExitCode, 0);
+  EXPECT_NE(None.Output.find("no diagnostics"), std::string::npos)
+      << None.Output;
+}
+
+TEST(Cli, ExplainRejectsGarbage) {
+  std::string Path = tmpPath("notareport.json");
+  std::ofstream(Path) << "not json";
+  RunResult R = runCli("explain " + Path);
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Output.find("not a JSON report"), std::string::npos)
+      << R.Output;
+}
+
+TEST(Cli, TraceEmitsValidJsonLines) {
+  auto BB = corpus::callChainBinary();
+  ASSERT_TRUE(BB.has_value());
+  std::string Path = tmpPath("trace.elf");
+  writeBinary(*BB, Path);
+  std::string Trace = tmpPath("trace.jsonl");
+  std::remove(Trace.c_str());
+
+  RunResult R = runCli(Path + " --check --threads 4 --trace " + Trace);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+
+  std::ifstream In(Trace);
+  ASSERT_TRUE(In.good()) << "trace file not written";
+  std::string Line;
+  size_t Lines = 0;
+  bool SawBegin = false, SawLift = false, SawCheck = false, SawEnd = false;
+  while (std::getline(In, Line)) {
+    ++Lines;
+    EXPECT_TRUE(validJsonDoc(Line)) << "line " << Lines << ": " << Line;
+    SawBegin |= Line.find("\"trace_begin\"") != std::string::npos;
+    SawLift |= Line.find("\"lift_end\"") != std::string::npos;
+    SawCheck |= Line.find("\"edge_check\"") != std::string::npos;
+    SawEnd |= Line.find("\"trace_end\"") != std::string::npos;
+  }
+  EXPECT_GT(Lines, 4u);
+  EXPECT_TRUE(SawBegin && SawLift && SawCheck && SawEnd)
+      << "begin=" << SawBegin << " lift=" << SawLift
+      << " check=" << SawCheck << " end=" << SawEnd;
+}
+
 } // namespace

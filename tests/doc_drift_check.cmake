@@ -1,0 +1,48 @@
+# Documentation drift gate (ctest: doc_drift_check).
+#
+# Greps the driver's argument parser for every registered flag ("--xyz"
+# string literal) and subcommand (compared against argv[1]) and fails if
+# any is not mentioned in docs/CLI.md. Run as:
+#   cmake -DMAIN=<hglift_main.cpp> -DDOC=<CLI.md> -P doc_drift_check.cmake
+
+if(NOT EXISTS "${MAIN}")
+  message(FATAL_ERROR "doc_drift_check: missing source ${MAIN}")
+endif()
+if(NOT EXISTS "${DOC}")
+  message(FATAL_ERROR "doc_drift_check: docs/CLI.md does not exist -- every "
+                      "flag in hglift_main.cpp must be documented there")
+endif()
+
+file(READ "${MAIN}" MAIN_SRC)
+file(READ "${DOC}" DOC_SRC)
+
+# Flags: any "--flag" string literal in the parser.
+string(REGEX MATCHALL "\"--[a-z0-9-]+\"" RAW_FLAGS "${MAIN_SRC}")
+# Subcommands: bare-word string literals compared with ==.
+string(REGEX MATCHALL "== \"[a-z][a-z-]*\"" RAW_SUBS "${MAIN_SRC}")
+
+set(TOKENS "")
+foreach(F ${RAW_FLAGS})
+  string(REPLACE "\"" "" F "${F}")
+  list(APPEND TOKENS "${F}")
+endforeach()
+foreach(S ${RAW_SUBS})
+  string(REPLACE "== " "" S "${S}")
+  string(REPLACE "\"" "" S "${S}")
+  list(APPEND TOKENS "${S}")
+endforeach()
+list(REMOVE_DUPLICATES TOKENS)
+
+set(MISSING "")
+foreach(T ${TOKENS})
+  string(FIND "${DOC_SRC}" "${T}" POS)
+  if(POS EQUAL -1)
+    list(APPEND MISSING "${T}")
+  endif()
+endforeach()
+
+if(MISSING)
+  message(FATAL_ERROR "doc_drift_check: registered in hglift_main.cpp but "
+                      "undocumented in docs/CLI.md: ${MISSING}")
+endif()
+message(STATUS "doc_drift_check: all ${TOKENS} documented")

@@ -11,10 +11,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Programs.h"
+#include "diag/Diag.h"
+#include "driver/Report.h"
+#include "export/HoareChecker.h"
 #include "hg/Lifter.h"
 #include "support/Format.h"
 
 #include <gtest/gtest.h>
+
+#include <sstream>
 
 using namespace hglift;
 using corpus::BuiltBinary;
@@ -40,6 +45,15 @@ std::string fingerprint(const hg::BinaryResult &R) {
        std::to_string(R.Total.SolverQueries) + "\n";
   for (const std::string &O : R.allObligations())
     S += "obl " + O + "\n";
+  // Structured diagnostics are schedule-independent except for the worker
+  // ordinal (trace-only by design; excluded from --report-json too).
+  for (const diag::Diagnostic &D : R.allDiagnostics())
+    S += "diag " + std::string(diag::diagKindName(D.Kind)) + " " +
+         std::string(diag::componentName(D.Prov.Origin)) + " " +
+         hexStr(D.Prov.FunctionEntry) + " " + hexStr(D.Prov.Addr) + " '" +
+         D.Prov.Mnemonic + "' #" + std::to_string(D.Prov.ClauseId) + " '" +
+         D.Prov.ClauseText + "' q" +
+         std::to_string(D.Prov.QueryChain.size()) + " " + D.Message + "\n";
   for (const hg::FunctionResult &F : R.Functions) {
     S += "fn " + hexStr(F.Entry) + " " + hg::liftOutcomeName(F.Outcome) +
          " '" + F.FailReason + "' ret " + std::to_string(F.MayReturn) +
@@ -133,6 +147,57 @@ TEST(ParallelLifter, RepeatedRunsIdentical) {
   std::string First = fingerprint(lift(*BB, 4, true));
   for (int I = 0; I < 3; ++I)
     EXPECT_EQ(First, fingerprint(lift(*BB, 4, true))) << "run " << I;
+}
+
+TEST(ParallelLifter, DiagnosticOrderDeterministic) {
+  // The (function-entry, address) diagnostic order is part of the report
+  // contract: every function's Diags are sorted by (address, kind,
+  // message), and allDiagnostics() concatenates in entry order — at every
+  // thread count.
+  for (auto &[Name, BB] : corpusSet()) {
+    ASSERT_TRUE(BB.has_value()) << Name;
+    for (unsigned Threads : {1u, 4u}) {
+      hg::BinaryResult R = lift(*BB, Threads, false);
+      for (const hg::FunctionResult &F : R.Functions)
+        for (size_t I = 1; I < F.Diags.size(); ++I) {
+          const diag::Diagnostic &A = F.Diags[I - 1], &B = F.Diags[I];
+          EXPECT_TRUE(A.Prov.Addr < B.Prov.Addr ||
+                      (A.Prov.Addr == B.Prov.Addr &&
+                       (A.Kind < B.Kind ||
+                        (A.Kind == B.Kind && A.Message <= B.Message))))
+              << Name << " threads=" << Threads << ": diagnostics out of "
+              << "(address, kind, message) order at index " << I;
+        }
+      uint64_t PrevEntry = 0;
+      for (const diag::Diagnostic &D : R.allDiagnostics()) {
+        EXPECT_GE(D.Prov.FunctionEntry, PrevEntry);
+        PrevEntry = D.Prov.FunctionEntry;
+      }
+    }
+  }
+}
+
+TEST(ParallelLifter, ReportJsonByteIdenticalAcrossThreadCounts) {
+  // The machine-readable report is the deterministic artifact: the exact
+  // bytes of writeReportJson (including the Step-2 check section) must not
+  // depend on the thread count.
+  for (auto &[Name, BB] : corpusSet()) {
+    ASSERT_TRUE(BB.has_value()) << Name;
+    auto Render = [&](unsigned Threads) {
+      hg::LiftConfig Cfg;
+      Cfg.Threads = Threads;
+      hg::Lifter L(BB->Img, Cfg);
+      hg::BinaryResult R = L.liftBinary();
+      exporter::CheckResult C = exporter::checkBinary(L, R, Threads);
+      std::ostringstream OS;
+      driver::writeReportJson(OS, R, &C);
+      return OS.str();
+    };
+    std::string Serial = Render(1);
+    for (unsigned Threads : {2u, 4u})
+      EXPECT_EQ(Serial, Render(Threads))
+          << Name << ": report bytes diverged at threads=" << Threads;
+  }
 }
 
 TEST(ParallelLifter, DiscoveredCalleesLiftedExactlyOnce) {

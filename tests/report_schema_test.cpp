@@ -1,0 +1,238 @@
+//===- report_schema_test.cpp - Golden-file schema lock ------------------===//
+//
+// Locks the *shape* of the two machine-readable artifacts:
+//
+//   * --report-json: the set of key paths (with value types) that a
+//     maximal report produces, in tests/golden/report_schema_v<N>.txt;
+//   * --trace: the per-event-type field sets, in
+//     tests/golden/trace_schema_v<N>.txt.
+//
+// <N> is the schema version constant, so changing the shape of either
+// artifact forces BOTH a golden update AND a version bump: the goldens are
+// looked up under the current version, and a shape change with an
+// unchanged version fails against the committed file. Regenerate with
+// HGLIFT_REGEN_GOLDEN=1 after bumping diag::ReportSchemaVersion /
+// diag::TraceSchemaVersion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Programs.h"
+#include "diag/Json.h"
+#include "diag/Trace.h"
+#include "driver/Report.h"
+#include "export/HoareChecker.h"
+#include "hg/Lifter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#ifndef HGLIFT_GOLDEN_DIR
+#error "HGLIFT_GOLDEN_DIR must point at tests/golden"
+#endif
+
+using namespace hglift;
+
+namespace {
+
+const char *typeName(const diag::JValue &V) {
+  switch (V.K) {
+  case diag::JValue::Kind::Null:
+    return "null";
+  case diag::JValue::Kind::Bool:
+    return "bool";
+  case diag::JValue::Kind::Num:
+    return "num";
+  case diag::JValue::Kind::Str:
+    return "str";
+  case diag::JValue::Kind::Arr:
+    return "arr";
+  case diag::JValue::Kind::Obj:
+    return "obj";
+  }
+  return "?";
+}
+
+/// Flatten a JSON document into "path: type" lines; array elements
+/// collapse to "[]" so the schema is independent of instance counts.
+void collectPaths(const diag::JValue &V, const std::string &Path,
+                  std::set<std::string> &Out) {
+  Out.insert((Path.empty() ? "." : Path) + ": " + typeName(V));
+  if (V.isObj())
+    for (const auto &[K, Child] : V.Obj)
+      collectPaths(Child, Path + "." + K, Out);
+  if (V.isArr())
+    for (const diag::JValue &Child : V.Arr)
+      collectPaths(Child, Path + "[]", Out);
+}
+
+/// Compare Lines against the golden file (or rewrite it when
+/// HGLIFT_REGEN_GOLDEN is set).
+void checkGolden(const std::string &File, const std::set<std::string> &Lines,
+                 const std::string &WhatChanged) {
+  std::string Path = std::string(HGLIFT_GOLDEN_DIR) + "/" + File;
+  if (std::getenv("HGLIFT_REGEN_GOLDEN")) {
+    std::ofstream Out(Path);
+    ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+    for (const std::string &L : Lines)
+      Out << L << "\n";
+    GTEST_SKIP() << "regenerated " << Path;
+  }
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good())
+      << Path << " is missing. If you changed the artifact shape, bump the "
+      << "schema version constant in src/diag/Diag.h and regenerate the "
+      << "golden with HGLIFT_REGEN_GOLDEN=1 ctest -R report_schema.";
+  std::set<std::string> Golden;
+  std::string L;
+  while (std::getline(In, L))
+    if (!L.empty())
+      Golden.insert(L);
+
+  for (const std::string &Have : Lines)
+    EXPECT_TRUE(Golden.count(Have))
+        << "new key path not in " << File << ": `" << Have << "`\n"
+        << WhatChanged;
+  for (const std::string &Want : Golden)
+    EXPECT_TRUE(Lines.count(Want))
+        << "key path vanished from the artifact: `" << Want << "`\n"
+        << WhatChanged;
+}
+
+const char *BumpMsg =
+    "Changing the shape of a versioned artifact requires bumping the "
+    "schema version in src/diag/Diag.h AND regenerating tests/golden "
+    "(HGLIFT_REGEN_GOLDEN=1). Consumers key on schema_version.";
+
+/// A maximal report: a failing binary (verification error + obligation), a
+/// binary with unsoundness annotations, and a clean checked binary with a
+/// tampered invariant so the check section carries diagnostics too.
+std::set<std::string> maximalReportPaths() {
+  std::set<std::string> Paths;
+  auto addReport = [&](const hg::BinaryResult &R,
+                       const exporter::CheckResult *C) {
+    std::ostringstream OS;
+    driver::writeReportJson(OS, R, C);
+    auto V = diag::parseJson(OS.str());
+    EXPECT_TRUE(V.has_value()) << OS.str();
+    if (V)
+      collectPaths(*V, "", Paths);
+  };
+
+  {
+    auto BB = corpus::overflowBinary();
+    EXPECT_TRUE(BB.has_value());
+    hg::Lifter L(BB->Img, hg::LiftConfig());
+    hg::BinaryResult R = L.liftBinary();
+    exporter::CheckResult C = exporter::checkBinary(L, R);
+    addReport(R, &C);
+  }
+  {
+    auto BB = corpus::callbackBinary();
+    EXPECT_TRUE(BB.has_value());
+    hg::Lifter L(BB->Img, hg::LiftConfig());
+    hg::BinaryResult R = L.liftBinary();
+    addReport(R, nullptr);
+  }
+  {
+    // Tampered invariant: the check section's diagnostics (clause ids,
+    // clause text) must appear in the schema.
+    auto BB = corpus::branchLoopBinary();
+    EXPECT_TRUE(BB.has_value());
+    hg::Lifter L(BB->Img, hg::LiftConfig());
+    hg::BinaryResult R = L.liftBinary();
+    for (hg::FunctionResult &F : R.Functions) {
+      for (auto &[K, V] : F.Graph.Vertices)
+        if (V.Explored && !V.Instr.isTerminator()) {
+          V.State.P.setReg64(x86::Reg::RBX, F.ctx().mkConst(0xbad, 64));
+          break;
+        }
+      break;
+    }
+    exporter::CheckResult C = exporter::checkBinary(L, R);
+    EXPECT_LT(C.Proven, C.Theorems);
+    addReport(R, &C);
+  }
+  return Paths;
+}
+
+TEST(ReportSchema, MatchesGolden) {
+  checkGolden("report_schema_v" +
+                  std::to_string(diag::ReportSchemaVersion) + ".txt",
+              maximalReportPaths(), BumpMsg);
+}
+
+TEST(ReportSchema, EveryDiagnosticSerializesFullProvenance) {
+  // Field-presence invariant independent of the golden: every serialized
+  // diagnostic carries the complete provenance object.
+  auto BB = corpus::overflowBinary();
+  ASSERT_TRUE(BB.has_value());
+  hg::Lifter L(BB->Img, hg::LiftConfig());
+  hg::BinaryResult R = L.liftBinary();
+  std::ostringstream OS;
+  driver::writeReportJson(OS, R);
+  auto V = diag::parseJson(OS.str());
+  ASSERT_TRUE(V.has_value());
+
+  size_t Checked = 0;
+  const diag::JValue *Fns = V->get("functions");
+  ASSERT_TRUE(Fns && Fns->isArr());
+  for (const diag::JValue &F : Fns->Arr) {
+    const diag::JValue *Diags = F.get("diagnostics");
+    ASSERT_TRUE(Diags && Diags->isArr());
+    for (const diag::JValue &D : Diags->Arr) {
+      ++Checked;
+      EXPECT_FALSE(D.str("kind").empty());
+      EXPECT_FALSE(D.str("message").empty());
+      const diag::JValue *P = D.get("provenance");
+      ASSERT_TRUE(P && P->isObj());
+      for (const char *Key :
+           {"origin", "function", "addr", "mnemonic", "clause"})
+        EXPECT_TRUE(P->get(Key)) << "provenance field missing: " << Key;
+      EXPECT_TRUE(P->get("clause_id") && P->get("clause_id")->isNum());
+      EXPECT_TRUE(P->get("queries") && P->get("queries")->isArr());
+      EXPECT_NE(P->str("function"), "0x0");
+    }
+  }
+  EXPECT_GT(Checked, 0u);
+}
+
+/// Per-event-type field sets of a trace covering lifting, fixpoint
+/// iteration, solver decisions, and the Step-2 check.
+std::set<std::string> maximalTracePaths() {
+  std::set<std::string> Fields;
+  std::ostringstream OS;
+  {
+    diag::Tracer T(OS, "schema");
+    diag::TracerScope Scope(T);
+    auto BB = corpus::overflowBinary();
+    EXPECT_TRUE(BB.has_value());
+    hg::Lifter L(BB->Img, hg::LiftConfig());
+    hg::BinaryResult R = L.liftBinary();
+    exporter::checkBinary(L, R);
+  }
+  std::istringstream In(OS.str());
+  std::string Line;
+  while (std::getline(In, Line)) {
+    auto V = diag::parseJson(Line);
+    EXPECT_TRUE(V.has_value()) << Line;
+    if (!V || !V->isObj())
+      continue;
+    std::string Ev = V->str("ev", "?");
+    for (const auto &[K, Child] : V->Obj)
+      Fields.insert(Ev + "." + K + ": " + typeName(Child));
+  }
+  return Fields;
+}
+
+TEST(TraceSchema, MatchesGolden) {
+  checkGolden("trace_schema_v" + std::to_string(diag::TraceSchemaVersion) +
+                  ".txt",
+              maximalTracePaths(), BumpMsg);
+}
+
+} // namespace
