@@ -39,6 +39,10 @@ constexpr unsigned ReportSchemaVersion = 1;
 /// tests/golden/trace_schema_v*.txt.
 constexpr unsigned TraceSchemaVersion = 1;
 
+/// Version of the --fuzz-json campaign report shape (and of the fuzz
+/// reproducer sidecar files), pinned by tests/golden/fuzz_schema_v*.txt.
+constexpr unsigned FuzzSchemaVersion = 1;
+
 /// The three diagnostic categories of the paper (§1, §5): a function
 /// rejection, an explicit assumption, or a residual overapproximation.
 enum class DiagKind : uint8_t {

@@ -34,7 +34,13 @@
 //                          fixpoint iterations, solver calls, Step-2 edge
 //                          checks) as JSON Lines to F
 //
-// All three JSON payloads are documented field by field in docs/CLI.md.
+// Fuzzing (see docs/FUZZING.md):
+//   hglift fuzz [--seed S] [--runs N] [--max-insns K] [--mutate-semantics]
+//               [--mutants a,b] [--fuzz-json FILE] [--repro-dir DIR]
+//               [--reduce-mutant NAME] [--replay FILE] [--budget-seconds N]
+//               [--oracle-runs N]
+//
+// All JSON payloads are documented field by field in docs/CLI.md.
 //
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +51,7 @@
 #include "export/HoareChecker.h"
 #include "export/DotExport.h"
 #include "export/IsabelleExport.h"
+#include "fuzz/Campaign.h"
 
 #include <cstring>
 #include <fstream>
@@ -62,7 +69,74 @@ void printUsage(std::ostream &OS) {
         "[--lifo-worklist] [--max-seconds N] [--threads N] "
         "[--stats-json FILE] [--report-json FILE] [--trace FILE]\n"
         "       hglift --lift <binary.elf> [options]\n"
-        "       hglift explain <report.json> [--function F] [--addr A]\n";
+        "       hglift explain <report.json> [--function F] [--addr A]\n"
+        "       hglift fuzz [--seed S] [--runs N] [--max-insns K] "
+        "[--mutate-semantics] [--mutants a,b] [--fuzz-json FILE] "
+        "[--repro-dir DIR] [--reduce-mutant NAME] [--replay FILE] "
+        "[--budget-seconds N] [--oracle-runs N]\n";
+}
+
+int fuzzMain(int argc, char **argv) {
+  fuzz::FuzzOptions Opts;
+  std::string Replay;
+  for (int I = 2; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--seed" && I + 1 < argc)
+      Opts.Seed = std::strtoull(argv[++I], nullptr, 0);
+    else if (A == "--runs" && I + 1 < argc)
+      Opts.Runs = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (A == "--max-insns" && I + 1 < argc)
+      Opts.MaxInsns = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (A == "--mutate-semantics")
+      Opts.MutateSemantics = true;
+    else if (A == "--mutants" && I + 1 < argc) {
+      std::string List = argv[++I];
+      size_t Pos = 0;
+      while (Pos <= List.size()) {
+        size_t Comma = List.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = List.size();
+        if (Comma > Pos)
+          Opts.MutantFilter.push_back(List.substr(Pos, Comma - Pos));
+        Pos = Comma + 1;
+      }
+    } else if (A == "--fuzz-json" && I + 1 < argc)
+      Opts.JsonPath = argv[++I];
+    else if (A == "--repro-dir" && I + 1 < argc)
+      Opts.ReproDir = argv[++I];
+    else if (A == "--reduce-mutant" && I + 1 < argc)
+      Opts.ReduceMutant = argv[++I];
+    else if (A == "--budget-seconds" && I + 1 < argc)
+      Opts.BudgetSeconds = std::atof(argv[++I]);
+    else if (A == "--oracle-runs" && I + 1 < argc)
+      Opts.OracleRuns = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (A == "--replay" && I + 1 < argc)
+      Replay = argv[++I];
+    else {
+      std::cerr << "fuzz: unknown option: " << A << "\n";
+      printUsage(std::cerr);
+      return 2;
+    }
+  }
+
+  if (!Replay.empty())
+    return fuzz::replayReproducer(Replay, std::cout);
+
+  fuzz::CampaignResult R = fuzz::runCampaign(Opts, std::cout);
+  if (!R.Error.empty()) {
+    std::cerr << "fuzz: " << R.Error << "\n";
+    return 2;
+  }
+  if (!Opts.JsonPath.empty()) {
+    std::ofstream Out(Opts.JsonPath);
+    if (!Out) {
+      std::cerr << "cannot open " << Opts.JsonPath << " for writing\n";
+      return 2;
+    }
+    fuzz::writeFuzzJson(Out, Opts, R);
+    std::cout << "wrote fuzz report to " << Opts.JsonPath << "\n";
+  }
+  return R.success() ? 0 : 1;
 }
 
 int explainMain(int argc, char **argv) {
@@ -99,6 +173,8 @@ int main(int argc, char **argv) {
 
   if (std::string(argv[1]) == "explain")
     return explainMain(argc, argv);
+  if (std::string(argv[1]) == "fuzz")
+    return fuzzMain(argc, argv);
 
   int ArgStart = 1;
   if (std::string(argv[1]) == "--lift") {

@@ -1,0 +1,288 @@
+//===- Mutants.cpp - Deliberately-wrong semantics variants ----------------===//
+//
+// Design rules every mutant obeys (see Mutants.h for why):
+//
+//  * wrong, not weaker: a mutated claim must contradict the machine, never
+//    just say less — weakenings are sound overapproximations and therefore
+//    unkillable by construction;
+//  * never corrupt RSP/RBP: a broken stack pointer trips the lifter's own
+//    return-address sanity check, rejecting the function at Step 1 — a
+//    rejection is not a kill (nothing wrong was *claimed*);
+//  * evaluable claims: mutated expressions are built from expressions the
+//    clean semantics already derived, so the oracle (which skips Fresh
+//    leaves) can actually decide them;
+//  * deterministic: pure functions of (StepOut, pre-state, instruction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Mutants.h"
+
+#include <algorithm>
+
+namespace hglift::fuzz {
+
+using expr::Expr;
+using expr::ExprContext;
+using expr::Opcode;
+using sem::CtrlKind;
+using sem::StepOut;
+using sem::Succ;
+using sem::SymState;
+using x86::Instr;
+using x86::Mnemonic;
+using x86::Reg;
+
+namespace {
+
+/// Safe register-destination filter: scratch registers only, never the
+/// frame (see design rules above).
+bool safeDest(const Instr &I) {
+  return I.Ops[0].isReg() && I.Ops[0].R != Reg::RSP && I.Ops[0].R != Reg::RBP;
+}
+
+/// Rewrite the destination register's claim in every fall-through
+/// successor with F(old claim).
+template <typename Fn>
+void rewriteDest(StepOut &Out, const Instr &I, Fn F) {
+  for (Succ &S : Out.Succs) {
+    if (S.K != CtrlKind::Fall)
+      continue;
+    const Expr *V = S.S.P.reg64(I.Ops[0].R);
+    if (const Expr *NV = F(V))
+      if (NV != V)
+        S.S.P.setReg64(I.Ops[0].R, NV);
+  }
+}
+
+/// Rewrite the flag abstraction in every fall-through successor, if the
+/// clean semantics set a Cmp-kind FlagState there.
+template <typename Fn>
+void rewriteCmpFlags(StepOut &Out, Fn F) {
+  for (Succ &S : Out.Succs) {
+    if (S.K != CtrlKind::Fall)
+      continue;
+    const pred::FlagState FS = S.S.P.flags();
+    if (FS.K == pred::FlagState::Kind::Cmp)
+      F(S.S.P, FS);
+  }
+}
+
+std::vector<Mutant> buildRegistry() {
+  std::vector<Mutant> R;
+
+  // 1. Off-by-one result of add reg, imm. Scope Both: the checker
+  // re-derives the same wrong claim; the machine's register disagrees.
+  R.push_back(Mutant{
+      "add-imm-off-by-one",
+      "add reg, imm claims dest = dest+imm+1 (off-by-one arithmetic)",
+      MutantScope::Both,
+      [](StepOut &Out, const SymState &, const Instr &I, ExprContext &Ctx) {
+        if (I.Mn != Mnemonic::Add || !safeDest(I) || !I.Ops[1].isImm())
+          return;
+        rewriteDest(Out, I, [&](const Expr *V) {
+          return V && !V->hasFreshLeaf() ? Ctx.mkAddK(V, 1) : nullptr;
+        });
+      }});
+
+  // 2. Off-by-one result of sub reg, imm. Scope LiftOnly: the clean
+  // Step-2 re-derivation contradicts the stored claim (entailment kill).
+  R.push_back(Mutant{
+      "sub-imm-off-by-one",
+      "sub reg, imm claims dest = dest-imm-1 during Step 1 only",
+      MutantScope::LiftOnly,
+      [](StepOut &Out, const SymState &, const Instr &I, ExprContext &Ctx) {
+        if (I.Mn != Mnemonic::Sub || !safeDest(I) || !I.Ops[1].isImm())
+          return;
+        rewriteDest(Out, I, [&](const Expr *V) {
+          return V && !V->hasFreshLeaf() ? Ctx.mkAddK(V, -1) : nullptr;
+        });
+      }});
+
+  // 3. cmp with swapped operands: flags of (R - L). The flag abstraction
+  // stores L/R exactly; the clean re-check derives the swapped pair and
+  // Pred::leq demands syntactic agreement.
+  R.push_back(Mutant{
+      "cmp-swapped-operands",
+      "cmp records flags of (R - L) instead of (L - R)",
+      MutantScope::LiftOnly,
+      [](StepOut &Out, const SymState &, const Instr &I, ExprContext &) {
+        if (I.Mn != Mnemonic::Cmp)
+          return;
+        rewriteCmpFlags(Out, [&](pred::Pred &P, const pred::FlagState &F) {
+          if (F.L != F.R)
+            P.setFlagsCmp(F.R, F.L, F.Width);
+        });
+      }});
+
+  // 4. cmp at the wrong operand width (64 <-> 32).
+  R.push_back(Mutant{
+      "cmp-width-swapped",
+      "cmp records its flag abstraction at the wrong operand width",
+      MutantScope::LiftOnly,
+      [](StepOut &Out, const SymState &, const Instr &I, ExprContext &) {
+        if (I.Mn != Mnemonic::Cmp)
+          return;
+        rewriteCmpFlags(Out, [&](pred::Pred &P, const pred::FlagState &F) {
+          P.setFlagsCmp(F.L, F.R, F.Width == 64 ? 32 : 64);
+        });
+      }});
+
+  // 5. cmp reg, imm against imm+1.
+  R.push_back(Mutant{
+      "cmp-imm-off-by-one",
+      "cmp reg, imm records flags of (reg - (imm+1))",
+      MutantScope::LiftOnly,
+      [](StepOut &Out, const SymState &, const Instr &I, ExprContext &Ctx) {
+        if (I.Mn != Mnemonic::Cmp || !I.Ops[1].isImm())
+          return;
+        rewriteCmpFlags(Out, [&](pred::Pred &P, const pred::FlagState &F) {
+          if (F.R && !F.R->hasFreshLeaf())
+            P.setFlagsCmp(F.L, Ctx.mkAddK(F.R, 1), F.Width);
+        });
+      }});
+
+  // 6. Dropped memory write, observably: an 8-byte store keeps claiming
+  // the cell's *old* value (or zero for a never-written cell). Scope Both:
+  // only the machine, which performed the store, can tell. Note a plain
+  // cell *removal* would be an unkillable weakening.
+  R.push_back(Mutant{
+      "store-stale-value",
+      "8-byte mov to memory claims the cell still holds its old value",
+      MutantScope::Both,
+      [](StepOut &Out, const SymState &Pre, const Instr &I,
+         ExprContext &Ctx) {
+        if (I.Mn != Mnemonic::Mov || !I.Ops[0].isMem() || I.Ops[0].Size != 8)
+          return;
+        for (Succ &S : Out.Succs) {
+          if (S.K != CtrlKind::Fall)
+            continue;
+          // Find cells that this step introduced or changed and claim
+          // their pre-step contents instead.
+          std::vector<pred::MemCell> Stale;
+          for (const pred::MemCell &C : S.S.P.cells()) {
+            const pred::MemCell *Old = Pre.P.findCell(C.Addr, C.Size);
+            if (Old && Old->Val == C.Val)
+              continue; // unchanged by this step
+            const Expr *V = Old ? Old->Val : Ctx.mkConst(0, 64);
+            if (V != C.Val)
+              Stale.push_back(pred::MemCell{C.Addr, C.Size, V});
+          }
+          for (const pred::MemCell &C : Stale)
+            S.S.P.setCell(C.Addr, C.Size, C.Val);
+        }
+      }});
+
+  // 7. movzx from a byte claims sign-extension. Kills whenever the loaded
+  // byte has its top bit set.
+  R.push_back(Mutant{
+      "movzx-sext-confusion",
+      "movzx r64, byte claims a sign-extended result",
+      MutantScope::Both,
+      [](StepOut &Out, const SymState &, const Instr &I, ExprContext &Ctx) {
+        if (I.Mn != Mnemonic::Movzx || !safeDest(I) || I.Ops[1].Size != 1)
+          return;
+        rewriteDest(Out, I, [&](const Expr *V) -> const Expr * {
+          if (!V || V->hasFreshLeaf())
+            return nullptr;
+          return Ctx.mkSExt(Ctx.mkTrunc(V, 8), 64);
+        });
+      }});
+
+  // 8. xor computed as or. Triggered on xor reg, reg with distinct
+  // registers (same-register xor folds to the constant 0 and is skipped).
+  R.push_back(Mutant{
+      "xor-as-or",
+      "xor reg, reg claims the bitwise-or of its operands",
+      MutantScope::Both,
+      [](StepOut &Out, const SymState &, const Instr &I, ExprContext &Ctx) {
+        if (I.Mn != Mnemonic::Xor || !safeDest(I) || !I.Ops[1].isReg())
+          return;
+        rewriteDest(Out, I, [&](const Expr *V) -> const Expr * {
+          if (!V || !V->isOp() || V->opcode() != Opcode::Xor)
+            return nullptr;
+          return Ctx.mkBin(Opcode::Or, V->operand(0), V->operand(1));
+        });
+      }});
+
+  // 9. External calls claim rax is preserved. The System V ABI (and the
+  // concrete Machine) clobbers it; the claim is wrong whenever rax held an
+  // evaluable value at the call.
+  R.push_back(Mutant{
+      "ext-call-preserves-rax",
+      "external calls claim rax survives (ABI clobber ignored)",
+      MutantScope::Both,
+      [](StepOut &Out, const SymState &Pre, const Instr &,
+         ExprContext &) {
+        const Expr *PreRax = Pre.P.reg64(Reg::RAX);
+        if (!PreRax || PreRax->hasFreshLeaf())
+          return;
+        for (Succ &S : Out.Succs)
+          if (S.K == CtrlKind::CallExternal)
+            S.S.P.setReg64(Reg::RAX, PreRax);
+      }});
+
+  // 10. Conditional jumps lose their fall-through successor. The clean
+  // Step-2 re-derivation produces it and finds no edge in the graph.
+  R.push_back(Mutant{
+      "jcc-drop-fallthrough",
+      "conditional jumps drop the not-taken successor during Step 1",
+      MutantScope::LiftOnly,
+      [](StepOut &Out, const SymState &, const Instr &I, ExprContext &) {
+        if (I.Mn != Mnemonic::Jcc || Out.Succs.size() < 2)
+          return;
+        uint64_t Fall = I.nextAddr();
+        for (auto It = Out.Succs.begin(); It != Out.Succs.end(); ++It)
+          if (It->K == CtrlKind::Fall && It->NextAddr == Fall) {
+            Out.Succs.erase(It);
+            break;
+          }
+      }});
+
+  // 11. Resolved jump tables lose their last (highest-address) target.
+  R.push_back(Mutant{
+      "jump-table-drop-last",
+      "resolved indirect jumps drop their highest target during Step 1",
+      MutantScope::LiftOnly,
+      [](StepOut &Out, const SymState &, const Instr &I, ExprContext &) {
+        if (I.Mn != Mnemonic::Jmp || !I.Ops[0].isMem() ||
+            Out.Succs.size() < 2)
+          return;
+        auto It = std::max_element(
+            Out.Succs.begin(), Out.Succs.end(),
+            [](const Succ &A, const Succ &B) {
+              return A.NextAddr < B.NextAddr;
+            });
+        Out.Succs.erase(It);
+      }});
+
+  // 12. lea claims an address 8 bytes past the real one.
+  R.push_back(Mutant{
+      "lea-off-by-8",
+      "lea claims dest = effective address + 8",
+      MutantScope::Both,
+      [](StepOut &Out, const SymState &, const Instr &I, ExprContext &Ctx) {
+        if (I.Mn != Mnemonic::Lea || !safeDest(I))
+          return;
+        rewriteDest(Out, I, [&](const Expr *V) {
+          return V && !V->hasFreshLeaf() ? Ctx.mkAddK(V, 8) : nullptr;
+        });
+      }});
+
+  return R;
+}
+
+} // namespace
+
+const std::vector<Mutant> &mutantRegistry() {
+  static const std::vector<Mutant> Registry = buildRegistry();
+  return Registry;
+}
+
+const Mutant *findMutant(const std::string &Name) {
+  for (const Mutant &M : mutantRegistry())
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+} // namespace hglift::fuzz

@@ -1,0 +1,84 @@
+//===- Mutants.h - Deliberately-wrong semantics variants --------*- C++ -*-===//
+//
+// Mutation testing of the verifier (§ FUZZING.md): a registry of
+// deliberately-wrong x86 semantics, each injected behind the
+// sem::StepMutator hook, that the fuzzing campaign must prove the pipeline
+// kills. Two scopes:
+//
+//   LiftOnly — the mutation corrupts Step 1 only; the independent Step-2
+//              re-check runs the clean semantics and must object
+//              (entailment failure or missing edge).
+//   Both     — the mutation corrupts Step 1 AND Step 2 alike, modeling a
+//              bug in the shared semantics itself; only the concrete
+//              Machine (the independent ground truth) can object, via an
+//              oracle property-1 violation.
+//
+// Every mutation is a deterministic function of (StepOut, pre-state,
+// instruction) and produces claims that are *wrong*, never merely weaker:
+// a weakened claim (dropped cell, widened register) still overapproximates
+// and is undetectable by design — the checker proves derived ⊑ stored and
+// the oracle cannot see clauses that are not there.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_FUZZ_MUTANTS_H
+#define HGLIFT_FUZZ_MUTANTS_H
+
+#include "semantics/SymExec.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hglift::fuzz {
+
+enum class MutantScope : uint8_t {
+  LiftOnly, ///< corrupt Step 1 only: Step 2 must kill
+  Both,     ///< corrupt both steps: the concrete oracle must kill
+};
+
+struct Mutant {
+  std::string Name;
+  std::string Description;
+  MutantScope Scope;
+  std::function<void(sem::StepOut &, const sem::SymState &,
+                     const x86::Instr &, expr::ExprContext &)>
+      Apply;
+
+  /// The layer expected to object: "step2" for LiftOnly (the clean
+  /// re-check sees the corrupted graph), "oracle" for Both (the checker
+  /// shares the bug; only the machine disagrees).
+  const char *expectedKiller() const {
+    return Scope == MutantScope::LiftOnly ? "step2" : "oracle";
+  }
+};
+
+/// The fixed registry, in report order.
+const std::vector<Mutant> &mutantRegistry();
+
+/// Find a mutant by name, or nullptr.
+const Mutant *findMutant(const std::string &Name);
+
+/// RAII bridge installing a Mutant onto the global SymExec hook for the
+/// lifetime of the object (restores the previous hook on destruction).
+class MutantInstall : sem::StepMutator {
+public:
+  explicit MutantInstall(const Mutant &M)
+      : M(M), Prev(sem::installStepMutator(this)) {}
+  ~MutantInstall() override { sem::installStepMutator(Prev); }
+  MutantInstall(const MutantInstall &) = delete;
+  MutantInstall &operator=(const MutantInstall &) = delete;
+
+  void mutate(sem::StepOut &Out, const sem::SymState &Pre,
+              const x86::Instr &I, expr::ExprContext &Ctx) override {
+    M.Apply(Out, Pre, I, Ctx);
+  }
+
+private:
+  const Mutant &M;
+  sem::StepMutator *Prev;
+};
+
+} // namespace hglift::fuzz
+
+#endif // HGLIFT_FUZZ_MUTANTS_H

@@ -1,0 +1,298 @@
+//===- Oracle.cpp - Concrete-execution soundness oracle -------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "semantics/SymExec.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+namespace hglift::fuzz {
+
+using expr::Expr;
+using expr::maskToWidth;
+using expr::signExtend;
+using sem::CtrlKind;
+using sem::Machine;
+using sem::StepOut;
+using sem::Succ;
+using x86::NumGPRs;
+using x86::Reg;
+using x86::regFromNum;
+using x86::regName;
+
+expr::VarValuation OracleCtx::vars() const {
+  return [this](uint32_t Id) -> uint64_t {
+    const expr::VarInfo &VI = Ctx->varInfo(Id);
+    if (VI.Cls == expr::VarClass::RetSym || VI.Cls == expr::VarClass::RetAddr)
+      return RetAddr;
+    for (unsigned RI = 0; RI < NumGPRs; ++RI)
+      if (VI.Name == regName(regFromNum(RI)) + "0")
+        return Init[RI];
+    return 0; // Fresh/External: callers skip clauses with fresh leaves
+  };
+}
+
+expr::MemOracle OracleCtx::initMem() const {
+  return [this](uint64_t A, uint32_t Sz) { return EntryM.load(A, Sz); };
+}
+
+namespace {
+
+/// Does the tracked flag abstraction agree with the machine's flags? Each
+/// FlagState kind constrains a different subset: Cmp and Test pin all of
+/// ZF/SF/CF/OF, Res pins ZF/SF (the producing instructions disagree on
+/// CF/OF, which the abstraction therefore never derives), ZeroOf pins ZF.
+bool flagsSatisfied(const pred::FlagState &F, const OracleCtx &CC,
+                    const Machine &M) {
+  using Kind = pred::FlagState::Kind;
+  if (F.K == Kind::Unknown)
+    return true;
+  if (!F.L || F.L->hasFreshLeaf() || (F.R && F.R->hasFreshLeaf()))
+    return true; // havoc operand: existentially quantified, skip
+  auto Vars = CC.vars();
+  auto InitMem = CC.initMem();
+  auto L = expr::evalExpr(F.L, Vars, InitMem);
+  if (!L)
+    return true;
+  std::optional<uint64_t> R;
+  if (F.R) {
+    R = expr::evalExpr(F.R, Vars, InitMem);
+    if (!R)
+      return true;
+  }
+  unsigned W = F.Width;
+  switch (F.K) {
+  case Kind::Unknown:
+    return true;
+  case Kind::Cmp: {
+    // Flags of L - R (sem::Machine flagsSub).
+    uint64_t MA = maskToWidth(*L, W), MB = maskToWidth(R ? *R : 0, W);
+    uint64_t Res = maskToWidth(MA - MB, W);
+    bool ZF = Res == 0, SF = signExtend(Res, W) < 0, CF = MA < MB;
+    bool SA = signExtend(MA, W) < 0, SB = signExtend(MB, W) < 0;
+    bool OF = (SA != SB) && (SF != SA);
+    return M.ZF == ZF && M.SF == SF && M.CF == CF && M.OF == OF;
+  }
+  case Kind::Test: {
+    // Flags of L & R with CF = OF = 0 (sem::Machine flagsLogic).
+    uint64_t Res = maskToWidth(*L & (R ? *R : 0), W);
+    bool ZF = Res == 0, SF = signExtend(Res, W) < 0;
+    return M.ZF == ZF && M.SF == SF && !M.CF && !M.OF;
+  }
+  case Kind::Res: {
+    uint64_t Res = maskToWidth(*L, W);
+    bool ZF = Res == 0, SF = signExtend(Res, W) < 0;
+    return M.ZF == ZF && M.SF == SF;
+  }
+  case Kind::ZeroOf:
+    return M.ZF == (maskToWidth(*L, W) == 0);
+  }
+  return true;
+}
+
+} // namespace
+
+bool stateSatisfies(const pred::Pred &P, const OracleCtx &CC,
+                    const Machine &M) {
+  if (P.isBottom())
+    return false;
+  auto Vars = CC.vars();
+  auto InitMem = CC.initMem();
+  for (unsigned RI = 0; RI < NumGPRs; ++RI) {
+    const Expr *V = P.reg64(regFromNum(RI));
+    if (!V || V->hasFreshLeaf())
+      continue;
+    auto EV = expr::evalExpr(V, Vars, InitMem);
+    if (!EV || *EV != M.Regs[RI])
+      return false;
+  }
+  if (!flagsSatisfied(P.flags(), CC, M))
+    return false;
+  for (const pred::MemCell &C : P.cells()) {
+    if (C.Addr->hasFreshLeaf() || C.Val->hasFreshLeaf())
+      continue;
+    auto A = expr::evalExpr(C.Addr, Vars, InitMem);
+    auto V = expr::evalExpr(C.Val, Vars, InitMem);
+    if (!A || !V)
+      return false;
+    if (M.load(*A, C.Size) != maskToWidth(*V, C.Size * 8))
+      return false;
+  }
+  for (const pred::RangeClause &C : P.ranges()) {
+    if (C.E->hasFreshLeaf())
+      continue;
+    auto EV = expr::evalExpr(C.E, Vars, InitMem);
+    if (!EV)
+      return false;
+    uint64_t U = *EV, B = C.Bound;
+    int64_t S = static_cast<int64_t>(U), SB = static_cast<int64_t>(B);
+    bool OK = true;
+    switch (C.Op) {
+    case pred::RelOp::Eq:
+      OK = U == B;
+      break;
+    case pred::RelOp::Ne:
+      OK = U != B;
+      break;
+    case pred::RelOp::ULt:
+      OK = U < B;
+      break;
+    case pred::RelOp::ULe:
+      OK = U <= B;
+      break;
+    case pred::RelOp::UGe:
+      OK = U >= B;
+      break;
+    case pred::RelOp::UGt:
+      OK = U > B;
+      break;
+    case pred::RelOp::SLt:
+      OK = S < SB;
+      break;
+    case pred::RelOp::SLe:
+      OK = S <= SB;
+      break;
+    case pred::RelOp::SGe:
+      OK = S >= SB;
+      break;
+    case pred::RelOp::SGt:
+      OK = S > SB;
+      break;
+    }
+    if (!OK)
+      return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Explored vertices of F at the given rip.
+std::vector<const hg::Vertex *> verticesAt(const hg::FunctionResult &F,
+                                           uint64_t Rip) {
+  std::vector<const hg::Vertex *> Out;
+  for (auto It = F.Graph.Vertices.lower_bound(hg::VertexKey{Rip, 0});
+       It != F.Graph.Vertices.end() && It->first.Rip == Rip; ++It)
+    if (It->second.Explored)
+      Out.push_back(&It->second);
+  return Out;
+}
+
+} // namespace
+
+void walkOnce(const elf::BinaryImage &Img, const hg::FunctionResult &F,
+              Rng &R, OracleResult &Out) {
+  assert(!sem::installedStepMutator() &&
+         "oracle must run with clean semantics");
+  Machine M(Img, R.next());
+  M.setupCall(F.Entry);
+
+  OracleCtx CC(Img);
+  CC.Ctx = &F.ctx();
+  for (unsigned RI = 0; RI < NumGPRs; ++RI) {
+    if (regFromNum(RI) == Reg::RSP) {
+      CC.Init[RI] = M.reg(Reg::RSP);
+      continue;
+    }
+    CC.Init[RI] = R.chance(1, 3) ? R.below(1000) : R.next();
+    M.setReg(regFromNum(RI), CC.Init[RI]);
+  }
+  CC.RetAddr = M.load(M.reg(Reg::RSP), 8);
+  CC.EntryM = M;
+
+  ++Out.Runs;
+  sem::SymExec &Exec = F.Arena->exec();
+
+  auto violate = [&](uint64_t Addr, std::string Msg) {
+    Out.Violations.push_back(
+        OracleViolation{F.Entry, Addr, std::move(Msg)});
+  };
+
+  for (int Step = 0; Step < 300; ++Step) {
+    uint64_t Rip = M.Rip;
+    auto Vs = verticesAt(F, Rip);
+    if (Vs.empty())
+      return; // control left this function (callee frame, external stub)
+
+    // Property 1: some invariant at this rip covers the concrete state.
+    ++Out.States;
+    std::vector<const hg::Vertex *> Admitting;
+    for (const hg::Vertex *V : Vs)
+      if (stateSatisfies(V->State.P, CC, M))
+        Admitting.push_back(V);
+    if (Admitting.empty()) {
+      violate(Rip, "no vertex at " + hexStr(Rip) +
+                       " admits the concrete state (" +
+                       std::to_string(Vs.size()) + " vertices)");
+      return;
+    }
+
+    bool WasCall = Admitting[0]->Instr.isCall();
+    Machine::Status St = M.step();
+    if (St == Machine::Status::Returned || St == Machine::Status::Halted) {
+      if (St == Machine::Status::Returned) {
+        // Property 2 (return): an admitting vertex must have a Ret edge.
+        bool HasRet = false;
+        for (const hg::Vertex *V : Admitting)
+          for (const hg::Edge &E : F.Graph.Edges)
+            HasRet |= E.From == V->Key && E.To.Rip == hg::RetTargetRip;
+        if (!HasRet)
+          violate(Rip, "concrete return at " + hexStr(Rip) +
+                           " has no Ret edge");
+      }
+      return;
+    }
+    if (St != Machine::Status::Running)
+      return; // fault/limit on a random register file: out of scope
+    if (WasCall && M.Rip != Admitting[0]->Instr.nextAddr())
+      return; // internal call: execution descended into the callee frame;
+              // the symbolic successor models the return site instead
+
+    // Property 2: some symbolic successor of an admitting vertex admits
+    // the concrete post-state (or the step hit an annotated indirection).
+    bool Covered = false, Annotated = false;
+    for (const hg::Vertex *V : Admitting) {
+      StepOut SO = Exec.step(V->State, V->Instr, F.RetSym);
+      if (SO.VerifError)
+        continue;
+      for (const Succ &S : SO.Succs) {
+        if (S.K == CtrlKind::UnresJump) {
+          Annotated = true; // annotation B overapproximates any target
+          continue;
+        }
+        if (S.NextAddr != M.Rip)
+          continue;
+        if (stateSatisfies(S.S.P, CC, M)) {
+          Covered = true;
+          break;
+        }
+      }
+      if (Covered)
+        break;
+    }
+    if (!Covered && !Annotated) {
+      violate(Rip, "concrete step " + hexStr(Rip) + " -> " + hexStr(M.Rip) +
+                       " not admitted by any symbolic successor");
+      return;
+    }
+    if (Annotated && !Covered)
+      return; // symbolic exploration stopped at the annotation
+  }
+}
+
+OracleResult runOracle(const elf::BinaryImage &Img,
+                       const hg::BinaryResult &R, uint64_t Seed,
+                       int RunsPerFunction) {
+  OracleResult Out;
+  Rng Rand(Seed);
+  for (const hg::FunctionResult &F : R.Functions) {
+    if (F.Outcome != hg::LiftOutcome::Lifted)
+      continue;
+    for (int I = 0; I < RunsPerFunction; ++I)
+      walkOnce(Img, F, Rand, Out);
+  }
+  return Out;
+}
+
+} // namespace hglift::fuzz

@@ -1,0 +1,95 @@
+//===- Oracle.h - Concrete-execution soundness oracle -----------*- C++ -*-===//
+//
+// The overapproximation witness of Definition 4.4 as a reusable library:
+// run a lifted binary on the concrete Machine from randomized initial
+// states and check, at every reached state,
+//
+//   property 1: some explored vertex invariant at the concrete rip admits
+//               the concrete state, and
+//   property 2: some symbolic successor of an admitting vertex (computed
+//               with the function's own arena executor — the same τ
+//               Algorithm 1 ran) admits the concrete post-state.
+//
+// Expressions with Fresh leaves are havoc (existentially quantified) and
+// admit any value; clauses mentioning them are skipped rather than
+// decided. Unlike the original differential test, the oracle also decides
+// the flag abstraction: a Cmp/Test/Res/ZeroOf FlagState with evaluable
+// operands must agree with the machine's ZF/SF/CF/OF (for the subset each
+// kind constrains).
+//
+// Violations are collected, not asserted, so a fuzzing campaign can count
+// them, attribute kills, and hand failing binaries to the reducer.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_FUZZ_ORACLE_H
+#define HGLIFT_FUZZ_ORACLE_H
+
+#include "expr/Eval.h"
+#include "hg/Lifter.h"
+#include "semantics/Machine.h"
+#include "support/Rng.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace hglift::fuzz {
+
+/// Concrete valuation of the symbolic entry frame: the initial register
+/// file, the return-address sentinel, and the entry memory snapshot that
+/// grounds init-register variables and Deref leaves.
+struct OracleCtx {
+  std::array<uint64_t, x86::NumGPRs> Init{}; ///< entry register file
+  uint64_t RetAddr = 0;                      ///< concrete value of S_entry
+  const expr::ExprContext *Ctx = nullptr;
+  sem::Machine EntryM; ///< machine snapshot at function entry
+
+  explicit OracleCtx(const elf::BinaryImage &Img) : EntryM(Img) {}
+
+  expr::VarValuation vars() const;
+  expr::MemOracle initMem() const;
+};
+
+/// Does the concrete state (M.Regs, M's flags, M's memory) satisfy P?
+/// Clauses with Fresh leaves are skipped (havoc); bottom admits nothing.
+bool stateSatisfies(const pred::Pred &P, const OracleCtx &CC,
+                    const sem::Machine &M);
+
+/// One soundness violation found by a concrete walk.
+struct OracleViolation {
+  uint64_t Function = 0; ///< entry of the violated function
+  uint64_t Addr = 0;     ///< concrete rip where the property failed
+  std::string Message;
+};
+
+struct OracleResult {
+  size_t Runs = 0;   ///< concrete walks performed
+  size_t States = 0; ///< concrete states checked against property 1
+  std::vector<OracleViolation> Violations;
+
+  bool clean() const { return Violations.empty(); }
+  void merge(const OracleResult &O) {
+    Runs += O.Runs;
+    States += O.States;
+    Violations.insert(Violations.end(), O.Violations.begin(),
+                      O.Violations.end());
+  }
+};
+
+/// Walk one concrete run through F's Hoare Graph, appending any violations
+/// to Out. The walk starts at F.Entry with a random register file drawn
+/// from R and follows the machine until control leaves the function.
+/// Requires: no StepMutator installed (the oracle is the clean-semantics
+/// judge; property 2 re-runs the arena executor).
+void walkOnce(const elf::BinaryImage &Img, const hg::FunctionResult &F,
+              Rng &R, OracleResult &Out);
+
+/// Run the oracle over every lifted function of R: RunsPerFunction
+/// concrete walks each, seeded deterministically from Seed.
+OracleResult runOracle(const elf::BinaryImage &Img, const hg::BinaryResult &R,
+                       uint64_t Seed, int RunsPerFunction);
+
+} // namespace hglift::fuzz
+
+#endif // HGLIFT_FUZZ_ORACLE_H

@@ -696,17 +696,29 @@ bool Pred::leq(const Pred &A, const Pred &B) {
     Interval I = M.intervalInA(A, C.E);
     Interval Implied = clauseInterval(C.Op, C.Bound);
     bool OK = false;
-    if (!I.isEmpty() && !I.isTop() && Implied.contains(I)) {
+    if (!I.isEmpty() && !I.isTop() && !Implied.isTop() &&
+        Implied.contains(I)) {
       // For unsigned clauses the interval argument needs non-negativity,
-      // which clauseInterval's [0, B] form already enforces.
+      // which clauseInterval's [0, B] form already enforces. A top Implied
+      // means the clause has no signed-interval rendering (UGe/UGt, large
+      // ULt bounds): containment is then vacuous, not an entailment — the
+      // clause must instead match identically below. (Found by the fuzzing
+      // campaign: a jb fall-through clause survived a covering check
+      // against a state from the taken path.)
       OK = true;
     }
     if (!OK && C.Op == RelOp::Ne && !I.isEmpty() &&
         !I.contains(static_cast<int64_t>(C.Bound)))
       OK = true;
-    if (!OK) {
-      // Identical clause present in A under substitution: only check the
-      // pointer-equal case (no fresh leaves).
+    if (!OK && !M.containsBoundVar(C.E)) {
+      // Identical clause present in A: sound only when C.E is shared
+      // verbatim between both states. If the Matcher bound a leaf of C.E
+      // to a different A expression, the pointer-equal clause in A talks
+      // about the *old* value, not the one B's clause constrains — e.g. a
+      // loop back-edge where rcx maps to j_rcx − 8 but A still carries
+      // j_rcx-range clauses from the previous iteration. (Found by the
+      // fuzzing campaign: a decrementing loop kept a stale [0, 2^32−1]
+      // bound on its join variable and dropped the taken jl successor.)
       for (const RangeClause &CA : A.Ranges)
         if (CA.E == C.E && CA.Op == C.Op && CA.Bound == C.Bound) {
           OK = true;
@@ -790,11 +802,12 @@ std::optional<Pred::LeqFailure> Pred::leqExplain(const ExprContext &Ctx,
   for (const RangeClause &C : B.Ranges) {
     Interval I = M.intervalInA(A, C.E);
     Interval Implied = clauseInterval(C.Op, C.Bound);
-    bool OK = !I.isEmpty() && !I.isTop() && Implied.contains(I);
+    bool OK = !I.isEmpty() && !I.isTop() && !Implied.isTop() &&
+              Implied.contains(I); // mirror leq(): top Implied is vacuous
     if (!OK && C.Op == RelOp::Ne && !I.isEmpty() &&
         !I.contains(static_cast<int64_t>(C.Bound)))
       OK = true;
-    if (!OK)
+    if (!OK && !M.containsBoundVar(C.E)) // mirror leq(): bound ⇒ old value
       for (const RangeClause &CA : A.Ranges)
         if (CA.E == C.E && CA.Op == C.Op && CA.Bound == C.Bound) {
           OK = true;

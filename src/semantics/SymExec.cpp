@@ -3,6 +3,7 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace hglift::sem {
 
@@ -438,9 +439,25 @@ void SymExec::cleanForCall(SymState &S, const std::string &CalleeName,
 
 // --- the step function ---------------------------------------------------------------
 
+namespace {
+std::atomic<StepMutator *> GStepMutator{nullptr};
+} // namespace
+
+StepMutator::~StepMutator() = default;
+
+StepMutator *installStepMutator(StepMutator *M) {
+  return GStepMutator.exchange(M, std::memory_order_relaxed);
+}
+
+StepMutator *installedStepMutator() {
+  return GStepMutator.load(std::memory_order_relaxed);
+}
+
 StepOut SymExec::step(const SymState &S0, const Instr &I,
                       const Expr *EntryRetSym) {
   StepOut Out = stepImpl(S0, I, EntryRetSym);
+  if (StepMutator *Mut = installedStepMutator())
+    Mut->mutate(Out, S0, I, Ctx);
   if (Stats) {
     ++Stats->Steps;
     if (Out.Succs.size() > 1)
@@ -668,11 +685,20 @@ StepOut SymExec::stepImpl(const SymState &S0, const Instr &I,
     for (ReadRes &RS : readOp(S0, I.Ops[1])) {
       SymState NS = RS.S;
       // Result: some bit index in [0, W); ZF = (src == 0). When the source
-      // is zero the destination is architecturally undefined, which the
-      // fresh value also covers.
+      // is zero the destination is left unchanged (architecturally
+      // undefined), so the fresh value must stay unbounded: the [0, 63]
+      // range is only sound when the source is provably nonzero. (Found
+      // by the fuzzing campaign: a possibly-zero bsf source let a stale
+      // bounded bit index suppress a signed branch's taken successor.)
       const Expr *Idx = Ctx.mkFresh("bitidx", W);
       NS.P.writeReg(Ctx, I.Ops[0].R, I.Ops[0].Size, false, Idx);
-      NS.P.addRange(NS.P.reg64(I.Ops[0].R), pred::RelOp::ULe, 63);
+      Interval SrcI = NS.P.intervalOf(RS.Val);
+      bool NonZero = (RS.Val->isConst() &&
+                      expr::maskToWidth(RS.Val->constVal(), W) != 0) ||
+                     (!SrcI.isTop() && !SrcI.isEmpty() &&
+                      !SrcI.contains(0));
+      if (NonZero)
+        NS.P.addRange(NS.P.reg64(I.Ops[0].R), pred::RelOp::ULe, 63);
       NS.P.setFlagsZeroOf(RS.Val, W);
       emitFall(std::move(NS));
     }

@@ -91,6 +91,28 @@ struct SymConfig {
   unsigned MaxJumpTableEntries = 1024;
 };
 
+/// Test-only semantics-mutation hook (mutation testing of the verifier,
+/// src/fuzz). When installed, every SymExec::step() passes its StepOut
+/// through mutate() right after the real semantics ran, letting a campaign
+/// inject deliberately-wrong postconditions and measure whether the Step-2
+/// checker or the concrete-execution oracle notices. Implementations must
+/// be deterministic functions of (Out, Pre, I) — no RNG, no global state —
+/// or campaign reproducibility breaks.
+class StepMutator {
+public:
+  virtual ~StepMutator();
+  virtual void mutate(StepOut &Out, const SymState &Pre, const x86::Instr &I,
+                      ExprContext &Ctx) = 0;
+};
+
+/// Install M process-wide (nullptr to uninstall); returns the previous
+/// hook. Mirrors the diag::Tracer pattern: one relaxed atomic load on the
+/// hot path when no mutator is installed. Mutation campaigns are serial by
+/// design (the hook is global), so install/uninstall only from one thread
+/// while no concurrent lifts are running.
+StepMutator *installStepMutator(StepMutator *M);
+StepMutator *installedStepMutator();
+
 class SymExec {
 public:
   SymExec(ExprContext &Ctx, smt::RelationSolver &Solver,

@@ -356,6 +356,33 @@ TEST(Cli, ExplainRejectsGarbage) {
       << R.Output;
 }
 
+TEST(Cli, FuzzSubcommandCleanAndDeterministic) {
+  std::string J1 = tmpPath("fuzz1.json"), J2 = tmpPath("fuzz2.json");
+  std::remove(J1.c_str());
+  std::remove(J2.c_str());
+
+  RunResult R1 = runCli("fuzz --seed 9 --runs 4 --fuzz-json " + J1);
+  EXPECT_EQ(R1.ExitCode, 0) << R1.Output;
+  EXPECT_NE(R1.Output.find("campaign PASS"), std::string::npos) << R1.Output;
+
+  std::string Doc = slurp(J1);
+  ASSERT_FALSE(Doc.empty()) << "fuzz report not written";
+  EXPECT_TRUE(validJsonDoc(Doc)) << Doc;
+  EXPECT_NE(Doc.find("\"fuzz_schema_version\": 1"), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("\"oracle_violations\": 0"), std::string::npos) << Doc;
+
+  // Same seed, second process: the report must be byte-identical.
+  RunResult R2 = runCli("fuzz --seed 9 --runs 4 --fuzz-json " + J2);
+  EXPECT_EQ(R2.ExitCode, 0) << R2.Output;
+  EXPECT_EQ(Doc, slurp(J2)) << "fuzz report must be deterministic";
+}
+
+TEST(Cli, FuzzUnknownMutantUsage) {
+  RunResult R = runCli("fuzz --seed 1 --runs 0 --mutate-semantics "
+                       "--mutants no-such-mutant");
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+}
+
 TEST(Cli, TraceEmitsValidJsonLines) {
   auto BB = corpus::callChainBinary();
   ASSERT_TRUE(BB.has_value());

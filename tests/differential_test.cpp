@@ -4,233 +4,28 @@
 // the lifter (Theorem 4.3 / Definition 4.4): every state reached by a
 // concrete execution s0 → s1 → ... of a lifted function satisfies some
 // vertex invariant at its rip, and every concrete step is admitted by a
-// symbolic successor of an admitting vertex (computed with the function's
-// own arena executor — the same τ Algorithm 1 ran).
+// symbolic successor of an admitting vertex.
 //
-// Concrete runs start from random register files seeded via support/Rng
-// (fixed seeds, no wall clock). Expressions with Fresh leaves are havoc
-// (existentially quantified, Definition 4.4) and admit any value; clauses
-// mentioning them are skipped rather than decided.
+// The walking logic lives in src/fuzz/Oracle (it doubles as the fuzzing
+// campaign's concrete-execution oracle); this suite drives it over the
+// handwritten corpus programs and asserts zero violations. The oracle
+// also decides the flag abstraction (Cmp/Test/Res/ZeroOf FlagStates with
+// evaluable operands must agree with the machine's ZF/SF/CF/OF), which
+// the original in-test walker did not.
 //
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Programs.h"
-#include "expr/Eval.h"
+#include "fuzz/Oracle.h"
 #include "hg/Lifter.h"
-#include "semantics/Machine.h"
 #include "support/Format.h"
-#include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
 using namespace hglift;
-using namespace hglift::x86;
 using corpus::BuiltBinary;
-using expr::Expr;
-using sem::CtrlKind;
-using sem::Machine;
-using sem::StepOut;
-using sem::Succ;
-using sem::SymState;
 
 namespace {
-
-struct ConcreteCtx {
-  std::array<uint64_t, NumGPRs> Init; ///< entry register file
-  uint64_t RetAddr = 0;               ///< concrete value of S_entry
-  const expr::ExprContext *Ctx = nullptr;
-  Machine EntryM; ///< machine snapshot at function entry (initial memory)
-
-  explicit ConcreteCtx(const elf::BinaryImage &Img) : EntryM(Img) {}
-
-  expr::VarValuation vars() const {
-    return [this](uint32_t Id) -> uint64_t {
-      const expr::VarInfo &VI = Ctx->varInfo(Id);
-      if (VI.Cls == expr::VarClass::RetSym ||
-          VI.Cls == expr::VarClass::RetAddr)
-        return RetAddr;
-      for (unsigned RI = 0; RI < NumGPRs; ++RI)
-        if (VI.Name == regName(regFromNum(RI)) + "0")
-          return Init[RI];
-      return 0; // Fresh/External: callers skip clauses with fresh leaves
-    };
-  }
-  expr::MemOracle initMem() const {
-    return [this](uint64_t A, uint32_t Sz) { return EntryM.load(A, Sz); };
-  }
-};
-
-/// Does the concrete state (Regs, M's memory) satisfy P, treating clauses
-/// with Fresh leaves as existentially quantified (skipped)?
-bool admits(const pred::Pred &P, const ConcreteCtx &CC,
-            const std::array<uint64_t, NumGPRs> &Regs, const Machine &M) {
-  if (P.isBottom())
-    return false;
-  auto Vars = CC.vars();
-  auto InitMem = CC.initMem();
-  for (unsigned RI = 0; RI < NumGPRs; ++RI) {
-    const Expr *V = P.reg64(regFromNum(RI));
-    if (!V || V->hasFreshLeaf())
-      continue;
-    auto EV = expr::evalExpr(V, Vars, InitMem);
-    if (!EV || *EV != Regs[RI])
-      return false;
-  }
-  for (const pred::MemCell &C : P.cells()) {
-    if (C.Addr->hasFreshLeaf() || C.Val->hasFreshLeaf())
-      continue;
-    auto A = expr::evalExpr(C.Addr, Vars, InitMem);
-    auto V = expr::evalExpr(C.Val, Vars, InitMem);
-    if (!A || !V)
-      return false;
-    if (M.load(*A, C.Size) != expr::maskToWidth(*V, C.Size * 8))
-      return false;
-  }
-  for (const pred::RangeClause &C : P.ranges()) {
-    if (C.E->hasFreshLeaf())
-      continue;
-    auto EV = expr::evalExpr(C.E, Vars, InitMem);
-    if (!EV)
-      return false;
-    uint64_t U = *EV, B = C.Bound;
-    int64_t S = static_cast<int64_t>(U), SB = static_cast<int64_t>(B);
-    bool OK = true;
-    switch (C.Op) {
-    case pred::RelOp::Eq:
-      OK = U == B;
-      break;
-    case pred::RelOp::Ne:
-      OK = U != B;
-      break;
-    case pred::RelOp::ULt:
-      OK = U < B;
-      break;
-    case pred::RelOp::ULe:
-      OK = U <= B;
-      break;
-    case pred::RelOp::UGe:
-      OK = U >= B;
-      break;
-    case pred::RelOp::UGt:
-      OK = U > B;
-      break;
-    case pred::RelOp::SLt:
-      OK = S < SB;
-      break;
-    case pred::RelOp::SLe:
-      OK = S <= SB;
-      break;
-    case pred::RelOp::SGe:
-      OK = S >= SB;
-      break;
-    case pred::RelOp::SGt:
-      OK = S > SB;
-      break;
-    }
-    if (!OK)
-      return false;
-  }
-  return true;
-}
-
-/// Explored vertices of F at the given rip.
-std::vector<const hg::Vertex *> verticesAt(const hg::FunctionResult &F,
-                                           uint64_t Rip) {
-  std::vector<const hg::Vertex *> Out;
-  for (auto It = F.Graph.Vertices.lower_bound(hg::VertexKey{Rip, 0});
-       It != F.Graph.Vertices.end() && It->first.Rip == Rip; ++It)
-    if (It->second.Explored)
-      Out.push_back(&It->second);
-  return Out;
-}
-
-/// Walk one concrete run through F's Hoare Graph, checking vertex coverage
-/// and per-edge admission at every step until control leaves the function.
-void walkOne(const BuiltBinary &BB, const hg::FunctionResult &F, Rng &R) {
-  Machine M(BB.Img, R.next());
-  M.setupCall(F.Entry);
-
-  ConcreteCtx CC(BB.Img);
-  CC.Ctx = &F.ctx();
-  for (unsigned RI = 0; RI < NumGPRs; ++RI) {
-    if (regFromNum(RI) == Reg::RSP) {
-      CC.Init[RI] = M.reg(Reg::RSP);
-      continue;
-    }
-    CC.Init[RI] = R.chance(1, 3) ? R.below(1000) : R.next();
-    M.setReg(regFromNum(RI), CC.Init[RI]);
-  }
-  CC.RetAddr = M.load(M.reg(Reg::RSP), 8);
-  CC.EntryM = M;
-
-  sem::SymExec &Exec = F.Arena->exec();
-
-  for (int Step = 0; Step < 300; ++Step) {
-    uint64_t Rip = M.Rip;
-    auto Vs = verticesAt(F, Rip);
-    if (Vs.empty())
-      return; // control left this function (callee frame, external stub)
-
-    // Property 1: some invariant at this rip covers the concrete state.
-    std::vector<const hg::Vertex *> Admitting;
-    for (const hg::Vertex *V : Vs)
-      if (admits(V->State.P, CC, M.Regs, M))
-        Admitting.push_back(V);
-    ASSERT_FALSE(Admitting.empty())
-        << "no vertex at " << hexStr(Rip) << " admits the concrete state ("
-        << Vs.size() << " vertices, fn " << hexStr(F.Entry) << ")";
-
-    bool WasCall = Admitting[0]->Instr.isCall();
-    Machine::Status St = M.step();
-    if (St == Machine::Status::Returned || St == Machine::Status::Halted) {
-      if (St == Machine::Status::Returned) {
-        // Property 2 (return): an admitting vertex must have a Ret edge.
-        bool HasRet = false;
-        for (const hg::Vertex *V : Admitting)
-          for (const hg::Edge &E : F.Graph.Edges)
-            HasRet |= E.From == V->Key && E.To.Rip == hg::RetTargetRip;
-        EXPECT_TRUE(HasRet) << "concrete return at " << hexStr(Rip)
-                            << " has no Ret edge (fn " << hexStr(F.Entry)
-                            << ")";
-      }
-      return;
-    }
-    if (St != Machine::Status::Running)
-      return; // fault/limit on a random register file: out of scope
-    if (WasCall && M.Rip != Admitting[0]->Instr.nextAddr())
-      return; // internal call: execution descended into the callee frame;
-              // the symbolic successor models the return site instead
-
-    // Property 2: some symbolic successor of an admitting vertex admits
-    // the concrete post-state (or the step hit an annotated indirection).
-    bool Covered = false, Annotated = false;
-    for (const hg::Vertex *V : Admitting) {
-      StepOut Out = Exec.step(V->State, V->Instr, F.RetSym);
-      if (Out.VerifError)
-        continue;
-      for (const Succ &S : Out.Succs) {
-        if (S.K == CtrlKind::UnresJump) {
-          Annotated = true; // annotation B overapproximates any target
-          continue;
-        }
-        if (S.NextAddr != M.Rip)
-          continue;
-        if (admits(S.S.P, CC, M.Regs, M)) {
-          Covered = true;
-          break;
-        }
-      }
-      if (Covered)
-        break;
-    }
-    EXPECT_TRUE(Covered || Annotated)
-        << "concrete step " << hexStr(Rip) << " -> " << hexStr(M.Rip)
-        << " not admitted by any symbolic successor (fn " << hexStr(F.Entry)
-        << ")";
-    if (Annotated && !Covered)
-      return; // symbolic exploration stopped at the annotation
-  }
-}
 
 void runDifferential(const std::optional<BuiltBinary> &BB, uint64_t Seed,
                      int RunsPerFunction, bool Library = false) {
@@ -238,13 +33,12 @@ void runDifferential(const std::optional<BuiltBinary> &BB, uint64_t Seed,
   hg::LiftConfig Cfg;
   hg::Lifter L(BB->Img, Cfg);
   hg::BinaryResult R = Library ? L.liftLibrary() : L.liftBinary();
-  Rng Rand(Seed);
-  for (const hg::FunctionResult &F : R.Functions) {
-    if (F.Outcome != hg::LiftOutcome::Lifted)
-      continue;
-    for (int I = 0; I < RunsPerFunction; ++I)
-      walkOne(*BB, F, Rand);
-  }
+
+  fuzz::OracleResult O = fuzz::runOracle(BB->Img, R, Seed, RunsPerFunction);
+  EXPECT_GT(O.States, 0u);
+  for (const fuzz::OracleViolation &V : O.Violations)
+    ADD_FAILURE() << "fn " << hexStr(V.Function) << " at " << hexStr(V.Addr)
+                  << ": " << V.Message;
 }
 
 TEST(Differential, Straightline) {

@@ -1,0 +1,82 @@
+//===- fuzz_reducer_test.cpp - Delta-debugging reducer convergence --------===//
+//
+// Plant a known-bad semantics mutant, let the campaign find a killing
+// multi-function binary, and check that the reducer shrinks the failure
+// to a minimal reproducer: at most one function and a handful of live
+// instructions, written to disk next to a seed sidecar that replays the
+// same failure through `hglift fuzz --replay`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace hglift;
+using fuzz::CampaignResult;
+using fuzz::FuzzOptions;
+using fuzz::ReductionRecord;
+
+namespace {
+
+bool fileExists(const std::string &P) {
+  return std::ifstream(P).good();
+}
+
+void runReducerDemo(const std::string &MutantName, const char *ExpectLayer) {
+  FuzzOptions O;
+  O.Seed = 1;
+  O.Runs = 0; // mutation probing only
+  O.MutateSemantics = true;
+  O.MutantFilter = {MutantName};
+  O.ReduceMutant = MutantName;
+  O.ReproDir = ::testing::TempDir();
+
+  std::ostringstream Log;
+  CampaignResult R = fuzz::runCampaign(O, Log);
+  ASSERT_TRUE(R.Error.empty()) << R.Error << "\n" << Log.str();
+  ASSERT_EQ(R.Reductions.size(), 1u) << Log.str();
+
+  const ReductionRecord &Red = R.Reductions[0];
+  EXPECT_EQ(Red.Mutant, MutantName);
+  EXPECT_GT(Red.Steps, 0u);
+
+  // Convergence: the planted violation lives in one instruction, so the
+  // reducer must strip the binary down to (at most) the function holding
+  // it and a short live tail.
+  EXPECT_LE(Red.FunctionsAfter, 1u) << Log.str();
+  EXPECT_LE(Red.InstructionsAfter, 8u) << Log.str();
+  EXPECT_LE(Red.FunctionsAfter, Red.FunctionsBefore);
+  EXPECT_LT(Red.InstructionsAfter, Red.InstructionsBefore);
+  EXPECT_EQ(Red.Layer, ExpectLayer);
+
+  // The on-disk reproducer pair exists and replays the failure.
+  ASSERT_TRUE(fileExists(Red.ReproElf)) << Red.ReproElf;
+  ASSERT_TRUE(fileExists(Red.ReproJson)) << Red.ReproJson;
+  EXPECT_TRUE(Red.Replayed) << Log.str();
+
+  std::ostringstream ReplayLog;
+  EXPECT_EQ(fuzz::replayReproducer(Red.ReproJson, ReplayLog), 0)
+      << ReplayLog.str();
+}
+
+TEST(FuzzReducer, OracleKilledMutantConverges) {
+  runReducerDemo("add-imm-off-by-one", "oracle");
+}
+
+TEST(FuzzReducer, CheckerKilledMutantConverges) {
+  runReducerDemo("jcc-drop-fallthrough", "step2");
+}
+
+TEST(FuzzReducer, ReplayRejectsMalformedInput) {
+  std::ostringstream Log;
+  EXPECT_EQ(fuzz::replayReproducer("/nonexistent/repro.json", Log), 2);
+
+  std::string Bad = ::testing::TempDir() + "/bad_repro.json";
+  std::ofstream(Bad) << "{\"fuzz_schema_version\": 999}";
+  EXPECT_EQ(fuzz::replayReproducer(Bad, Log), 2);
+}
+
+} // namespace

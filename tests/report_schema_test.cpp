@@ -21,6 +21,7 @@
 #include "diag/Trace.h"
 #include "driver/Report.h"
 #include "export/HoareChecker.h"
+#include "fuzz/Campaign.h"
 #include "hg/Lifter.h"
 
 #include <gtest/gtest.h>
@@ -233,6 +234,39 @@ TEST(TraceSchema, MatchesGolden) {
   checkGolden("trace_schema_v" + std::to_string(diag::TraceSchemaVersion) +
                   ".txt",
               maximalTracePaths(), BumpMsg);
+}
+
+/// A maximal --fuzz-json report: fuzzing runs, a probed-and-killed mutant
+/// per layer, and a reduction record, so every section of the schema is
+/// populated.
+std::set<std::string> maximalFuzzPaths() {
+  fuzz::FuzzOptions O;
+  O.Seed = 1;
+  O.Runs = 2;
+  O.MutateSemantics = true;
+  O.MutantFilter = {"jcc-drop-fallthrough", "add-imm-off-by-one"};
+  O.ReduceMutant = "jcc-drop-fallthrough";
+  O.ReproDir = ::testing::TempDir();
+
+  std::ostringstream Log;
+  fuzz::CampaignResult R = fuzz::runCampaign(O, Log);
+  EXPECT_TRUE(R.Error.empty()) << R.Error;
+  std::ostringstream OS;
+  fuzz::writeFuzzJson(OS, O, R);
+  auto V = diag::parseJson(OS.str());
+  EXPECT_TRUE(V.has_value()) << OS.str();
+  std::set<std::string> Paths;
+  if (V) {
+    EXPECT_EQ(V->num("fuzz_schema_version"), double(diag::FuzzSchemaVersion));
+    collectPaths(*V, "", Paths);
+  }
+  return Paths;
+}
+
+TEST(FuzzSchema, MatchesGolden) {
+  checkGolden("fuzz_schema_v" + std::to_string(diag::FuzzSchemaVersion) +
+                  ".txt",
+              maximalFuzzPaths(), BumpMsg);
 }
 
 } // namespace
