@@ -9,10 +9,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Hglift.h"
 #include "corpus/Suites.h"
 #include "export/HoareChecker.h"
 #include "export/IsabelleExport.h"
-#include "hg/Lifter.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -35,17 +35,19 @@ int main() {
   size_t TotInstrs = 0, TotInd = 0, TotTriples = 0, TotProven = 0;
   bool AllLifted = true;
   for (corpus::Table2Entry &E : Suite) {
-    hg::Lifter L(E.Binary.Img, Cfg);
-    hg::BinaryResult R = L.liftBinary();
+    Options O;
+    O.Lift = Cfg;
+    Session S(E.Binary.Img, O);
+    const hg::BinaryResult &R = S.lift();
     AllLifted &= R.Outcome == hg::LiftOutcome::Lifted;
 
-    exporter::CheckResult C = exporter::checkBinary(L, R);
+    const exporter::CheckResult &C = S.check();
 
     exporter::IsabelleOptions IOpts;
     IOpts.TheoryName = E.Name + "_hg";
     size_t Lemmas = 0;
     std::string Thy =
-        exporter::exportBinary(L.exprContext(), R, IOpts, &Lemmas);
+        exporter::exportBinary(S.scratchContext(), R, IOpts, &Lemmas);
     static_cast<void>(Thy);
 
     std::printf("%-10s %12s %14s %14u %10u %10zu %7zu%s\n", E.Name.c_str(),

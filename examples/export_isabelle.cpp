@@ -8,10 +8,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Hglift.h"
 #include "corpus/Programs.h"
 #include "export/HoareChecker.h"
 #include "export/IsabelleExport.h"
-#include "hg/Lifter.h"
 
 #include <fstream>
 #include <iostream>
@@ -23,13 +23,13 @@ int main(int argc, char **argv) {
   if (!BB)
     return 1;
 
-  hg::Lifter L(BB->Img, hg::LiftConfig());
-  hg::BinaryResult R = L.liftBinary();
+  Session S(BB->Img, Options());
+  const hg::BinaryResult &R = S.lift();
   std::cout << "lifted " << R.Name << ": " << R.totalInstructions()
             << " instructions, " << R.totalStates() << " symbolic states\n";
 
   // Step 2: every edge is one independently provable theorem.
-  exporter::CheckResult C = exporter::checkBinary(L, R);
+  const exporter::CheckResult &C = S.check();
   std::cout << "step 2: " << C.Proven << "/" << C.Theorems
             << " Hoare triples proven independently\n";
   for (const std::string &F : C.Failures)
@@ -40,7 +40,8 @@ int main(int argc, char **argv) {
   exporter::IsabelleOptions Opts;
   Opts.TheoryName = "call_chain_hg";
   size_t Lemmas = 0;
-  std::string Thy = exporter::exportBinary(L.exprContext(), R, Opts, &Lemmas);
+  std::string Thy =
+      exporter::exportBinary(S.scratchContext(), R, Opts, &Lemmas);
 
   std::string Path = argc > 1 ? argv[1] : "/tmp/call_chain_hg.thy";
   std::ofstream(Path) << Thy;

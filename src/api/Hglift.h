@@ -1,0 +1,128 @@
+//===- Hglift.h - The libhglift public facade ------------------*- C++ -*-===//
+//
+// One entry point for every consumer of the lifter — the CLI, the fuzz
+// campaign, the benchmarks, and the tests all drive lifting through this
+// header instead of wiring Lifter/CacheStore/checkBinary together by hand:
+//
+//   hglift::Options O;
+//   O.Lift.Threads = 4;
+//   O.CacheDir = "/var/cache/hglift";       // optional incremental store
+//   hglift::Session S(Img, O);
+//   const hg::BinaryResult &R = S.lift();    // Step 1 (cache-aware)
+//   const exporter::CheckResult &C = S.check(); // Step 2
+//   S.writeReportJson(Out);                  // includes C iff check() ran
+//
+// Cache semantics: when CacheDir is set, lifts consult the content-
+// addressed store (store/Store.h). Hits skip Algorithm 1 but are re-proven
+// through the Step-2 checker before being returned (unless CacheValidate
+// is explicitly turned off), so a warm run makes exactly the same
+// soundness claim as a cold one. check() reuses those hit-time proofs
+// instead of proving the same edges twice; because every reused result was
+// fully proven, a warm check() is byte-for-byte identical to a cold one in
+// the report, and substantially faster.
+//
+// A Session is single-owner and not thread-safe; internal lifting/checking
+// parallelism is controlled by Options::Lift.Threads as usual.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_API_HGLIFT_H
+#define HGLIFT_API_HGLIFT_H
+
+#include "export/HoareChecker.h"
+#include "hg/Lifter.h"
+#include "store/Store.h"
+
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+
+namespace hglift {
+
+/// Everything a lift-and-check run can be configured with. Plain data;
+/// copy, fill in, hand to a Session.
+struct Options {
+  /// Step-1 configuration (threads, fuel, ablations, ...). Options::Lift
+  /// .Cache is managed by the Session when CacheDir is set; leave it null.
+  hg::LiftConfig Lift;
+  /// Lift every exported function symbol instead of following calls from
+  /// the ELF entry point (shared-object mode, paper §5.1).
+  bool Library = false;
+  /// Directory of the content-addressed artifact store. Empty = no cache.
+  /// Created on first use; safe to share between concurrent processes.
+  std::string CacheDir;
+  /// Byte budget for the store's objects/ directory in MiB (0 = no limit).
+  /// Exceeding it after a store evicts least-recently-used entries.
+  uint64_t CacheMaxMB = 0;
+  /// Re-prove every cache hit through the Step-2 checker before using it
+  /// (the default, and the soundness story). Turning this off trusts the
+  /// stored graphs and is only defensible for throwaway exploration.
+  bool CacheValidate = true;
+};
+
+/// One lift-and-check run over one binary image. Owns the Lifter, the
+/// optional cache store, and the results; lift() and check() are memoized
+/// so report writers can be called in any order afterwards.
+class Session {
+public:
+  /// Img must outlive the Session (results hold pointers into it).
+  Session(const elf::BinaryImage &Img, Options Opt);
+  ~Session();
+
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// Run Step 1 (or replay it from the cache). Memoized.
+  const hg::BinaryResult &lift();
+
+  /// Run Step 2 over the lifted result (lifting first if needed): one
+  /// theorem per Hoare Graph edge. Cache hits that were already re-proven
+  /// at lookup time are not proven again — their hit-time CheckResults are
+  /// merged in, in function-entry order, which keeps warm output identical
+  /// to cold. Memoized.
+  const exporter::CheckResult &check();
+
+  /// Whether check() has run (writeReportJson includes its summary iff so).
+  bool checked() const { return Checked; }
+  /// The memoized Step-2 result, or null before check().
+  const exporter::CheckResult *checkResult() const {
+    return Checked ? &Check : nullptr;
+  }
+
+  /// Human-readable per-binary report (outcome, Table 1 columns, stats,
+  /// diagnostics); Verbose additionally dumps every Hoare Graph.
+  void printReport(std::ostream &OS, bool Verbose = false);
+  /// The --stats-json payload.
+  void writeStatsJson(std::ostream &OS);
+  /// The --report-json payload; includes the Step-2 summary iff check()
+  /// has run. Bytes are identical for every thread count and for warm vs
+  /// cold cache runs.
+  void writeReportJson(std::ostream &OS);
+
+  /// Scratch expression context for exporters that render results (NOT
+  /// the context lifted expressions live in — each FunctionResult carries
+  /// its own arena).
+  expr::ExprContext &scratchContext();
+
+  const elf::BinaryImage &image() const { return Img; }
+  const Options &options() const { return Opt; }
+  /// Store counters (hits, misses, validations, evictions), or nullopt
+  /// when no CacheDir was configured.
+  std::optional<store::CacheStats> cacheStats() const;
+
+private:
+  const elf::BinaryImage &Img;
+  Options Opt;
+  std::unique_ptr<store::CacheStore> Cache; ///< null unless CacheDir set
+  std::unique_ptr<hg::Lifter> Lifter;
+
+  bool Lifted = false;
+  hg::BinaryResult Result;
+  bool Checked = false;
+  exporter::CheckResult Check;
+};
+
+} // namespace hglift
+
+#endif // HGLIFT_API_HGLIFT_H

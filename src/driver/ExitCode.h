@@ -1,0 +1,38 @@
+//===- ExitCode.h - One exit-code convention for every subcommand -*- C++ -*-===//
+//
+// Every hglift subcommand (lift, check, explain, fuzz) maps its outcomes
+// onto this table — scripts can branch on the code without parsing output.
+// Documented in docs/CLI.md; pinned by tests/cli_test.cpp.
+//
+//   Ok    0  the analysis ran and its claim holds: binary lifted (and,
+//            when checking, every Hoare triple proven); explain rendered;
+//            fuzz campaign PASS
+//   Fail  1  the analysis ran and rejected its input: lift outcome not
+//            "lifted", a Step-2 proof failure, a fuzz oracle violation,
+//            or an input file that is not a parseable ELF
+//   Usage 2  the invocation was malformed: unknown flag or subcommand,
+//            missing argument, a file that is not a JSON report (explain),
+//            an unknown mutant name (fuzz)
+//   Io    3  the analysis succeeded but a requested artifact could not be
+//            written (--stats-json / --report-json / --trace / --fuzz-json
+//            destination not openable)
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_DRIVER_EXITCODE_H
+#define HGLIFT_DRIVER_EXITCODE_H
+
+namespace hglift::driver {
+
+enum class ExitCode : int {
+  Ok = 0,
+  Fail = 1,
+  Usage = 2,
+  Io = 3,
+};
+
+inline int toExit(ExitCode C) { return static_cast<int>(C); }
+
+} // namespace hglift::driver
+
+#endif // HGLIFT_DRIVER_EXITCODE_H

@@ -2,7 +2,10 @@
 //
 // Usage:
 //   hglift <binary.elf> [options]        lift (and optionally check) a binary
-//   hglift --lift <binary.elf> [options] same, explicit spelling
+//   hglift lift <binary.elf> [options]   same, explicit subcommand
+//   hglift --lift <binary.elf> [options] same, historical spelling
+//   hglift check <binary.elf> [options]  lift and always run the Step-2
+//                                        checker (equivalent to --check)
 //   hglift explain <report.json> [--function F] [--addr A]
 //                                        render root-cause narratives from a
 //                                        --report-json file
@@ -11,6 +14,15 @@
 //     --library            lift every exported function symbol instead of
 //                          the entry point (shared-object mode, §5.1)
 //     --check              run the Step-2 Hoare-triple checker
+//     --cache-dir DIR      content-addressed artifact store: cached
+//                          functions skip Step 1 and are re-proven through
+//                          the Step-2 checker instead of being trusted
+//     --cache-max-mb N     byte budget for the store (MiB); exceeding it
+//                          evicts least-recently-used entries (0 = no
+//                          limit, the default)
+//     --no-cache-validate  trust cache hits without Step-2 re-validation
+//                          (faster, but forfeits the soundness story;
+//                          see docs/CLI.md)
 //     --export-isabelle F  write the Isabelle/HOL theory to F
 //     --export-dot F       write the Hoare Graphs as Graphviz dot to F
 //     --dump-hg            print the full Hoare Graph
@@ -29,7 +41,8 @@
 //                          memo counts, wall time) as JSON to F
 //     --report-json F      write the machine-readable verification report
 //                          (structured diagnostics with provenance; bytes
-//                          identical for every --threads value) to F
+//                          identical for every --threads value and for
+//                          warm vs cold --cache-dir runs) to F
 //     --trace F            stream structured trace events (lift spans,
 //                          fixpoint iterations, solver calls, Step-2 edge
 //                          checks) as JSON Lines to F
@@ -40,15 +53,18 @@
 //               [--reduce-mutant NAME] [--replay FILE] [--budget-seconds N]
 //               [--oracle-runs N]
 //
-// All JSON payloads are documented field by field in docs/CLI.md.
+// Exit codes follow one table for every subcommand (driver/ExitCode.h):
+// 0 = claim holds, 1 = analysis rejected the input, 2 = bad invocation,
+// 3 = artifact not writable. All JSON payloads are documented field by
+// field in docs/CLI.md.
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Hglift.h"
 #include "diag/Trace.h"
 #include "driver/Explain.h"
-#include "driver/Report.h"
+#include "driver/ExitCode.h"
 #include "elf/ElfReader.h"
-#include "export/HoareChecker.h"
 #include "export/DotExport.h"
 #include "export/IsabelleExport.h"
 #include "fuzz/Campaign.h"
@@ -59,16 +75,19 @@
 #include <memory>
 
 using namespace hglift;
+using driver::ExitCode;
+using driver::toExit;
 
 namespace {
 
 void printUsage(std::ostream &OS) {
-  OS << "usage: hglift <binary.elf> [--library] [--check] "
+  OS << "usage: hglift [lift] <binary.elf> [--library] [--check] "
+        "[--cache-dir DIR] [--cache-max-mb N] [--no-cache-validate] "
         "[--export-isabelle FILE] [--export-dot FILE] [--dump-hg] "
         "[--no-join] [--destroy-always] [--no-hotpath-cache] "
         "[--lifo-worklist] [--max-seconds N] [--threads N] "
         "[--stats-json FILE] [--report-json FILE] [--trace FILE]\n"
-        "       hglift --lift <binary.elf> [options]\n"
+        "       hglift check <binary.elf> [options]   (implies --check)\n"
         "       hglift explain <report.json> [--function F] [--addr A]\n"
         "       hglift fuzz [--seed S] [--runs N] [--max-insns K] "
         "[--mutate-semantics] [--mutants a,b] [--fuzz-json FILE] "
@@ -115,7 +134,7 @@ int fuzzMain(int argc, char **argv) {
     else {
       std::cerr << "fuzz: unknown option: " << A << "\n";
       printUsage(std::cerr);
-      return 2;
+      return toExit(ExitCode::Usage);
     }
   }
 
@@ -125,18 +144,18 @@ int fuzzMain(int argc, char **argv) {
   fuzz::CampaignResult R = fuzz::runCampaign(Opts, std::cout);
   if (!R.Error.empty()) {
     std::cerr << "fuzz: " << R.Error << "\n";
-    return 2;
+    return toExit(ExitCode::Usage);
   }
   if (!Opts.JsonPath.empty()) {
     std::ofstream Out(Opts.JsonPath);
     if (!Out) {
       std::cerr << "cannot open " << Opts.JsonPath << " for writing\n";
-      return 2;
+      return toExit(ExitCode::Io);
     }
     fuzz::writeFuzzJson(Out, Opts, R);
     std::cout << "wrote fuzz report to " << Opts.JsonPath << "\n";
   }
-  return R.success() ? 0 : 1;
+  return toExit(R.success() ? ExitCode::Ok : ExitCode::Fail);
 }
 
 int explainMain(int argc, char **argv) {
@@ -152,68 +171,53 @@ int explainMain(int argc, char **argv) {
     else {
       std::cerr << "explain: unknown option: " << A << "\n";
       printUsage(std::cerr);
-      return 2;
+      return toExit(ExitCode::Usage);
     }
   }
   if (Opts.ReportPath.empty()) {
     std::cerr << "explain: no report file given\n";
     printUsage(std::cerr);
-    return 2;
+    return toExit(ExitCode::Usage);
   }
   return driver::runExplain(Opts, std::cout, std::cerr);
 }
 
-} // namespace
-
-int main(int argc, char **argv) {
-  if (argc < 2) {
-    printUsage(std::cerr);
-    return 2;
-  }
-
-  if (std::string(argv[1]) == "explain")
-    return explainMain(argc, argv);
-  if (std::string(argv[1]) == "fuzz")
-    return fuzzMain(argc, argv);
-
-  int ArgStart = 1;
-  if (std::string(argv[1]) == "--lift") {
-    if (argc < 3) {
-      printUsage(std::cerr);
-      return 2;
-    }
-    ArgStart = 2;
-  }
-
+int liftMain(int argc, char **argv, int ArgStart, bool Check) {
   std::string Path = argv[ArgStart];
-  bool Library = false, Check = false, DumpHG = false;
+  bool DumpHG = false;
   std::string IsabelleOut, DotOut, StatsJsonOut, ReportJsonOut, TraceOut;
-  hg::LiftConfig Cfg;
+  Options Opt;
   for (int I = ArgStart + 1; I < argc; ++I) {
     std::string A = argv[I];
     if (A == "--library")
-      Library = true;
+      Opt.Library = true;
     else if (A == "--check")
       Check = true;
     else if (A == "--dump-hg")
       DumpHG = true;
     else if (A == "--no-join")
-      Cfg.EnableJoin = false;
+      Opt.Lift.EnableJoin = false;
     else if (A == "--destroy-always")
-      Cfg.Sym.Policy = mem::UnknownPolicy::DestroyAlways;
+      Opt.Lift.Sym.Policy = mem::UnknownPolicy::DestroyAlways;
     else if (A == "--no-hotpath-cache") {
-      Cfg.Solver.EnableCache = false;
-      Cfg.LeqMemo = false;
+      Opt.Lift.Solver.EnableCache = false;
+      Opt.Lift.LeqMemo = false;
     } else if (A == "--lifo-worklist")
-      Cfg.OrderedWorklist = false;
+      Opt.Lift.OrderedWorklist = false;
+    else if (A == "--cache-dir" && I + 1 < argc)
+      Opt.CacheDir = argv[++I];
+    else if (A == "--cache-max-mb" && I + 1 < argc)
+      Opt.CacheMaxMB = std::strtoull(argv[++I], nullptr, 0);
+    else if (A == "--no-cache-validate")
+      Opt.CacheValidate = false;
     else if (A == "--export-isabelle" && I + 1 < argc)
       IsabelleOut = argv[++I];
     else if (A == "--export-dot" && I + 1 < argc)
       DotOut = argv[++I];
     else if (A == "--max-seconds" && I + 1 < argc)
-      Cfg.MaxSeconds = std::atof(argv[++I]);
+      Opt.Lift.MaxSeconds = std::atof(argv[++I]);
     else if (A == "--threads" && I + 1 < argc)
-      Cfg.Threads = static_cast<unsigned>(std::atoi(argv[++I]));
+      Opt.Lift.Threads = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (A == "--stats-json" && I + 1 < argc)
       StatsJsonOut = argv[++I];
     else if (A == "--report-json" && I + 1 < argc)
@@ -222,12 +226,12 @@ int main(int argc, char **argv) {
       TraceOut = argv[++I];
     else {
       std::cerr << "unknown option: " << A << "\n";
-      return 2;
+      return toExit(ExitCode::Usage);
     }
   }
 
   // The tracer must outlive lifting AND checking; installing it before the
-  // lifter is created also captures arena setup. Scope ends before the
+  // session is created also captures arena setup. Scope ends before the
   // report/export writers run (their output is not traced).
   std::unique_ptr<std::ofstream> TraceFile;
   std::unique_ptr<diag::Tracer> Tracer;
@@ -236,7 +240,7 @@ int main(int argc, char **argv) {
     TraceFile = std::make_unique<std::ofstream>(TraceOut);
     if (!*TraceFile) {
       std::cerr << "cannot open " << TraceOut << " for writing\n";
-      return 2;
+      return toExit(ExitCode::Io);
     }
     Tracer = std::make_unique<diag::Tracer>(*TraceFile, Path);
     TracerInstall = std::make_unique<diag::TracerScope>(*Tracer);
@@ -245,26 +249,29 @@ int main(int argc, char **argv) {
   auto Img = elf::readElfFile(Path);
   if (!Img) {
     std::cerr << "error: cannot parse ELF file " << Path << "\n";
-    return 1;
+    return toExit(ExitCode::Fail);
   }
 
-  hg::Lifter L(*Img, Cfg);
-  hg::BinaryResult R = Library ? L.liftLibrary() : L.liftBinary();
-  driver::printBinaryReport(std::cout, R, L.exprContext(), DumpHG);
+  Session S(*Img, Opt);
+  const hg::BinaryResult &R = S.lift();
+  S.printReport(std::cout, DumpHG);
+  if (std::optional<store::CacheStats> CS = S.cacheStats())
+    std::cout << "cache: " << CS->Hits << " hits, " << CS->Misses
+              << " misses, " << CS->Stored << " stored, " << CS->Validated
+              << " revalidated, " << CS->Evictions << " evicted\n";
 
   if (!StatsJsonOut.empty()) {
     std::ofstream Out(StatsJsonOut);
     if (!Out) {
       std::cerr << "cannot open " << StatsJsonOut << " for writing\n";
-      return 2;
+      return toExit(ExitCode::Io);
     }
-    driver::writeStatsJson(Out, R);
+    S.writeStatsJson(Out);
     std::cout << "wrote lifting stats to " << StatsJsonOut << "\n";
   }
 
-  exporter::CheckResult C;
   if (Check) {
-    C = exporter::checkBinary(L, R, Cfg.Threads);
+    const exporter::CheckResult &C = S.check();
     std::cout << "step 2: " << C.Proven << "/" << C.Theorems
               << " Hoare triples proven\n";
     for (const std::string &F : C.Failures)
@@ -275,9 +282,9 @@ int main(int argc, char **argv) {
     std::ofstream Out(ReportJsonOut);
     if (!Out) {
       std::cerr << "cannot open " << ReportJsonOut << " for writing\n";
-      return 2;
+      return toExit(ExitCode::Io);
     }
-    driver::writeReportJson(Out, R, Check ? &C : nullptr);
+    S.writeReportJson(Out);
     std::cout << "wrote verification report to " << ReportJsonOut << "\n";
   }
 
@@ -291,7 +298,8 @@ int main(int argc, char **argv) {
     exporter::IsabelleOptions Opts;
     Opts.TheoryName = R.Name.empty() ? "lifted_binary" : R.Name;
     size_t Lemmas = 0;
-    std::string Thy = exporter::exportBinary(L.exprContext(), R, Opts, &Lemmas);
+    std::string Thy =
+        exporter::exportBinary(S.scratchContext(), R, Opts, &Lemmas);
     std::ofstream Out(IsabelleOut);
     Out << Thy;
     std::cout << "wrote " << Lemmas << " Hoare-triple lemmas to "
@@ -300,11 +308,35 @@ int main(int argc, char **argv) {
 
   if (!DotOut.empty()) {
     std::ofstream Out(DotOut);
-    Out << exporter::exportDotBinary(L.exprContext(), R);
+    Out << exporter::exportDotBinary(S.scratchContext(), R);
     std::cout << "wrote Graphviz graph to " << DotOut << "\n";
   }
 
-  if (Check && !C.allProven())
-    return 1;
-  return R.Outcome == hg::LiftOutcome::Lifted ? 0 : 1;
+  if (Check && !S.check().allProven())
+    return toExit(ExitCode::Fail);
+  return toExit(R.Outcome == hg::LiftOutcome::Lifted ? ExitCode::Ok
+                                                     : ExitCode::Fail);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    printUsage(std::cerr);
+    return toExit(ExitCode::Usage);
+  }
+
+  std::string First = argv[1];
+  if (First == "explain")
+    return explainMain(argc, argv);
+  if (First == "fuzz")
+    return fuzzMain(argc, argv);
+  if (First == "lift" || First == "check" || First == "--lift") {
+    if (argc < 3) {
+      printUsage(std::cerr);
+      return toExit(ExitCode::Usage);
+    }
+    return liftMain(argc, argv, 2, /*Check=*/First == "check");
+  }
+  return liftMain(argc, argv, 1, /*Check=*/false);
 }

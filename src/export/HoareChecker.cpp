@@ -214,7 +214,7 @@ CheckResult checkFunctionWith(SymExec &Exec, smt::RelationSolver &Solver,
 
 } // namespace
 
-CheckResult checkFunction(hg::Lifter &L, const FunctionResult &F) {
+CheckResult checkFunction(const CheckContext &C, const FunctionResult &F) {
   if (F.Outcome != hg::LiftOutcome::Lifted)
     return CheckResult();
 
@@ -222,32 +222,32 @@ CheckResult checkFunction(hg::Lifter &L, const FunctionResult &F) {
   // interned there, and the re-derived successors must live in the same
   // context for entailment to be meaningful. A task-local executor shares
   // the semantics but none of Algorithm 1's state. (Hand-built results
-  // without an arena fall back to the lifter's scratch context — only
-  // built when actually needed, since touching it from a worker thread
-  // would race.)
+  // without an arena fall back to the caller-provided fallback arena —
+  // their expressions live in its context.)
   if (F.Arena) {
-    SymExec Exec(F.Arena->ctx(), F.Arena->solver(), L.image(),
-                 L.config().Sym);
+    SymExec Exec(F.Arena->ctx(), F.Arena->solver(), C.Img, C.Sym);
     return checkFunctionWith(Exec, F.Arena->solver(), F);
   }
-  SymExec Fallback(L.exprContext(), L.solver(), L.image(), L.config().Sym);
-  return checkFunctionWith(Fallback, L.solver(), F);
+  if (!C.Fallback)
+    return CheckResult();
+  SymExec Fallback(C.Fallback->ctx(), C.Fallback->solver(), C.Img, C.Sym);
+  return checkFunctionWith(Fallback, C.Fallback->solver(), F);
 }
 
-CheckResult checkBinary(hg::Lifter &L, const hg::BinaryResult &B,
+CheckResult checkBinary(const CheckContext &C, const hg::BinaryResult &B,
                         unsigned Threads) {
   unsigned NThreads =
       Threads == 0 ? ThreadPool::defaultThreads() : Threads;
   if (NThreads <= 1 || B.Functions.size() <= 1) {
     CheckResult R;
     for (const FunctionResult &F : B.Functions)
-      R.merge(checkFunction(L, F));
+      R.merge(checkFunction(C, F));
     return R;
   }
 
   // One task per arena-ful function: each re-checks entirely inside that
   // function's own arena, so nothing is shared between workers. Arena-less
-  // functions (hand-built in tests) would all share the lifter's scratch
+  // functions (hand-built in tests) would all share the fallback arena's
   // context and are kept on this thread. Per-function results land in a
   // slot vector and merge in function order, so the outcome — including
   // the order of Failures — is identical to the serial check.
@@ -259,9 +259,8 @@ CheckResult checkBinary(hg::Lifter &L, const hg::BinaryResult &B,
       if (!F.Arena || F.Outcome != hg::LiftOutcome::Lifted)
         continue;
       CheckResult *Slot = &Slots[I];
-      Pool.submit([&L, &F, Slot] {
-        SymExec Exec(F.Arena->ctx(), F.Arena->solver(), L.image(),
-                     L.config().Sym);
+      Pool.submit([&C, &F, Slot] {
+        SymExec Exec(F.Arena->ctx(), F.Arena->solver(), C.Img, C.Sym);
         *Slot = checkFunctionWith(Exec, F.Arena->solver(), F);
       });
     }
@@ -270,7 +269,7 @@ CheckResult checkBinary(hg::Lifter &L, const hg::BinaryResult &B,
   for (size_t I = 0; I < B.Functions.size(); ++I) {
     const FunctionResult &F = B.Functions[I];
     if (!F.Arena && F.Outcome == hg::LiftOutcome::Lifted)
-      Slots[I] = checkFunction(L, B.Functions[I]);
+      Slots[I] = checkFunction(C, B.Functions[I]);
   }
 
   CheckResult R;

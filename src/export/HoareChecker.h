@@ -52,14 +52,28 @@ struct CheckResult {
   }
 };
 
+/// Everything Step-2 needs from the outside world: the binary image the
+/// instruction semantics reads (rodata for jump tables, PLT stubs) and the
+/// semantics configuration. Deliberately NOT a Lifter — a cached
+/// BinaryResult deserialized from the artifact store has no Lifter behind
+/// it, and the checker must be able to validate it anyway.
+struct CheckContext {
+  const elf::BinaryImage &Img;
+  sem::SymConfig Sym;
+  /// Context + solver for functions without their own arena (hand-built
+  /// results in tests whose expressions live in a caller-owned context).
+  /// Arena-less functions are skipped when this is null.
+  hg::LiftArena *Fallback = nullptr;
+};
+
 /// Re-verify every edge of one lifted function.
-CheckResult checkFunction(hg::Lifter &L, const hg::FunctionResult &F);
+CheckResult checkFunction(const CheckContext &C, const hg::FunctionResult &F);
 
 /// Re-verify every function of a lifted binary. Threads: 1 = serial in the
 /// calling thread, 0 = hardware concurrency, N = N workers. Functions
 /// without an arena (hand-built in tests) are always checked serially;
 /// results are identical for every thread count.
-CheckResult checkBinary(hg::Lifter &L, const hg::BinaryResult &B,
+CheckResult checkBinary(const CheckContext &C, const hg::BinaryResult &B,
                         unsigned Threads = 1);
 
 } // namespace hglift::exporter

@@ -177,7 +177,13 @@ const Expr *ExprContext::mkVar(VarClass Cls, const std::string &Name,
 }
 
 const Expr *ExprContext::mkFresh(const std::string &Hint, unsigned Width) {
-  std::string Name = Hint + "#" + std::to_string(FreshCounter++);
+  // Skip names that already exist: a deserialized context carries the
+  // producer's variables, and reusing one of them would silently break the
+  // freshness guarantee the caller relies on.
+  std::string Name;
+  do {
+    Name = Hint + "#" + std::to_string(FreshCounter++);
+  } while (VarByName.count(Name));
   return mkVar(VarClass::Fresh, Name, Width);
 }
 
@@ -443,6 +449,25 @@ const Expr *ExprContext::mkOp(Opcode Opc, std::vector<const Expr *> Ops,
   if (const Expr *Simplified = foldOp(Opc, Ops, Width))
     return Simplified;
 
+  Expr E;
+  E.Kind = ExprKind::Op;
+  E.Width = static_cast<uint8_t>(Width);
+  E.Opc = Opc;
+  uint32_t Size = 1;
+  bool Fresh = false;
+  for (const Expr *Op : Ops) {
+    Size += Op->treeSize();
+    Fresh |= Op->hasFreshLeaf();
+  }
+  E.Size = Size;
+  E.HasFresh = Fresh;
+  E.Ops = std::move(Ops);
+  return intern(std::move(E));
+}
+
+const Expr *ExprContext::internOp(Opcode Opc, std::vector<const Expr *> Ops,
+                                  unsigned Width) {
+  assert(!Ops.empty());
   Expr E;
   E.Kind = ExprKind::Op;
   E.Width = static_cast<uint8_t>(Width);

@@ -69,6 +69,19 @@ public:
 
   const Expr *mkDeref(const Expr *Addr, uint32_t SizeBytes);
 
+  /// Intern an Op node exactly as given, bypassing foldOp. Deserialization
+  /// uses this to rebuild stored expressions byte-for-byte: stored nodes are
+  /// already fixed points of folding, but re-running the simplifier would
+  /// make round-trip identity depend on it, and raw interning does not.
+  const Expr *internOp(Opcode Opc, std::vector<const Expr *> Ops,
+                       unsigned Width);
+
+  /// Fresh-name counter access, so a deserialized context can resume the
+  /// fresh-variable sequence where the producing context left off (warm
+  /// Step-2 then allocates the same names a cold run would).
+  uint64_t freshCounter() const { return FreshCounter; }
+  void setFreshCounter(uint64_t C) { FreshCounter = C; }
+
   const VarInfo &varInfo(uint32_t Id) const { return Vars[Id]; }
   size_t numVars() const { return Vars.size(); }
 

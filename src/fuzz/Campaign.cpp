@@ -2,6 +2,7 @@
 
 #include "fuzz/Campaign.h"
 
+#include "api/Hglift.h"
 #include "corpus/Programs.h"
 #include "diag/Json.h"
 #include "elf/ElfReader.h"
@@ -86,17 +87,18 @@ PipelineOut runPipeline(const elf::BinaryImage &Img, bool Library,
                         const Mutant *M, uint64_t OracleSeed,
                         unsigned OracleRuns) {
   PipelineOut P;
-  hg::LiftConfig Cfg;
-  hg::Lifter L(Img, Cfg);
+  Options SO;
+  SO.Library = Library;
+  Session S(Img, SO);
 
   std::optional<MutantInstall> Inst;
   if (M)
     Inst.emplace(*M);
-  hg::BinaryResult R = Library ? L.liftLibrary() : L.liftBinary();
+  const hg::BinaryResult &R = S.lift();
   if (M && M->Scope == MutantScope::LiftOnly)
     Inst.reset(); // Step 2 re-checks with the clean semantics
 
-  exporter::CheckResult C = exporter::checkBinary(L, R, 1);
+  const exporter::CheckResult &C = S.check();
   Inst.reset(); // the oracle is always the clean-semantics judge
 
   P.Outcome = hg::liftOutcomeName(R.Outcome);
@@ -214,10 +216,10 @@ bool reduceAndWrite(const Mutant &M, const FuzzOptions &Opts,
     return false;
 
   // Clean lift of the same bytes supplies the instruction atoms.
-  hg::LiftConfig Cfg;
-  hg::Lifter CleanL(S.BB->Img, Cfg);
-  hg::BinaryResult Clean =
-      S.Library ? CleanL.liftLibrary() : CleanL.liftBinary();
+  Options CleanOpt;
+  CleanOpt.Library = S.Library;
+  Session CleanS(S.BB->Img, CleanOpt);
+  const hg::BinaryResult &Clean = CleanS.lift();
 
   auto fails = [&](const std::vector<uint8_t> &Bytes) {
     auto Img = elf::readElf(Bytes, "reduced");
@@ -408,10 +410,10 @@ CampaignResult runCampaign(const FuzzOptions &Opts, std::ostream &Log) {
     Rec.Seed = R.RunSeed;
     Subject S = genSubject(R.Index, R.RunSeed, Opts);
     if (S.BB) {
-      hg::LiftConfig Cfg;
-      hg::Lifter CleanL(S.BB->Img, Cfg);
-      hg::BinaryResult Clean =
-          S.Library ? CleanL.liftLibrary() : CleanL.liftBinary();
+      Options CleanOpt;
+      CleanOpt.Library = S.Library;
+      Session CleanS(S.BB->Img, CleanOpt);
+      const hg::BinaryResult &Clean = CleanS.lift();
       auto fails = [&](const std::vector<uint8_t> &Bytes) {
         auto Img = elf::readElf(Bytes, "reduced");
         if (!Img)

@@ -150,10 +150,21 @@ uint64_t Lifter::ctrlHash(const SymState &S) const {
   return H;
 }
 
+FunctionCache::~FunctionCache() = default;
+
 FunctionResult Lifter::liftFunction(uint64_t Entry) {
+  // Single chokepoint for both the serial and the parallel engine: a
+  // cache hit skips the Step-1 fixpoint entirely (the cache re-validated
+  // it through Step-2); a miss lifts and populates the store. Only fully
+  // lifted results are offered — failures are cheap to reproduce.
+  if (Cfg.Cache)
+    if (std::optional<FunctionResult> Hit = Cfg.Cache->lookup(Img, Cfg, Entry))
+      return std::move(*Hit);
   auto Arena = std::make_shared<LiftArena>(Img, Cfg);
   FunctionResult FR = liftFunctionIn(*Arena, Entry);
   FR.Arena = std::move(Arena);
+  if (Cfg.Cache && FR.Outcome == LiftOutcome::Lifted)
+    Cfg.Cache->store(Img, Cfg, FR);
   return FR;
 }
 

@@ -34,6 +34,7 @@
 #include "support/LiftStats.h"
 
 #include <memory>
+#include <optional>
 
 namespace hglift::hg {
 
@@ -45,6 +46,8 @@ enum class LiftOutcome : uint8_t {
 };
 
 const char *liftOutcomeName(LiftOutcome O);
+
+class FunctionCache;
 
 struct LiftConfig {
   sem::SymConfig Sym;
@@ -74,6 +77,12 @@ struct LiftConfig {
   bool OrderedWorklist = true;
   /// Memoize Pred::leq / MemModel::leq probes at join points (hg/StateMemo.h).
   bool LeqMemo = true;
+  /// Optional per-function artifact cache (store/Store.h), consulted by
+  /// liftFunction() before running Algorithm 1 and populated after every
+  /// successful lift. Non-owning; must be thread-safe when Threads > 1.
+  /// Not part of the result semantics: a correct cache is observably
+  /// invisible (hits are Step-2-revalidated by the implementation).
+  FunctionCache *Cache = nullptr;
 };
 
 /// Everything one function lift allocates from: the hash-consing expression
@@ -156,6 +165,29 @@ struct BinaryResult {
   double Seconds = 0;
   /// Sum of the per-function stats (exact regardless of thread count).
   LiftStats Total;
+};
+
+/// Abstract per-function artifact cache. Implemented by store::CacheStore
+/// (content-addressed on-disk store); declared here so the Lifter can
+/// consult it without depending on the store layer. Both members may be
+/// called concurrently from the parallel lifting engine's workers.
+class FunctionCache {
+public:
+  virtual ~FunctionCache();
+
+  /// A previously stored result for (Img, Cfg, Entry), or nullopt. A hit
+  /// must be exactly what liftFunction() would produce: implementations
+  /// key on content digests and re-validate through Step-2, never trusting
+  /// stored bytes.
+  virtual std::optional<FunctionResult> lookup(const elf::BinaryImage &Img,
+                                               const LiftConfig &Cfg,
+                                               uint64_t Entry) = 0;
+
+  /// Offer a freshly lifted result for storage. Only called with
+  /// Outcome == Lifted (failed lifts are cheap to reproduce and carry
+  /// image-wide failure causes the per-function digests cannot key).
+  virtual void store(const elf::BinaryImage &Img, const LiftConfig &Cfg,
+                     const FunctionResult &F) = 0;
 };
 
 class Lifter {

@@ -1,0 +1,97 @@
+//===- Store.h - Content-addressed on-disk HG artifact store ---*- C++ -*-===//
+//
+// A git-like object store for serialized function lifts:
+//
+//   DIR/objects/<digest>.hgfn   immutable content blobs, named by the FNV
+//                               digest of their bytes; written via
+//                               tempfile + rename (atomic on POSIX)
+//   DIR/index/<entry>-<cfg>.ref mutable pointers: the object digest
+//                               currently cached for (function entry,
+//                               config digest); same atomic write
+//
+// Soundness story: a hit is NEVER trusted. The entry header's digests
+// (instruction bytes re-read from the current image, config, semantics
+// revision, schema version) gate deserialization, and the deserialized
+// graph is then re-validated through the Step-2 checker — one theorem per
+// edge, exactly what the paper's Isabelle step would re-prove. Anything
+// short of a fully proven graph degrades to a clean miss and a fresh lift.
+// Validation is skippable only by explicit opt-out (--no-cache-validate),
+// which trades the soundness story for speed and says so in the docs.
+//
+// Concurrency: lookup/store may be called from many lifting workers (and
+// many processes sharing one DIR). All writes are tempfile+rename; a torn
+// or half-written entry can never be observed, only a missing or a
+// complete one. Readers treat every failure mode — missing ref, missing
+// object, checksum mismatch, malformed payload — as a miss.
+//
+// Eviction: when the configured byte budget is exceeded after a store,
+// oldest-mtime objects are removed first (hits refresh mtime, making this
+// LRU); refs pointing at evicted objects simply miss later.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_STORE_STORE_H
+#define HGLIFT_STORE_STORE_H
+
+#include "export/HoareChecker.h"
+#include "store/Serialize.h"
+
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace hglift::store {
+
+struct CacheStats {
+  uint64_t Hits = 0;      ///< lookups served from the store
+  uint64_t Misses = 0;    ///< lookups that fell through to a fresh lift
+  uint64_t Stored = 0;    ///< entries written
+  uint64_t Validated = 0; ///< hits that passed Step-2 re-validation
+  uint64_t ValidationFailures = 0; ///< hits rejected by Step-2 (degraded to miss)
+  uint64_t Evictions = 0; ///< objects removed by the byte-budget sweep
+};
+
+class CacheStore : public hg::FunctionCache {
+public:
+  struct Options {
+    std::string Dir;
+    /// Byte budget for objects/ (0 = unlimited). Checked after stores.
+    uint64_t MaxBytes = 0;
+    /// Re-validate every hit through the Step-2 checker before returning
+    /// it. Leave on unless you accept trusting stored graphs.
+    bool Validate = true;
+  };
+
+  explicit CacheStore(Options O);
+
+  std::optional<hg::FunctionResult> lookup(const elf::BinaryImage &Img,
+                                           const hg::LiftConfig &Cfg,
+                                           uint64_t Entry) override;
+  void store(const elf::BinaryImage &Img, const hg::LiftConfig &Cfg,
+             const hg::FunctionResult &F) override;
+
+  CacheStats stats() const;
+
+  /// The Step-2 result of a hit's re-validation, by function entry —
+  /// always fully proven (failed validations become misses). Consumers
+  /// running their own binary-wide check (hglift --check) reuse these
+  /// instead of re-checking, which both avoids double work and keeps the
+  /// fresh-variable sequence identical to a cold run's.
+  std::optional<exporter::CheckResult> takeValidation(uint64_t Entry);
+
+private:
+  std::optional<hg::FunctionResult> lookupImpl(const elf::BinaryImage &Img,
+                                               const hg::LiftConfig &Cfg,
+                                               uint64_t Entry);
+  void evictOverBudget();
+
+  Options Opt;
+  mutable std::mutex Mu; ///< guards Stats and Validations (files are
+                         ///< atomic-rename safe on their own)
+  CacheStats Stats;
+  std::map<uint64_t, exporter::CheckResult> Validations;
+};
+
+} // namespace hglift::store
+
+#endif // HGLIFT_STORE_STORE_H

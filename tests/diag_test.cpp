@@ -12,11 +12,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Hglift.h"
 #include "corpus/Programs.h"
 #include "diag/Json.h"
 #include "diag/Trace.h"
 #include "export/HoareChecker.h"
-#include "hg/Lifter.h"
 
 #include <gtest/gtest.h>
 
@@ -81,8 +81,8 @@ TEST(DiagProvenance, DiagnosticsSortedByAddress) {
 TEST(DiagProvenance, CheckerFailureNamesFailingClause) {
   auto BB = corpus::branchLoopBinary();
   ASSERT_TRUE(BB.has_value());
-  hg::Lifter L(BB->Img, hg::LiftConfig());
-  hg::BinaryResult R = L.liftBinary();
+  Session S(BB->Img, Options());
+  hg::BinaryResult R = S.lift(); // mutable copy: we corrupt it below
   ASSERT_EQ(R.Outcome, hg::LiftOutcome::Lifted);
 
   // Corrupt one invariant: claim rbx holds a bogus constant. Post-states
@@ -102,7 +102,8 @@ TEST(DiagProvenance, CheckerFailureNamesFailingClause) {
   }
   ASSERT_TRUE(Tampered);
 
-  exporter::CheckResult C = exporter::checkBinary(L, R);
+  exporter::CheckContext CC{BB->Img, sem::SymConfig()};
+  exporter::CheckResult C = exporter::checkBinary(CC, R);
   ASSERT_LT(C.Proven, C.Theorems);
   ASSERT_EQ(C.Diags.size(), C.Failures.size());
 
@@ -246,11 +247,11 @@ TEST(Tracer, TracedParallelLiftProducesValidJsonl) {
   {
     diag::Tracer T(OS, "parallel");
     diag::TracerScope Scope(T);
-    hg::LiftConfig Cfg;
-    Cfg.Threads = 4;
-    hg::Lifter L(BB->Img, Cfg);
-    hg::BinaryResult R = L.liftBinary();
-    exporter::checkBinary(L, R, 4);
+    Options O;
+    O.Lift.Threads = 4;
+    Session S(BB->Img, O);
+    S.lift();
+    S.check();
   }
 
   std::istringstream In(OS.str());

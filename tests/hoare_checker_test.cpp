@@ -1,9 +1,9 @@
 //===- hoare_checker_test.cpp - Step 2 checker + Isabelle export ---------===//
 
+#include "api/Hglift.h"
 #include "corpus/Programs.h"
 #include "export/HoareChecker.h"
 #include "export/IsabelleExport.h"
-#include "hg/Lifter.h"
 
 #include <gtest/gtest.h>
 
@@ -46,10 +46,10 @@ std::optional<corpus::BuiltBinary> corpusBinary(int Which) {
 TEST_P(CorpusCheck, AllTriplesProve) {
   auto BB = corpusBinary(GetParam());
   ASSERT_TRUE(BB.has_value());
-  hg::Lifter L(BB->Img, hg::LiftConfig());
-  hg::BinaryResult R = L.liftBinary();
+  Session S(BB->Img, Options());
+  const hg::BinaryResult &R = S.lift();
   ASSERT_EQ(R.Outcome, hg::LiftOutcome::Lifted) << R.FailReason;
-  exporter::CheckResult C = exporter::checkBinary(L, R);
+  const exporter::CheckResult &C = S.check();
   EXPECT_GT(C.Theorems, 0u);
   EXPECT_EQ(C.Proven, C.Theorems)
       << (C.Failures.empty() ? "" : C.Failures[0]);
@@ -62,8 +62,8 @@ INSTANTIATE_TEST_SUITE_P(Corpus, CorpusCheck, ::testing::Range(0, 14));
 TEST(HoareChecker, DetectsTamperedInvariant) {
   auto BB = corpus::branchLoopBinary();
   ASSERT_TRUE(BB.has_value());
-  hg::Lifter L(BB->Img, hg::LiftConfig());
-  hg::BinaryResult R = L.liftBinary();
+  Session S(BB->Img, Options());
+  hg::BinaryResult R = S.lift(); // mutable copy: we corrupt it below
   ASSERT_EQ(R.Outcome, hg::LiftOutcome::Lifted);
 
   // Find a function with at least two vertices and corrupt one: claim a
@@ -81,7 +81,10 @@ TEST(HoareChecker, DetectsTamperedInvariant) {
       break;
   }
   ASSERT_TRUE(Tampered);
-  exporter::CheckResult C = exporter::checkBinary(L, R);
+  // Hand-modified results go through the decoupled checker entry point:
+  // it consumes (image, semantics config, result) with no Lifter in sight.
+  exporter::CheckContext CC{BB->Img, sem::SymConfig()};
+  exporter::CheckResult C = exporter::checkBinary(CC, R);
   EXPECT_LT(C.Proven, C.Theorems)
       << "a corrupted invariant must fail re-verification";
 }
@@ -89,10 +92,10 @@ TEST(HoareChecker, DetectsTamperedInvariant) {
 TEST(HoareChecker, SkipsRejectedFunctions) {
   auto BB = corpus::overflowBinary();
   ASSERT_TRUE(BB.has_value());
-  hg::Lifter L(BB->Img, hg::LiftConfig());
-  hg::BinaryResult R = L.liftBinary();
+  Session S(BB->Img, Options());
+  const hg::BinaryResult &R = S.lift();
   ASSERT_NE(R.Outcome, hg::LiftOutcome::Lifted);
-  exporter::CheckResult C = exporter::checkBinary(L, R);
+  const exporter::CheckResult &C = S.check();
   // Rejected functions produce no theorems (there is no HG to validate).
   for (const hg::FunctionResult &F : R.Functions)
     if (F.Outcome != hg::LiftOutcome::Lifted)
@@ -105,14 +108,15 @@ TEST(HoareChecker, SkipsRejectedFunctions) {
 TEST(IsabelleExport, WellFormedTheory) {
   auto BB = corpus::callChainBinary();
   ASSERT_TRUE(BB.has_value());
-  hg::Lifter L(BB->Img, hg::LiftConfig());
-  hg::BinaryResult R = L.liftBinary();
+  Session S(BB->Img, Options());
+  const hg::BinaryResult &R = S.lift();
   ASSERT_EQ(R.Outcome, hg::LiftOutcome::Lifted);
 
   exporter::IsabelleOptions Opts;
   Opts.TheoryName = "call_chain_hg";
   size_t Lemmas = 0;
-  std::string Thy = exporter::exportBinary(L.exprContext(), R, Opts, &Lemmas);
+  std::string Thy =
+      exporter::exportBinary(S.scratchContext(), R, Opts, &Lemmas);
 
   EXPECT_NE(Thy.find("theory call_chain_hg"), std::string::npos);
   EXPECT_NE(Thy.find("imports"), std::string::npos);
@@ -146,10 +150,10 @@ TEST(IsabelleExport, WellFormedTheory) {
 TEST(IsabelleExport, ObligationsAppear) {
   auto BB = corpus::ret2winBinary();
   ASSERT_TRUE(BB.has_value());
-  hg::Lifter L(BB->Img, hg::LiftConfig());
-  hg::BinaryResult R = L.liftBinary();
+  Session S(BB->Img, Options());
+  const hg::BinaryResult &R = S.lift();
   exporter::IsabelleOptions Opts;
-  std::string Thy = exporter::exportBinary(L.exprContext(), R, Opts);
+  std::string Thy = exporter::exportBinary(S.scratchContext(), R, Opts);
   EXPECT_NE(Thy.find("MUST PRESERVE"), std::string::npos)
       << "proof obligations are exported with the theory (§5.2)";
 }

@@ -11,9 +11,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Hglift.h"
 #include "corpus/Programs.h"
 #include "export/HoareChecker.h"
-#include "hg/Lifter.h"
 
 #include <gtest/gtest.h>
 
@@ -40,10 +40,11 @@ TEST(ParallelChecker, CorpusIdenticalAcrossThreadCounts) {
         corpus::stackProbeBinary}) {
     auto BB = Make();
     ASSERT_TRUE(BB.has_value());
-    hg::Lifter L(BB->Img, hg::LiftConfig());
-    hg::BinaryResult R = L.liftBinary();
+    Session S(BB->Img, Options());
+    const hg::BinaryResult &R = S.lift();
 
-    exporter::CheckResult Serial = exporter::checkBinary(L, R, 1);
+    exporter::CheckContext CC{BB->Img, sem::SymConfig()};
+    exporter::CheckResult Serial = exporter::checkBinary(CC, R, 1);
     if (R.Outcome == hg::LiftOutcome::Lifted) {
       ++LiftedBinaries;
       EXPECT_GT(Serial.Theorems, 0u);
@@ -52,7 +53,7 @@ TEST(ParallelChecker, CorpusIdenticalAcrossThreadCounts) {
     }
     for (unsigned T : {2u, 4u, 8u, 0u})
       EXPECT_EQ(checkFingerprint(Serial),
-                checkFingerprint(exporter::checkBinary(L, R, T)))
+                checkFingerprint(exporter::checkBinary(CC, R, T)))
           << "threads=" << T;
   }
   EXPECT_GE(LiftedBinaries, 5u);
@@ -67,14 +68,16 @@ TEST(ParallelChecker, MultiFunctionLibraryIdentical) {
   G.TargetInstrs = 40;
   auto BB = corpus::randomLibrary(G);
   ASSERT_TRUE(BB.has_value());
-  hg::LiftConfig Cfg;
-  Cfg.Threads = 4; // parallel lift feeding the parallel check
-  hg::Lifter L(BB->Img, Cfg);
-  hg::BinaryResult R = L.liftLibrary();
+  Options O;
+  O.Lift.Threads = 4; // parallel lift feeding the parallel check
+  O.Library = true;
+  Session S(BB->Img, O);
+  const hg::BinaryResult &R = S.lift();
 
-  std::string Serial = checkFingerprint(exporter::checkBinary(L, R, 1));
+  exporter::CheckContext CC{BB->Img, sem::SymConfig()};
+  std::string Serial = checkFingerprint(exporter::checkBinary(CC, R, 1));
   for (unsigned T : {2u, 4u, 8u})
-    EXPECT_EQ(Serial, checkFingerprint(exporter::checkBinary(L, R, T)))
+    EXPECT_EQ(Serial, checkFingerprint(exporter::checkBinary(CC, R, T)))
         << "threads=" << T;
 }
 
@@ -84,8 +87,8 @@ TEST(ParallelChecker, RejectsTamperedInvariantIdentically) {
   // exact same (non-empty) failure set.
   auto BB = corpus::branchLoopBinary();
   ASSERT_TRUE(BB.has_value());
-  hg::Lifter L(BB->Img, hg::LiftConfig());
-  hg::BinaryResult R = L.liftBinary();
+  Session S(BB->Img, Options());
+  hg::BinaryResult R = S.lift(); // mutable copy: we corrupt it below
   ASSERT_EQ(R.Outcome, hg::LiftOutcome::Lifted);
 
   bool Tampered = false;
@@ -102,23 +105,25 @@ TEST(ParallelChecker, RejectsTamperedInvariantIdentically) {
   }
   ASSERT_TRUE(Tampered);
 
-  exporter::CheckResult Serial = exporter::checkBinary(L, R, 1);
+  exporter::CheckContext CC{BB->Img, sem::SymConfig()};
+  exporter::CheckResult Serial = exporter::checkBinary(CC, R, 1);
   EXPECT_LT(Serial.Proven, Serial.Theorems);
   EXPECT_FALSE(Serial.Failures.empty());
   for (unsigned T : {2u, 4u, 8u})
     EXPECT_EQ(checkFingerprint(Serial),
-              checkFingerprint(exporter::checkBinary(L, R, T)))
+              checkFingerprint(exporter::checkBinary(CC, R, T)))
         << "threads=" << T;
 }
 
 TEST(ParallelChecker, RepeatedParallelRunsStable) {
   auto BB = corpus::callChainBinary();
   ASSERT_TRUE(BB.has_value());
-  hg::Lifter L(BB->Img, hg::LiftConfig());
-  hg::BinaryResult R = L.liftBinary();
-  std::string First = checkFingerprint(exporter::checkBinary(L, R, 4));
+  Session S(BB->Img, Options());
+  const hg::BinaryResult &R = S.lift();
+  exporter::CheckContext CC{BB->Img, sem::SymConfig()};
+  std::string First = checkFingerprint(exporter::checkBinary(CC, R, 4));
   for (int I = 0; I < 3; ++I)
-    EXPECT_EQ(First, checkFingerprint(exporter::checkBinary(L, R, 4)))
+    EXPECT_EQ(First, checkFingerprint(exporter::checkBinary(CC, R, 4)))
         << "run " << I;
 }
 

@@ -10,11 +10,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Hglift.h"
 #include "corpus/Programs.h"
 #include "diag/Diag.h"
 #include "driver/Report.h"
 #include "export/HoareChecker.h"
-#include "hg/Lifter.h"
 #include "support/Format.h"
 
 #include <gtest/gtest.h>
@@ -184,13 +184,13 @@ TEST(ParallelLifter, ReportJsonByteIdenticalAcrossThreadCounts) {
   for (auto &[Name, BB] : corpusSet()) {
     ASSERT_TRUE(BB.has_value()) << Name;
     auto Render = [&](unsigned Threads) {
-      hg::LiftConfig Cfg;
-      Cfg.Threads = Threads;
-      hg::Lifter L(BB->Img, Cfg);
-      hg::BinaryResult R = L.liftBinary();
-      exporter::CheckResult C = exporter::checkBinary(L, R, Threads);
+      Options O;
+      O.Lift.Threads = Threads;
+      Session S(BB->Img, O);
+      S.lift();
+      S.check();
       std::ostringstream OS;
-      driver::writeReportJson(OS, R, &C);
+      S.writeReportJson(OS);
       return OS.str();
     };
     std::string Serial = Render(1);

@@ -16,13 +16,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Hglift.h"
 #include "corpus/Programs.h"
 #include "diag/Json.h"
 #include "diag/Trace.h"
 #include "driver/Report.h"
 #include "export/HoareChecker.h"
 #include "fuzz/Campaign.h"
-#include "hg/Lifter.h"
 
 #include <gtest/gtest.h>
 
@@ -127,25 +127,24 @@ std::set<std::string> maximalReportPaths() {
   {
     auto BB = corpus::overflowBinary();
     EXPECT_TRUE(BB.has_value());
-    hg::Lifter L(BB->Img, hg::LiftConfig());
-    hg::BinaryResult R = L.liftBinary();
-    exporter::CheckResult C = exporter::checkBinary(L, R);
+    Session S(BB->Img, Options());
+    const hg::BinaryResult &R = S.lift();
+    const exporter::CheckResult &C = S.check();
     addReport(R, &C);
   }
   {
     auto BB = corpus::callbackBinary();
     EXPECT_TRUE(BB.has_value());
-    hg::Lifter L(BB->Img, hg::LiftConfig());
-    hg::BinaryResult R = L.liftBinary();
-    addReport(R, nullptr);
+    Session S(BB->Img, Options());
+    addReport(S.lift(), nullptr);
   }
   {
     // Tampered invariant: the check section's diagnostics (clause ids,
     // clause text) must appear in the schema.
     auto BB = corpus::branchLoopBinary();
     EXPECT_TRUE(BB.has_value());
-    hg::Lifter L(BB->Img, hg::LiftConfig());
-    hg::BinaryResult R = L.liftBinary();
+    Session S(BB->Img, Options());
+    hg::BinaryResult R = S.lift(); // mutable copy: corrupted below
     for (hg::FunctionResult &F : R.Functions) {
       for (auto &[K, V] : F.Graph.Vertices)
         if (V.Explored && !V.Instr.isTerminator()) {
@@ -154,7 +153,8 @@ std::set<std::string> maximalReportPaths() {
         }
       break;
     }
-    exporter::CheckResult C = exporter::checkBinary(L, R);
+    exporter::CheckContext CC{BB->Img, sem::SymConfig()};
+    exporter::CheckResult C = exporter::checkBinary(CC, R);
     EXPECT_LT(C.Proven, C.Theorems);
     addReport(R, &C);
   }
@@ -172,10 +172,9 @@ TEST(ReportSchema, EveryDiagnosticSerializesFullProvenance) {
   // diagnostic carries the complete provenance object.
   auto BB = corpus::overflowBinary();
   ASSERT_TRUE(BB.has_value());
-  hg::Lifter L(BB->Img, hg::LiftConfig());
-  hg::BinaryResult R = L.liftBinary();
+  Session S(BB->Img, Options());
   std::ostringstream OS;
-  driver::writeReportJson(OS, R);
+  S.writeReportJson(OS);
   auto V = diag::parseJson(OS.str());
   ASSERT_TRUE(V.has_value());
 
@@ -212,9 +211,9 @@ std::set<std::string> maximalTracePaths() {
     diag::TracerScope Scope(T);
     auto BB = corpus::overflowBinary();
     EXPECT_TRUE(BB.has_value());
-    hg::Lifter L(BB->Img, hg::LiftConfig());
-    hg::BinaryResult R = L.liftBinary();
-    exporter::checkBinary(L, R);
+    Session S(BB->Img, Options());
+    S.lift();
+    S.check();
   }
   std::istringstream In(OS.str());
   std::string Line;
