@@ -103,9 +103,17 @@ void writeStatsFields(std::ostream &OS, const LiftStats &S) {
      << ", \"forks\": " << S.Forks
      << ", \"solver_queries\": " << S.SolverQueries
      << ", \"z3_queries\": " << S.Z3Queries
+     << ", \"solver_tier0_hits\": " << S.SolverTier0Hits
+     << ", \"solver_tier1_hits\": " << S.SolverTier1Hits
+     << ", \"solver_class_hits\": " << S.SolverClassHits
+     << ", \"solver_tier2_hits\": " << S.SolverTier2Hits
+     << ", \"solver_tier2_skipped\": " << S.SolverTier2Skipped
+     << ", \"solver_fallthroughs\": " << S.SolverFallthroughs
+     << ", \"solver_seconds\": " << jsonNum(S.SolverSeconds)
      << ", \"rel_cache_hits\": " << S.RelCacheHits
      << ", \"rel_cache_misses\": " << S.RelCacheMisses
      << ", \"rel_cache_invalidated\": " << S.RelCacheInvalidated
+     << ", \"rel_cache_evicted\": " << S.RelCacheEvicted
      << ", \"leq_hits\": " << S.LeqHits
      << ", \"leq_misses\": " << S.LeqMisses
      << ", \"seconds\": " << jsonNum(S.Seconds);

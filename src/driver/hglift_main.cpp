@@ -32,6 +32,9 @@
 //                          the leq memo
 //     --lifo-worklist      ablation: historical LIFO exploration order
 //                          instead of the address-ordered worklist
+//     --no-solver-portfolio ablation: single-tier relation solving (fresh
+//                          Z3 solver per residual query) instead of the
+//                          tiered portfolio (smt/RelationSolver.h)
 //     --max-seconds N      per-function wall budget (default 60)
 //     --threads N          worker threads for lifting and the Step-2 check
 //                          (0 = hardware, default 1); results are identical
@@ -46,6 +49,14 @@
 //     --trace F            stream structured trace events (lift spans,
 //                          fixpoint iterations, solver calls, Step-2 edge
 //                          checks) as JSON Lines to F
+//
+// Sharded corpus lifting (see docs/SHARDING.md):
+//   hglift shard <bin1.elf> <bin2.elf> ... --cache-dir DIR [--shards N]
+//               [--check] [--library] [--no-solver-portfolio]
+//               [--cache-max-mb N] [--no-cache-validate] [--max-seconds N]
+//               [--report-json FILE]
+//   (--shard-worker I,J,... is the internal worker mode the parent spawns;
+//   the merged report is byte-identical to a --shards 1 serial run.)
 //
 // Fuzzing (see docs/FUZZING.md):
 //   hglift fuzz [--seed S] [--runs N] [--max-insns K] [--mutate-semantics]
@@ -62,6 +73,7 @@
 
 #include "api/Hglift.h"
 #include "diag/Trace.h"
+#include "shard/Shard.h"
 #include "driver/Explain.h"
 #include "driver/ExitCode.h"
 #include "elf/ElfReader.h"
@@ -88,6 +100,10 @@ void printUsage(std::ostream &OS) {
         "[--lifo-worklist] [--max-seconds N] [--threads N] "
         "[--stats-json FILE] [--report-json FILE] [--trace FILE]\n"
         "       hglift check <binary.elf> [options]   (implies --check)\n"
+        "       hglift shard <bin1.elf> <bin2.elf> ... --cache-dir DIR "
+        "[--shards N] [--check] [--library] [--no-solver-portfolio] "
+        "[--cache-max-mb N] [--no-cache-validate] [--max-seconds N] "
+        "[--report-json FILE]\n"
         "       hglift explain <report.json> [--function F] [--addr A]\n"
         "       hglift fuzz [--seed S] [--runs N] [--max-insns K] "
         "[--mutate-semantics] [--mutants a,b] [--fuzz-json FILE] "
@@ -182,6 +198,81 @@ int explainMain(int argc, char **argv) {
   return driver::runExplain(Opts, std::cout, std::cerr);
 }
 
+/// `hglift shard`: multi-process corpus lifting (shard/Shard.h). The same
+/// entry also hosts the internal worker mode — `--shard-worker I,J,...`
+/// lifts just those indices in-process and writes their report fragments.
+int shardMain(int argc, char **argv) {
+  shard::ShardOptions Opt;
+  std::string WorkerSpec, ReportJsonOut;
+  for (int I = 2; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--shards" && I + 1 < argc)
+      Opt.Shards = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (A == "--shard-worker" && I + 1 < argc)
+      WorkerSpec = argv[++I];
+    else if (A == "--cache-dir" && I + 1 < argc)
+      Opt.CacheDir = argv[++I];
+    else if (A == "--cache-max-mb" && I + 1 < argc)
+      Opt.CacheMaxMB = std::strtoull(argv[++I], nullptr, 0);
+    else if (A == "--no-cache-validate")
+      Opt.CacheValidate = false;
+    else if (A == "--check")
+      Opt.Check = true;
+    else if (A == "--library")
+      Opt.Library = true;
+    else if (A == "--no-solver-portfolio")
+      Opt.Portfolio = false;
+    else if (A == "--max-seconds" && I + 1 < argc)
+      Opt.MaxSeconds = std::atof(argv[++I]);
+    else if (A == "--report-json" && I + 1 < argc)
+      ReportJsonOut = argv[++I];
+    else if (!A.empty() && A[0] != '-')
+      Opt.Binaries.push_back(A);
+    else {
+      std::cerr << "shard: unknown option: " << A << "\n";
+      printUsage(std::cerr);
+      return toExit(ExitCode::Usage);
+    }
+  }
+
+  if (!WorkerSpec.empty()) {
+    std::vector<size_t> Indices;
+    size_t Pos = 0;
+    while (Pos <= WorkerSpec.size()) {
+      size_t Comma = WorkerSpec.find(',', Pos);
+      if (Comma == std::string::npos)
+        Comma = WorkerSpec.size();
+      if (Comma > Pos)
+        Indices.push_back(std::strtoull(
+            WorkerSpec.substr(Pos, Comma - Pos).c_str(), nullptr, 10));
+      Pos = Comma + 1;
+    }
+    return shard::runWorker(Opt, Indices);
+  }
+
+  shard::ShardResult R = shard::runShards(Opt);
+  if (!R.Ok) {
+    std::cerr << "shard: " << R.Error << "\n";
+    return R.Exit;
+  }
+  std::cout << "shard: " << Opt.Binaries.size() << " binaries across "
+            << (Opt.Shards <= 1 ? 1u : Opt.Shards) << " shard(s), "
+            << R.WorkersSpawned << " worker(s) spawned, " << R.WorkersCrashed
+            << " crashed, " << R.WorkersRetried << " retried\n";
+  if (!ReportJsonOut.empty()) {
+    std::ofstream Out(ReportJsonOut, std::ios::binary);
+    if (!Out) {
+      std::cerr << "cannot open " << ReportJsonOut << " for writing\n";
+      return toExit(ExitCode::Io);
+    }
+    Out << R.MergedReport;
+    std::cout << "wrote merged report to " << ReportJsonOut << "\n";
+  } else {
+    std::cout << R.MergedReport;
+  }
+  return R.Exit;
+}
+
 int liftMain(int argc, char **argv, int ArgStart, bool Check) {
   std::string Path = argv[ArgStart];
   bool DumpHG = false;
@@ -204,6 +295,8 @@ int liftMain(int argc, char **argv, int ArgStart, bool Check) {
       Opt.Lift.LeqMemo = false;
     } else if (A == "--lifo-worklist")
       Opt.Lift.OrderedWorklist = false;
+    else if (A == "--no-solver-portfolio")
+      Opt.Lift.Solver.Portfolio = false;
     else if (A == "--cache-dir" && I + 1 < argc)
       Opt.CacheDir = argv[++I];
     else if (A == "--cache-max-mb" && I + 1 < argc)
@@ -331,6 +424,8 @@ int main(int argc, char **argv) {
     return explainMain(argc, argv);
   if (First == "fuzz")
     return fuzzMain(argc, argv);
+  if (First == "shard")
+    return shardMain(argc, argv);
   if (First == "lift" || First == "check" || First == "--lift") {
     if (argc < 3) {
       printUsage(std::cerr);

@@ -403,35 +403,56 @@ Interval clauseInterval(RelOp Op, uint64_t Bound) {
 
 } // namespace
 
+Interval Pred::atomInterval(const Expr *A, bool Extended) const {
+  Interval I = Interval::top();
+  // A zero-extension from width w is bounded by [0, 2^w - 1], and clauses
+  // on the inner operand carry over (zext preserves the unsigned value).
+  if (A->isOp() && A->opcode() == Opcode::ZExt &&
+      A->operand(0)->width() < 64) {
+    I = I.meet(Interval(
+        0, static_cast<int64_t>(
+               (uint64_t(1) << A->operand(0)->width()) - 1)));
+    for (const RangeClause &C : Ranges)
+      if (C.E == A->operand(0) &&
+          (C.Op == RelOp::ULt || C.Op == RelOp::ULe || C.Op == RelOp::Eq))
+        I = I.meet(clauseInterval(C.Op, C.Bound));
+  }
+  if (A->isDeref() && A->derefSize() < 8)
+    I = I.meet(Interval(
+        0, static_cast<int64_t>((uint64_t(1) << (A->derefSize() * 8)) - 1)));
+  if (Extended && A->isOp()) {
+    // Structural width bounds compilers produce for index arithmetic.
+    // Masking with a nonneg constant bounds by the mask; an unsigned right
+    // shift by k leaves at most W-k significant bits.
+    if (A->opcode() == Opcode::And) {
+      for (unsigned Op = 0; Op < 2; ++Op)
+        if (A->operand(Op)->isConst()) {
+          uint64_t Mask = A->operand(Op)->constVal();
+          if (Mask <= static_cast<uint64_t>(INT64_MAX))
+            I = I.meet(Interval(0, static_cast<int64_t>(Mask)));
+        }
+    } else if (A->opcode() == Opcode::LShr && A->operand(1)->isConst()) {
+      uint64_t K = A->operand(1)->constVal();
+      unsigned W = A->width();
+      if (K >= W)
+        I = I.meet(Interval(0, 0));
+      else if (W - K < 64)
+        I = I.meet(
+            Interval(0, static_cast<int64_t>((uint64_t(1) << (W - K)) - 1)));
+    }
+  }
+  for (const RangeClause &C : Ranges)
+    if (C.E == A)
+      I = I.meet(clauseInterval(C.Op, C.Bound));
+  return I;
+}
+
 Interval Pred::intervalOf(const Expr *E) const {
   if (E->isConst())
     return Interval(expr::signExtend(E->constVal(), E->width()));
 
-  auto AtomInterval = [&](const Expr *A) {
-    Interval I = Interval::top();
-    // A zero-extension from width w is bounded by [0, 2^w - 1], and clauses
-    // on the inner operand carry over (zext preserves the unsigned value).
-    if (A->isOp() && A->opcode() == Opcode::ZExt &&
-        A->operand(0)->width() < 64) {
-      I = I.meet(Interval(
-          0, static_cast<int64_t>(
-                 (uint64_t(1) << A->operand(0)->width()) - 1)));
-      for (const RangeClause &C : Ranges)
-        if (C.E == A->operand(0) &&
-            (C.Op == RelOp::ULt || C.Op == RelOp::ULe || C.Op == RelOp::Eq))
-          I = I.meet(clauseInterval(C.Op, C.Bound));
-    }
-    if (A->isDeref() && A->derefSize() < 8)
-      I = I.meet(Interval(
-          0, static_cast<int64_t>((uint64_t(1) << (A->derefSize() * 8)) - 1)));
-    for (const RangeClause &C : Ranges)
-      if (C.E == A)
-        I = I.meet(clauseInterval(C.Op, C.Bound));
-    return I;
-  };
-
   // Direct clauses on E itself.
-  Interval Direct = AtomInterval(E);
+  Interval Direct = atomInterval(E, /*Extended=*/false);
 
   // Linear decomposition.
   expr::LinearForm LF = expr::linearize(E);
@@ -439,9 +460,50 @@ Interval Pred::intervalOf(const Expr *E) const {
   for (auto &[Coeff, Atom] : LF.Terms) {
     if (Lin.isTop())
       break;
-    Lin = Lin.add(AtomInterval(Atom).mul(Coeff));
+    Lin = Lin.add(atomInterval(Atom, /*Extended=*/false).mul(Coeff));
   }
   return Direct.meet(Lin);
+}
+
+Interval Pred::intervalOfForm(const expr::LinearForm &LF) const {
+  Interval Lin(LF.Constant);
+  for (auto &[Coeff, Atom] : LF.Terms) {
+    if (Lin.isTop())
+      break;
+    Lin = Lin.add(atomInterval(Atom, /*Extended=*/true).mul(Coeff));
+  }
+  // Generalized direct-clause matching: a range clause whose LHS
+  // linearizes to the same term list constrains the form directly — from
+  // E = Terms + cE and LF = Terms + cL follows LF = E + (cL - cE). With
+  // cE = 0 and a single term this is exactly intervalOf's "clause keyed on
+  // this expression" check; the general case also catches clauses recorded
+  // on a displaced form of the same address difference.
+  if (!LF.Terms.empty()) {
+    for (const RangeClause &C : Ranges) {
+      if (Lin.isPoint())
+        break;
+      Interval CI = clauseInterval(C.Op, C.Bound);
+      if (CI.isTop())
+        continue;
+      expr::LinearForm CF = expr::linearize(C.E);
+      if (CF.Terms == LF.Terms) {
+        // Wrapping displacement (C++20 two's complement); Interval::add
+        // returns top on any possible re-overflow.
+        int64_t Delta = static_cast<int64_t>(
+            static_cast<uint64_t>(LF.Constant) -
+            static_cast<uint64_t>(CF.Constant));
+        Lin = Lin.meet(CI.add(Interval(Delta)));
+      }
+    }
+  }
+  return Lin;
+}
+
+bool Pred::hasEqRange() const {
+  for (const RangeClause &C : Ranges)
+    if (C.Op == RelOp::Eq)
+      return true;
+  return false;
 }
 
 std::optional<uint64_t> Pred::unsignedUpperBound(const Expr *E) const {

@@ -179,6 +179,23 @@ public:
   /// range clauses on E and on its linear atoms are consulted).
   Interval intervalOf(const Expr *E) const;
 
+  /// Signed interval for the value of a linear form: Constant + Σ
+  /// Coeff·atom. This is the relation solver's tier-1 entry point — it
+  /// consumes an already-linearized address difference (no Sub expression
+  /// needs to be interned) and reasons slightly more structurally than
+  /// intervalOf: and-mask and shift-by-constant width bounds, plus range
+  /// clauses whose LHS linearizes to the same term list as LF (which
+  /// subsumes the "clause keyed on this exact expression" check).
+  /// intervalOf itself is deliberately left alone: it feeds join/widening,
+  /// where extra precision would change lift semantics rather than just
+  /// discharge more relation queries.
+  Interval intervalOfForm(const expr::LinearForm &LF) const;
+
+  /// Any Eq range clause present? Consulted by the solver's tier-2
+  /// admission filter: equality-pinned predicates are the ones Z3 can
+  /// refute outright (vacuous paths), so they are never filtered.
+  bool hasEqRange() const;
+
   /// Unsigned upper bound for E if one is implied (the jump-table case:
   /// "eax ≤ 0xc3" yields 0xc3). Sound only together with the lower bound 0
   /// from ULt/ULe clauses.
@@ -228,6 +245,10 @@ private:
   /// Take a fresh stamp from the process-wide counter. Called by every
   /// mutator; cheap (one relaxed atomic increment).
   void bumpVersion();
+
+  /// Structural + clause-implied bounds for one linear atom. Extended adds
+  /// the and-mask / shift bounds used by intervalOfForm only.
+  Interval atomInterval(const Expr *A, bool Extended) const;
 
   bool Bottom = false;
   std::array<const Expr *, x86::NumGPRs> Regs;

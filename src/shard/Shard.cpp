@@ -1,0 +1,344 @@
+//===- Shard.cpp - Multi-process sharded lifting --------------------------===//
+
+#include "shard/Shard.h"
+
+#include "api/Hglift.h"
+#include "diag/Diag.h"
+#include "diag/Json.h"
+#include "driver/ExitCode.h"
+#include "elf/ElfReader.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace hglift::shard {
+
+using driver::ExitCode;
+using driver::toExit;
+
+std::vector<std::vector<size_t>> planShards(size_t NumBinaries,
+                                            unsigned Shards) {
+  if (Shards == 0)
+    Shards = 1;
+  std::vector<std::vector<size_t>> Plan(Shards);
+  for (size_t I = 0; I < NumBinaries; ++I)
+    Plan[I % Shards].push_back(I);
+  return Plan;
+}
+
+std::string fragPath(const std::string &CacheDir, size_t Idx) {
+  return CacheDir + "/shard/frag-" + std::to_string(Idx) + ".report.json";
+}
+
+namespace {
+
+/// Render one binary's report fragment — the exact bytes `hglift
+/// [check] --report-json` would write for it. Unreadable ELFs get a
+/// fixed synthetic fragment (same schema envelope, outcome "unreadable")
+/// so the merge stays total; its exit contribution is Fail, like the
+/// plain CLI's.
+std::string liftOneFragment(const ShardOptions &Opt, size_t Idx,
+                            int &ExitAccum) {
+  const std::string &Path = Opt.Binaries[Idx];
+  auto Img = elf::readElfFile(Path);
+  if (!Img) {
+    ExitAccum = std::max(ExitAccum, toExit(ExitCode::Fail));
+    std::ostringstream OS;
+    OS << "{\n"
+       << "  \"schema_version\": " << diag::ReportSchemaVersion << ",\n"
+       << "  \"binary\": \"" << diag::jsonEscape(Path) << "\",\n"
+       << "  \"outcome\": \"unreadable\",\n"
+       << "  \"fail_reason\": \"cannot parse ELF file\",\n"
+       << "  \"functions\": [\n  ]\n}\n";
+    return OS.str();
+  }
+
+  Options O;
+  O.Library = Opt.Library;
+  O.CacheDir = Opt.CacheDir;
+  O.CacheMaxMB = Opt.CacheMaxMB;
+  O.CacheValidate = Opt.CacheValidate;
+  O.Lift.Solver.Portfolio = Opt.Portfolio;
+  if (Opt.MaxSeconds > 0)
+    O.Lift.MaxSeconds = Opt.MaxSeconds;
+
+  Session S(*Img, O);
+  const hg::BinaryResult &R = S.lift();
+  bool Good = R.Outcome == hg::LiftOutcome::Lifted;
+  if (Opt.Check)
+    Good = S.check().allProven() && Good;
+  if (!Good)
+    ExitAccum = std::max(ExitAccum, toExit(ExitCode::Fail));
+
+  std::ostringstream OS;
+  S.writeReportJson(OS);
+  return OS.str();
+}
+
+/// Tempfile-then-rename so a concurrently crashing or retried worker can
+/// never leave a torn fragment: readers see the old bytes or the new
+/// bytes, nothing in between.
+bool writeAtomically(const std::string &Path, const std::string &Bytes) {
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    if (!Out)
+      return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ensureFragDir(const std::string &CacheDir, std::string &Err) {
+  std::error_code EC;
+  std::filesystem::create_directories(CacheDir + "/shard", EC);
+  if (EC) {
+    Err = "cannot create " + CacheDir + "/shard: " + EC.message();
+    return false;
+  }
+  return true;
+}
+
+/// Build the worker argv for one shard. The slice is passed as a
+/// comma-separated list of global indices; every CLI-serializable option
+/// is forwarded so the worker reconstructs an identical ShardOptions.
+std::vector<std::string> workerArgs(const ShardOptions &Opt,
+                                    const std::vector<size_t> &Indices,
+                                    const std::string &Exe) {
+  std::string Spec;
+  for (size_t I : Indices) {
+    if (!Spec.empty())
+      Spec += ",";
+    Spec += std::to_string(I);
+  }
+  std::vector<std::string> A{Exe,          "shard", "--shard-worker",
+                             Spec,         "--cache-dir", Opt.CacheDir,
+                             "--shards",   std::to_string(Opt.Shards)};
+  if (Opt.CacheMaxMB) {
+    A.push_back("--cache-max-mb");
+    A.push_back(std::to_string(Opt.CacheMaxMB));
+  }
+  if (!Opt.CacheValidate)
+    A.push_back("--no-cache-validate");
+  if (Opt.Check)
+    A.push_back("--check");
+  if (Opt.Library)
+    A.push_back("--library");
+  if (!Opt.Portfolio)
+    A.push_back("--no-solver-portfolio");
+  if (Opt.MaxSeconds > 0) {
+    A.push_back("--max-seconds");
+    A.push_back(std::to_string(Opt.MaxSeconds));
+  }
+  for (const std::string &B : Opt.Binaries)
+    A.push_back(B);
+  return A;
+}
+
+struct WorkerProc {
+  pid_t Pid = -1;
+  size_t ShardIdx = 0;
+  unsigned Attempt = 0;
+};
+
+/// fork/exec one worker. InjectCrash plants the crash-now variable in the
+/// child's environment only — the parent's environment is never touched,
+/// so concurrent shards and the retry are unaffected.
+pid_t spawnWorker(const std::vector<std::string> &Args, bool InjectCrash) {
+  std::vector<char *> Argv;
+  Argv.reserve(Args.size() + 1);
+  for (const std::string &A : Args)
+    Argv.push_back(const_cast<char *>(A.c_str()));
+  Argv.push_back(nullptr);
+
+  pid_t Pid = ::fork();
+  if (Pid != 0)
+    return Pid; // parent (or fork failure, -1)
+  if (InjectCrash)
+    ::setenv("HGLIFT_SHARD_CRASH_NOW", "1", 1);
+  else
+    ::unsetenv("HGLIFT_SHARD_CRASH_NOW");
+  ::execv(Argv[0], Argv.data());
+  // exec failed: exit with the Usage code so the parent treats it as a
+  // crash-class failure and reports it after the retry also fails.
+  std::fprintf(stderr, "shard: cannot exec %s: %s\n", Argv[0],
+               std::strerror(errno));
+  ::_exit(toExit(ExitCode::Usage));
+}
+
+bool fragsPresent(const ShardOptions &Opt, const std::vector<size_t> &Indices) {
+  for (size_t I : Indices)
+    if (!std::filesystem::exists(fragPath(Opt.CacheDir, I)))
+      return false;
+  return true;
+}
+
+} // namespace
+
+int runWorker(const ShardOptions &Opt, const std::vector<size_t> &Indices) {
+  // Deterministic crash hook for the retry test: planted by the parent in
+  // this process's environment, never set outside the harness.
+  if (std::getenv("HGLIFT_SHARD_CRASH_NOW"))
+    ::raise(SIGKILL);
+
+  std::string Err;
+  if (!ensureFragDir(Opt.CacheDir, Err)) {
+    std::fprintf(stderr, "shard: %s\n", Err.c_str());
+    return toExit(ExitCode::Io);
+  }
+
+  int Exit = toExit(ExitCode::Ok);
+  for (size_t Idx : Indices) {
+    if (Idx >= Opt.Binaries.size()) {
+      std::fprintf(stderr, "shard: binary index %zu out of range\n", Idx);
+      return toExit(ExitCode::Usage);
+    }
+    std::string Frag = liftOneFragment(Opt, Idx, Exit);
+    if (!writeAtomically(fragPath(Opt.CacheDir, Idx), Frag)) {
+      std::fprintf(stderr, "shard: cannot write %s\n",
+                   fragPath(Opt.CacheDir, Idx).c_str());
+      return toExit(ExitCode::Io);
+    }
+  }
+  return Exit;
+}
+
+ShardResult runShards(const ShardOptions &Opt) {
+  ShardResult R;
+  if (Opt.Binaries.empty()) {
+    R.Error = "no input binaries";
+    R.Exit = toExit(ExitCode::Usage);
+    return R;
+  }
+  if (Opt.CacheDir.empty()) {
+    R.Error = "shard requires --cache-dir (workers coordinate through it)";
+    R.Exit = toExit(ExitCode::Usage);
+    return R;
+  }
+  if (!ensureFragDir(Opt.CacheDir, R.Error)) {
+    R.Exit = toExit(ExitCode::Io);
+    return R;
+  }
+  // Stale fragments from a previous run must not satisfy this one's
+  // missing-fragment check (they could mask a crashed worker).
+  for (size_t I = 0; I < Opt.Binaries.size(); ++I)
+    std::remove(fragPath(Opt.CacheDir, I).c_str());
+
+  auto Plan = planShards(Opt.Binaries.size(), Opt.Shards);
+
+  if (Opt.Shards <= 1) {
+    // Serial reference: the same per-binary code path, in-process.
+    R.Exit = runWorker(Opt, Plan[0]);
+    if (R.Exit >= toExit(ExitCode::Usage)) {
+      R.Error = "serial lift failed";
+      return R;
+    }
+  } else {
+    std::string Exe = Opt.WorkerExe.empty() ? "/proc/self/exe" : Opt.WorkerExe;
+    long CrashShard = -1;
+    if (const char *TC = std::getenv("HGLIFT_SHARD_TEST_CRASH"))
+      CrashShard = std::strtol(TC, nullptr, 10);
+
+    // Per-shard exit codes; retried shards overwrite their first attempt.
+    std::vector<int> ShardExit(Plan.size(), toExit(ExitCode::Ok));
+    for (unsigned Attempt = 0; Attempt <= Opt.MaxRetries; ++Attempt) {
+      std::vector<WorkerProc> Live;
+      for (size_t SI = 0; SI < Plan.size(); ++SI) {
+        if (Plan[SI].empty())
+          continue;
+        if (Attempt > 0 && ShardExit[SI] < toExit(ExitCode::Usage) &&
+            fragsPresent(Opt, Plan[SI]))
+          continue; // first attempt succeeded
+        bool Inject = Attempt == 0 && static_cast<long>(SI) == CrashShard;
+        pid_t Pid = spawnWorker(workerArgs(Opt, Plan[SI], Exe), Inject);
+        if (Pid < 0) {
+          R.Error = "fork failed";
+          R.Exit = toExit(ExitCode::Io);
+          return R;
+        }
+        ++R.WorkersSpawned;
+        Live.push_back({Pid, SI, Attempt});
+      }
+      if (Live.empty())
+        break;
+      for (WorkerProc &W : Live) {
+        int Status = 0;
+        if (::waitpid(W.Pid, &Status, 0) < 0) {
+          R.Error = "waitpid failed";
+          R.Exit = toExit(ExitCode::Io);
+          return R;
+        }
+        bool Crashed = WIFSIGNALED(Status) ||
+                       (WIFEXITED(Status) &&
+                        WEXITSTATUS(Status) >= toExit(ExitCode::Usage)) ||
+                       !fragsPresent(Opt, Plan[W.ShardIdx]);
+        if (Crashed) {
+          ShardExit[W.ShardIdx] = toExit(ExitCode::Usage); // retry marker
+          if (Attempt == 0) {
+            ++R.WorkersCrashed;
+          } else {
+            R.Error = "shard " + std::to_string(W.ShardIdx) +
+                      " failed twice (status " + std::to_string(Status) + ")";
+            R.Exit = WIFEXITED(Status) ? WEXITSTATUS(Status)
+                                       : toExit(ExitCode::Io);
+            return R;
+          }
+        } else {
+          ShardExit[W.ShardIdx] =
+              WIFEXITED(Status) ? WEXITSTATUS(Status) : toExit(ExitCode::Ok);
+        }
+        if (W.Attempt > 0)
+          ++R.WorkersRetried;
+      }
+      bool AnyCrashed = false;
+      for (size_t SI = 0; SI < Plan.size(); ++SI)
+        AnyCrashed |= ShardExit[SI] >= toExit(ExitCode::Usage);
+      if (!AnyCrashed)
+        break;
+    }
+    for (int E : ShardExit)
+      R.Exit = std::max(R.Exit, E);
+  }
+
+  // Entry-ordered merge: each fragment spliced in verbatim. No timing, no
+  // worker identity, no schedule-dependent bytes — this is what the
+  // byte-identity gate compares against the serial run.
+  std::string Merged;
+  Merged += "{\"shard_schema_version\": 1, \"binaries\": [\n";
+  for (size_t I = 0; I < Opt.Binaries.size(); ++I) {
+    std::ifstream In(fragPath(Opt.CacheDir, I), std::ios::binary);
+    if (!In) {
+      R.Error = "missing fragment for " + Opt.Binaries[I];
+      R.Exit = toExit(ExitCode::Io);
+      return R;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    std::string Frag = SS.str();
+    while (!Frag.empty() && Frag.back() == '\n')
+      Frag.pop_back();
+    Merged += Frag;
+    Merged += I + 1 < Opt.Binaries.size() ? ",\n" : "\n";
+  }
+  Merged += "]}\n";
+  R.MergedReport = std::move(Merged);
+  R.Ok = true;
+  return R;
+}
+
+} // namespace hglift::shard

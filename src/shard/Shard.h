@@ -1,0 +1,121 @@
+//===- Shard.h - Multi-process sharded lifting ----------------*- C++ -*-===//
+//
+// Corpus-level parallelism by process, not by thread: a planner splits a
+// list of binaries across N worker processes (fork/exec of this very
+// binary with `--shard-worker`), each worker lifts its slice through the
+// ordinary hglift::Session path, and the parent splices the per-binary
+// report fragments back together in entry order. Coordination happens
+// exclusively through the filesystem under --cache-dir: workers share the
+// content-addressed artifact store (which is already safe for concurrent
+// processes) and deposit fragments in <cache-dir>/shard/.
+//
+// The contract that makes this testable: the merged report is
+// byte-identical to a serial run. That falls out of construction rather
+// than luck — the serial path (Shards <= 1) IS runWorker() called
+// in-process on every index, so both modes execute the same per-binary
+// code and the merge reads the same fragment bytes. Report JSON contains
+// no timing and no schedule-dependent fields, so fragment content depends
+// only on (binary, options), never on which process produced it.
+//
+// Crash handling: a worker that dies on a signal (or exits with a
+// malformed-invocation/IO code, or leaves fragments missing) is re-spawned
+// once for its whole slice. Fragments are written tempfile-then-rename, so
+// a retry never observes a torn file; a clean exit-1 worker (its slice
+// contained a binary the analysis rejected) is a legitimate result and is
+// NOT retried.
+//
+// Test hooks (no effect outside the harness):
+//   HGLIFT_SHARD_TEST_CRASH=<k>  the parent arranges for shard k's FIRST
+//                                attempt to kill itself before lifting;
+//                                the retry runs clean. Exercised by
+//                                tests/shard_test.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_SHARD_SHARD_H
+#define HGLIFT_SHARD_SHARD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hglift::shard {
+
+/// Everything a sharded run can be configured with. A deliberately small,
+/// CLI-serializable subset of hglift::Options: whatever is set here must
+/// survive the trip through a worker's argv, so only flat flags live here.
+struct ShardOptions {
+  /// Input ELF paths. Entry order is merge order, regardless of which
+  /// shard lifts which binary.
+  std::vector<std::string> Binaries;
+  /// Worker process count. <= 1 runs the whole list in-process (the
+  /// serial reference the byte-identity gate compares against).
+  unsigned Shards = 1;
+  /// Coordination root (required): shared artifact store plus the
+  /// fragment directory <CacheDir>/shard/.
+  std::string CacheDir;
+  uint64_t CacheMaxMB = 0;
+  bool CacheValidate = true;
+  /// Run the Step-2 checker per binary (fragment then carries the proof
+  /// summary, exactly as `hglift check --report-json` would emit it).
+  bool Check = false;
+  /// Lift exported symbols instead of the entry point.
+  bool Library = false;
+  /// Tiered relation-solver portfolio (--no-solver-portfolio turns the
+  /// ablation legacy path back on, in every worker).
+  bool Portfolio = true;
+  /// Per-function wall budget, forwarded to workers (0 = library default).
+  double MaxSeconds = 0;
+  /// Executable to spawn as the worker. Empty = /proc/self/exe, which is
+  /// correct when the caller is hglift itself; tests point this at the
+  /// built hglift binary.
+  std::string WorkerExe;
+  /// Re-spawns granted to a crashed worker before the run is declared
+  /// failed.
+  unsigned MaxRetries = 1;
+};
+
+/// Round-robin partition of [0, NumBinaries) into Shards slices: binary i
+/// goes to shard i % Shards. Deterministic, order-preserving within each
+/// slice, and balanced to within one item. Slices can be empty when
+/// Shards > NumBinaries.
+std::vector<std::vector<size_t>> planShards(size_t NumBinaries,
+                                            unsigned Shards);
+
+/// Fragment path for global binary index Idx under CacheDir.
+std::string fragPath(const std::string &CacheDir, size_t Idx);
+
+struct ShardResult {
+  /// Every fragment produced and merged (individual binaries may still
+  /// have been *rejected* by the analysis — see Exit).
+  bool Ok = false;
+  /// Human-readable failure description when !Ok.
+  std::string Error;
+  /// Aggregate exit code per driver/ExitCode.h: 0 = every binary lifted
+  /// (and proved, under Check), 1 = at least one rejected, 3 = artifact
+  /// IO failure.
+  int Exit = 0;
+  unsigned WorkersSpawned = 0;
+  /// Workers whose first attempt died on a signal / bad exit / missing
+  /// fragments.
+  unsigned WorkersCrashed = 0;
+  unsigned WorkersRetried = 0;
+  /// The merged report: {"shard_schema_version": 1, "binaries": [f0, f1,
+  /// ...]} with each fragment spliced in verbatim, entry order.
+  std::string MergedReport;
+};
+
+/// Worker entry: lift (and optionally check) the given global indices of
+/// Opt.Binaries, writing one report fragment per index. Returns an exit
+/// code: max of the per-binary codes (0/1), or 3 if a fragment could not
+/// be written. Runs in-process — this is also the serial path.
+int runWorker(const ShardOptions &Opt, const std::vector<size_t> &Indices);
+
+/// Orchestrate the full run: plan, spawn (or run serially), collect,
+/// retry crashes once, merge.
+ShardResult runShards(const ShardOptions &Opt);
+
+} // namespace hglift::shard
+
+#endif // HGLIFT_SHARD_SHARD_H

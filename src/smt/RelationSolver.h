@@ -1,19 +1,32 @@
 //===- RelationSolver.h - Deciding necessarily-relations -------*- C++ -*-===//
 //
 // Decides the necessarily-relations of Definition 3.6 between symbolic
-// regions, given the current predicate. Layered:
+// regions, given the current predicate. Queries go through one entry
+// point, decide(), behind which sits a tiered portfolio:
 //
-//   1. a syntactic/linear core: linearize both addresses; if the difference
-//      is constant the relation is decided exactly; otherwise interval
-//      reasoning over the predicate's range clauses applies (this resolves
-//      jump-table-index vs. return-address separation);
-//   2. allocation-class reasoning: a stack-frame address (rsp0-based) and a
-//      global (numeric) or external (heap) address are assumed separate —
-//      the paper's "implicit assumptions" (§5.2), which we surface as
-//      explicit proof obligations;
-//   3. an optional Z3 backend for residual queries, exactly as the paper
-//      uses Z3 ("the SMT solver Z3 is used to establish whether these
-//      necessarily-relations hold for symbolic addresses").
+//   tier 0  syntactic discharge: identical regions, or a linear difference
+//           that is constant (this decides most queries);
+//   tier 1  interval/constant reasoning over the predicate's range clauses
+//           (Pred::intervalOfForm on the linearized difference — this
+//           resolves jump-table-index vs. return-address separation);
+//   -----   allocation-class assumptions: a stack-frame address (rsp0-
+//           based) and a global (numeric) or external (heap) address are
+//           assumed separate — the paper's "implicit assumptions" (§5.2),
+//           surfaced as explicit proof obligations (not a proof tier);
+//   tier 2  Z3 with a persistent, batched-assertion context, exactly as
+//           the paper uses Z3 ("the SMT solver Z3 is used to establish
+//           whether these necessarily-relations hold for symbolic
+//           addresses"). An admission filter skips round trips that
+//           provably (or, for the Eq-guarded free-variable rule,
+//           empirically) cannot yield a definite relation; a skipped
+//           query degrades to Unknown, which is always sound.
+//
+// Config::Portfolio = false is the ablation switch back to the historical
+// single-pass path: no linearization memo, no admission filter, a fresh Z3
+// solver per query. bench_shard measures what the portfolio buys; the
+// differential harness (tests/solver_portfolio_test.cpp) replays recorded
+// queries through each tier in isolation and checks that no cheap tier
+// ever contradicts Z3.
 //
 // Results are cached. The cache key is the exact query identity
 //   (addr0, size0, addr1, size1, Pred::version())
@@ -23,10 +36,11 @@
 // Invalidation rule: any clause mutation re-stamps the Pred from a
 // process-wide counter, so entries keyed under the old stamp can never be
 // hit again — mutation IS invalidation. When the map reaches Config::
-// CacheCap, entries whose stamp differs from the current query's are swept
-// (counted in Stats::CacheInvalidated); mustEqual() is memoized the same
-// way. Hit/miss/invalidation counters live in Stats and are mirrored into
-// LiftStats for --stats-json.
+// CacheCap, stale-version entries are swept (counted in Stats::
+// CacheInvalidated); if the sweep frees nothing, the still-live entries
+// are cleared (counted separately in Stats::CacheEvicted). mustEqual() is
+// memoized the same way. Counters are mirrored into LiftStats for
+// --stats-json.
 //
 //===----------------------------------------------------------------------===//
 
@@ -60,6 +74,22 @@ enum class AllocClass : uint8_t {
 };
 
 AllocClass classifyAddr(const expr::Expr *Addr, const expr::ExprContext &Ctx);
+/// Same classification from an already-computed linear form (the portfolio
+/// path linearizes once and reuses the form everywhere).
+AllocClass classifyForm(const expr::LinearForm &LF,
+                        const expr::ExprContext &Ctx);
+
+/// Which layer of the portfolio decided a query. Numeric values are stable
+/// (trace events and the query ring store them as bytes).
+enum class Tier : uint8_t {
+  Syntactic = 0,  ///< tier 0
+  Interval = 1,   ///< tier 1
+  AllocClass = 2, ///< assumption layer (between tiers 1 and 2)
+  Z3 = 3,         ///< tier 2
+  None = 4,       ///< fell through every tier (relation is Unknown)
+};
+
+const char *tierName(Tier T);
 
 class Z3Backend; // hides <z3++.h> from every other translation unit
 
@@ -71,6 +101,18 @@ public:
     /// (recorded as proof obligations). Turning this off is the rigorous
     /// but mostly-useless mode discussed in §1.
     bool AllocClassAssumptions = true;
+    /// The tiered portfolio: linearization memo, direct linear-form
+    /// difference arithmetic, strengthened tier-1 bounds, the tier-2
+    /// admission filter, and the persistent Z3 context. Off is the
+    /// historical single-pass path (ablation mode of bench_shard).
+    bool Portfolio = true;
+    /// Record every *computed* decision (query, a copy of the predicate,
+    /// result, deciding tier) for differential replay. Off by default —
+    /// predicate copies are cheap but not free.
+    bool LogQueries = false;
+    /// Cap on the query log (oldest entries are simply not recorded past
+    /// the cap; the differential harness replays a bounded corpus).
+    size_t LogCap = 1u << 16;
     /// Memoize relate()/mustEqual() per (addresses, sizes, Pred version).
     /// Off is the ablation mode of bench_step1_hotpath.
     bool EnableCache = true;
@@ -80,13 +122,35 @@ public:
     size_t CacheCap = 1u << 16;
   };
 
+  /// One decide() outcome: the relation plus where it came from.
+  struct Decision {
+    MemRel Rel = MemRel::Unknown;
+    Tier DecidedBy = Tier::None;
+    bool CacheHit = false;
+  };
+
   explicit RelationSolver(expr::ExprContext &Ctx)
       : RelationSolver(Ctx, Config()) {}
   RelationSolver(expr::ExprContext &Ctx, Config Cfg);
   ~RelationSolver();
 
-  /// The necessarily-relation between R0 and R1 under P.
-  MemRel relate(const Region &R0, const Region &R1, const pred::Pred &P);
+  /// The necessarily-relation between R0 and R1 under P, with provenance.
+  /// This is the single entry point every layer of the portfolio sits
+  /// behind; relate() is a convenience wrapper returning just the MemRel.
+  Decision decide(const Region &R0, const Region &R1, const pred::Pred &P);
+
+  MemRel relate(const Region &R0, const Region &R1, const pred::Pred &P) {
+    return decide(R0, R1, P).Rel;
+  }
+
+  /// Replay a query through ONE tier in isolation (the differential
+  /// harness). Bypasses the cache, the stats counters, the assumption log
+  /// and — for Tier::Z3 — the admission filter and the empty-ranges skip,
+  /// so a forced Z3 replay is the trusted oracle the cheap tiers are
+  /// compared against. Tier::AllocClass applies the assumption pairs
+  /// without recording obligations; Tier::None returns Unknown.
+  Decision decideWithTierOnly(const Region &R0, const Region &R1,
+                              const pred::Pred &P, Tier Only);
 
   /// Is E0 == E1 necessarily (used for alias checks on same-size regions)?
   bool mustEqual(const expr::Expr *E0, const expr::Expr *E1,
@@ -94,6 +158,20 @@ public:
 
   const std::vector<Assumption> &assumptions() const { return Assumptions; }
   void clearAssumptions() { Assumptions.clear(); }
+
+  /// One recorded (computed) decision, for differential replay. The
+  /// predicate is copied at query time — cheap (interned pointers), and
+  /// the copy keeps its version stamp, so replays see the exact clause
+  /// set. Expressions stay valid as long as the owning ExprContext lives
+  /// (the LiftArena a FunctionResult keeps alive).
+  struct LoggedQuery {
+    const expr::Expr *A0 = nullptr, *A1 = nullptr;
+    uint32_t S0 = 0, S1 = 0;
+    pred::Pred P;
+    MemRel Rel = MemRel::Unknown;
+    Tier DecidedBy = Tier::None;
+  };
+  const std::vector<LoggedQuery> &queryLog() const { return Log; }
 
   /// The most recent relate() decisions that were actually *computed*
   /// (cache hits re-deliver a recorded decision and are not re-recorded),
@@ -103,23 +181,49 @@ public:
   /// stores PODs; rendering happens only here, on the cold path.
   std::vector<std::string> recentQueries(size_t Max = 4) const;
 
-  /// Statistics for the ablation bench.
+  /// Statistics for the ablation bench. The per-tier hit counters count
+  /// *computed* decisions only; cache hits re-deliver a decision without
+  /// re-attributing it.
   struct Stats {
     uint64_t Queries = 0;
+    /// Tier 0: syntactic identity or constant linear difference.
     uint64_t SyntacticHits = 0;
+    /// Tier 1: interval reasoning decided it.
     uint64_t IntervalHits = 0;
+    /// Assumption layer: distinct allocation classes.
     uint64_t ClassAssumptionHits = 0;
+    /// Tier-2 round trips actually made (includes Unknown answers).
     uint64_t Z3Queries = 0;
+    /// Tier 2 decided it (Z3 returned a definite relation).
     uint64_t Z3Hits = 0;
+    /// Tier-2 round trips the admission filter skipped (Portfolio only;
+    /// includes the empty-ranges skip, which the legacy path also takes
+    /// but does not count).
+    uint64_t Tier2Skipped = 0;
+    /// Queries that fell through every tier (answered Unknown).
+    uint64_t Fallthroughs = 0;
     /// relate()/mustEqual() answered from the version-keyed memo.
     uint64_t CacheHits = 0;
     /// Cache enabled but the key was absent (answered uncached, inserted).
     uint64_t CacheMisses = 0;
-    /// Entries dropped by the stale-version sweep at CacheCap.
+    /// Stale-version entries dropped by the sweep at CacheCap (their Pred
+    /// was mutated; the keys could never be hit again).
     uint64_t CacheInvalidated = 0;
+    /// Live-version entries cleared because the sweep freed nothing at
+    /// the cap (single hot predicate); these were still hittable.
+    uint64_t CacheEvicted = 0;
+    /// Wall-clock seconds spent computing uncached decisions — the
+    /// portfolio's "query time". Cache hits cost the same in every mode
+    /// and are excluded.
+    double DecideSeconds = 0;
     /// Z3 expression-translation cache evictions (bounded cache in the
     /// backend; mirrored here so --stats-json can report it).
     uint64_t Z3TransEvictions = 0;
+    /// Persistent-context reuses: tier-2 queries whose base assertions
+    /// (the predicate's range clauses) were already asserted because the
+    /// previous query saw the same Pred version (mirrored from the
+    /// backend).
+    uint64_t Z3CtxReuses = 0;
   };
   const Stats &stats() const { return S; }
 
@@ -129,14 +233,29 @@ public:
   void setLiftStats(LiftStats *Sink) { LS = Sink; }
 
 private:
-  MemRel relateUncached(const Region &R0, const Region &R1,
+  /// The tier ladder (portfolio or legacy single-pass, per Config).
+  Decision decideUncached(const Region &R0, const Region &R1,
+                          const pred::Pred &P);
+  Decision decidePortfolio(const Region &R0, const Region &R1,
+                           const pred::Pred &P);
+  Decision decideLegacy(const Region &R0, const Region &R1,
                         const pred::Pred &P);
-  /// relateUncached plus provenance: infers which layer decided (by
-  /// diffing the per-layer counters), records the decision in the query
-  /// ring, and emits a solver_call trace event when tracing is on.
-  MemRel relateRecorded(const Region &R0, const Region &R1,
-                        const pred::Pred &P);
-  MemRel relateByConstantDelta(int64_t Delta, uint32_t S0, uint32_t S1);
+  /// decideUncached plus bookkeeping: per-tier counters, decide-time
+  /// accounting, the query ring, the query log, and the solver_call trace
+  /// event.
+  Decision decideRecorded(const Region &R0, const Region &R1,
+                          const pred::Pred &P);
+
+  /// Memoized linearization (portfolio only; bounded).
+  const expr::LinearForm &linearizeMemo(const expr::Expr *E);
+  /// Sorted leaf atoms (Vars and Derefs, Derefs opaque) of E (memoized).
+  const std::vector<const expr::Expr *> &leavesOf(const expr::Expr *E);
+
+  /// Tier-2 admission filter (portfolio only): true if the Z3 round trip
+  /// is skipped. See the .cpp for the two rules and their justification.
+  bool admitSkipsZ3(const Region &R0, const Region &R1,
+                    const expr::LinearForm &L0, const expr::LinearForm &L1,
+                    const pred::Pred &P);
 
   /// Evict stale-version entries (or clear) once the maps reach CacheCap.
   void boundCaches(uint64_t LiveVer);
@@ -161,10 +280,15 @@ private:
   struct EqKeyHash {
     size_t operator()(const EqKey &K) const;
   };
+  /// Cached decision: relation + the tier that computed it (so cache hits
+  /// keep their provenance).
+  struct CachedRel {
+    MemRel Rel;
+    Tier DecidedBy;
+  };
 
-  /// One computed relate() decision, kept as PODs (no strings on the hot
-  /// path; recentQueries() renders lazily). Layer: which solver layer
-  /// decided (see LayerNames in the .cpp).
+  /// One computed decide() decision, kept as PODs (no strings on the hot
+  /// path; recentQueries() renders lazily). Layer = uint8_t(Tier).
   struct QueryRec {
     const expr::Expr *A0 = nullptr, *A1 = nullptr;
     uint32_t S0 = 0, S1 = 0;
@@ -173,16 +297,33 @@ private:
   };
   static constexpr size_t QueryRingSize = 8;
 
+  /// Per-Pred-version summary consulted by the admission filter: the
+  /// sorted leaf atoms of every range-clause LHS, plus whether any Eq
+  /// clause is present. Memoized because one version answers many queries.
+  struct RangeInfo {
+    std::vector<const expr::Expr *> Leaves;
+    bool HasEq = false;
+  };
+  const RangeInfo &rangeInfoOf(const pred::Pred &P);
+
   expr::ExprContext &Ctx;
   Config Cfg;
   Stats S;
   LiftStats *LS = nullptr;
   std::vector<Assumption> Assumptions;
+  std::vector<LoggedQuery> Log;
   QueryRec Recent[QueryRingSize];
   uint64_t RecentCount = 0; ///< total recorded; ring index = count % size
   std::unique_ptr<Z3Backend> Z3;
-  std::unordered_map<RelKey, MemRel, RelKeyHash> RelCache;
+  std::unordered_map<RelKey, CachedRel, RelKeyHash> RelCache;
   std::unordered_map<EqKey, bool, EqKeyHash> EqCache;
+  /// Portfolio memos, all bounded by clearing at MemoCap entries. Keyed on
+  /// interned pointers, so they never go stale within one arena.
+  static constexpr size_t MemoCap = 1u << 13;
+  std::unordered_map<const expr::Expr *, expr::LinearForm> LinMemo;
+  std::unordered_map<const expr::Expr *, std::vector<const expr::Expr *>>
+      LeafMemo;
+  std::unordered_map<uint64_t, RangeInfo> RangeInfoMemo;
 };
 
 } // namespace hglift::smt

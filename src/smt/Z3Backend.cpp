@@ -2,6 +2,7 @@
 
 #include "smt/Z3Backend.h"
 
+#include <optional>
 #include <unordered_map>
 #include <z3++.h>
 
@@ -22,6 +23,13 @@ struct Z3Backend::Impl {
   std::unordered_map<const Expr *, z3::expr> Cache;
   static constexpr size_t MaxCacheEntries = 4096;
   uint64_t NameCounter = 0;
+  /// Persistent-mode state: one long-lived solver whose base assertions
+  /// are the range clauses of the Pred version in PersistVer. PersistValid
+  /// goes false on any exception that may have left the solver with an
+  /// unbalanced frame; the next persistent query then resets.
+  std::optional<z3::solver> Persist;
+  uint64_t PersistVer = ~uint64_t(0);
+  bool PersistValid = false;
 
   z3::expr boolToBv1(const z3::expr &B) {
     return z3::ite(B, C.bv_val(1, 1), C.bv_val(0, 1));
@@ -153,54 +161,77 @@ void Z3Backend::boundTransCache() {
 }
 
 MemRel Z3Backend::query(const Region &R0, const Region &R1,
-                        const pred::Pred &P, const ExprContext &Ctx) {
+                        const pred::Pred &P, const ExprContext &Ctx,
+                        bool Persistent) {
   ++Queries;
   boundTransCache();
   try {
-    z3::solver S(I->C);
-    S.set("timeout", 200u); // per-query millisecond budget
-    for (const RangeClause &RC : P.ranges())
-      S.add(I->rangeConstraint(RC, Ctx));
+    // Pick the solver. Persistent mode keeps one solver alive and only
+    // re-asserts the predicate's range clauses when the version stamp
+    // changes (equal stamps imply identical clause content, so reuse is
+    // exact); the throwaway path builds a fresh solver per query, the
+    // historical cost model.
+    std::optional<z3::solver> Fresh;
+    z3::solver *SP = nullptr;
+    if (Persistent) {
+      if (!I->Persist) {
+        I->Persist.emplace(I->C);
+        I->PersistValid = false;
+      }
+      SP = &*I->Persist;
+      if (!I->PersistValid || I->PersistVer != P.version()) {
+        I->PersistValid = false;
+        SP->reset();
+        SP->set("timeout", 200u); // per-check millisecond budget
+        for (const RangeClause &RC : P.ranges())
+          SP->add(I->rangeConstraint(RC, Ctx));
+        I->PersistVer = P.version();
+        I->PersistValid = true;
+        ++CtxResets;
+      } else {
+        ++CtxReuses;
+      }
+    } else {
+      Fresh.emplace(I->C);
+      SP = &*Fresh;
+      SP->set("timeout", 200u); // per-check millisecond budget
+      for (const RangeClause &RC : P.ranges())
+        SP->add(I->rangeConstraint(RC, Ctx));
+    }
+    z3::solver &S = *SP;
 
     z3::expr A0 = I->translate(R0.Addr, Ctx);
     z3::expr A1 = I->translate(R1.Addr, Ctx);
     z3::expr S0 = I->C.bv_val(static_cast<uint64_t>(R0.Size), 64);
     z3::expr S1 = I->C.bv_val(static_cast<uint64_t>(R1.Size), 64);
 
+    // Each probe runs in its own push/pop frame so the base assertions
+    // survive for the next probe — and, in persistent mode, for the next
+    // query under the same predicate version.
+    auto ProbeUnsat = [&](const z3::expr &Probe) {
+      S.push();
+      S.add(Probe);
+      bool Unsat = S.check() == z3::unsat;
+      S.pop();
+      return Unsat;
+    };
+
     // Exact modular overlap condition:
     //   overlap <=> (a0 - a1 <u s1) \/ (a1 - a0 <u s0)
-    z3::expr Overlap = z3::ult(A0 - A1, S1) || z3::ult(A1 - A0, S0);
-
-    S.push();
-    S.add(Overlap);
-    if (S.check() == z3::unsat)
+    if (ProbeUnsat(z3::ult(A0 - A1, S1) || z3::ult(A1 - A0, S0)))
       return MemRel::MustSep;
-    S.pop();
-
-    if (R0.Size == R1.Size) {
-      S.push();
-      S.add(A0 != A1);
-      if (S.check() == z3::unsat)
-        return MemRel::MustAlias;
-      S.pop();
-    }
-    if (R0.Size <= R1.Size) {
-      // Enclosure (modular form): a0 - a1 <=u s1 - s0.
-      S.push();
-      S.add(!z3::ule(A0 - A1, S1 - S0));
-      if (S.check() == z3::unsat && R0.Size < R1.Size)
-        return MemRel::MustEnc01;
-      S.pop();
-    }
-    if (R1.Size < R0.Size) {
-      S.push();
-      S.add(!z3::ule(A1 - A0, S0 - S1));
-      if (S.check() == z3::unsat)
-        return MemRel::MustEnc10;
-      S.pop();
-    }
+    if (R0.Size == R1.Size && ProbeUnsat(A0 != A1))
+      return MemRel::MustAlias;
+    // Enclosure (modular form): a0 - a1 <=u s1 - s0.
+    if (R0.Size < R1.Size && ProbeUnsat(!z3::ule(A0 - A1, S1 - S0)))
+      return MemRel::MustEnc01;
+    if (R1.Size < R0.Size && ProbeUnsat(!z3::ule(A1 - A0, S0 - S1)))
+      return MemRel::MustEnc10;
     return MemRel::Unknown;
   } catch (const z3::exception &) {
+    // A mid-probe failure may leave an unbalanced frame on the persistent
+    // solver; force a reset on its next use.
+    I->PersistValid = false;
     return MemRel::Unknown;
   }
 }

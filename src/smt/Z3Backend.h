@@ -25,8 +25,17 @@ public:
   ~Z3Backend();
 
   /// MustAlias / MustSep / MustEnc01 / MustEnc10 if provable, else Unknown.
+  ///
+  /// Persistent selects the batched-assertion mode of the portfolio's
+  /// tier 2: one long-lived solver holds the predicate's range clauses as
+  /// base assertions, keyed on Pred::version(). Consecutive queries under
+  /// the same version reuse the asserted base (push/pop frames carry only
+  /// the per-probe overlap conditions); a version change resets and
+  /// re-asserts. Equal stamps guarantee identical clause content, so reuse
+  /// is exact, never heuristic. Persistent=false is the historical
+  /// throwaway-solver path.
   MemRel query(const Region &R0, const Region &R1, const pred::Pred &P,
-               const expr::ExprContext &Ctx);
+               const expr::ExprContext &Ctx, bool Persistent = false);
 
   /// Is E0 == E1 valid under P?
   bool mustEqual(const expr::Expr *E0, const expr::Expr *E1,
@@ -39,6 +48,12 @@ public:
   /// z3::expr references are never dropped mid-translation).
   uint64_t numEvictions() const { return Evictions; }
 
+  /// Persistent-mode queries that reused the already-asserted base (same
+  /// Pred version as the previous query) instead of re-asserting it.
+  uint64_t numCtxReuses() const { return CtxReuses; }
+  /// Persistent-mode base re-assertions (version changed, or first use).
+  uint64_t numCtxResets() const { return CtxResets; }
+
 private:
   /// Enforce the translation-cache bound; called at query entry.
   void boundTransCache();
@@ -47,6 +62,8 @@ private:
   Impl *I;
   uint64_t Queries = 0;
   uint64_t Evictions = 0;
+  uint64_t CtxReuses = 0;
+  uint64_t CtxResets = 0;
 };
 
 } // namespace hglift::smt

@@ -37,12 +37,35 @@ struct LiftStats {
   uint64_t SolverQueries = 0;
   /// The subset of SolverQueries that reached the Z3 backend.
   uint64_t Z3Queries = 0;
+  /// Computed (uncached) relation queries decided by tier 0: syntactic
+  /// identity or a constant linear difference.
+  uint64_t SolverTier0Hits = 0;
+  /// Decided by tier 1: interval/constant reasoning over range clauses.
+  uint64_t SolverTier1Hits = 0;
+  /// Decided by the allocation-class assumption layer (recorded as proof
+  /// obligations; sits between tier 1 and tier 2).
+  uint64_t SolverClassHits = 0;
+  /// Decided by tier 2 (Z3).
+  uint64_t SolverTier2Hits = 0;
+  /// Tier-2 round trips the admission filter skipped because no definite
+  /// relation was derivable (the query degrades to Unknown, soundly).
+  uint64_t SolverTier2Skipped = 0;
+  /// Queries every tier fell through (answered Unknown).
+  uint64_t SolverFallthroughs = 0;
+  /// Wall-clock seconds spent computing uncached relation decisions (the
+  /// portfolio's "query time"; cache hits cost the same in every mode and
+  /// are excluded).
+  double SolverSeconds = 0;
   /// Relation-solver queries answered from the version-keyed memo.
   uint64_t RelCacheHits = 0;
   /// Relation-solver queries that missed the memo (answered uncached).
   uint64_t RelCacheMisses = 0;
-  /// Memo entries dropped by the stale-version sweep at the cache cap.
+  /// Stale-version memo entries dropped by the sweep at the cache cap
+  /// (their Pred was mutated, so the keys can never be hit again).
   uint64_t RelCacheInvalidated = 0;
+  /// Live-version memo entries cleared because the sweep freed nothing at
+  /// the cap (single hot predicate); these were still hittable.
+  uint64_t RelCacheEvicted = 0;
   /// Pred/MemModel leq probes answered from the lifter's digest memo.
   uint64_t LeqHits = 0;
   /// leq probes that fell through to the full comparison.
@@ -59,9 +82,17 @@ struct LiftStats {
     Forks += O.Forks;
     SolverQueries += O.SolverQueries;
     Z3Queries += O.Z3Queries;
+    SolverTier0Hits += O.SolverTier0Hits;
+    SolverTier1Hits += O.SolverTier1Hits;
+    SolverClassHits += O.SolverClassHits;
+    SolverTier2Hits += O.SolverTier2Hits;
+    SolverTier2Skipped += O.SolverTier2Skipped;
+    SolverFallthroughs += O.SolverFallthroughs;
+    SolverSeconds += O.SolverSeconds;
     RelCacheHits += O.RelCacheHits;
     RelCacheMisses += O.RelCacheMisses;
     RelCacheInvalidated += O.RelCacheInvalidated;
+    RelCacheEvicted += O.RelCacheEvicted;
     LeqHits += O.LeqHits;
     LeqMisses += O.LeqMisses;
     Seconds += O.Seconds;

@@ -258,6 +258,85 @@ TEST(RelationCache, CapSweepsStaleVersions) {
             MemRel::MustSep);
 }
 
+TEST(RelationCache, CapEvictsLiveEntriesWhenSweepFreesNothing) {
+  // One hot predicate, never mutated: when the maps hit the cap there is
+  // nothing stale to sweep, so the still-hittable entries are cleared.
+  // That MUST be counted as eviction, not invalidation — the two have
+  // opposite performance meanings (stale sweeps are free wins, live
+  // evictions are capacity misses).
+  ExprContext Ctx;
+  RelationSolver::Config Cfg;
+  Cfg.UseZ3 = false;
+  Cfg.CacheCap = 8;
+  RelationSolver S(Ctx, Cfg);
+  Pred P = Pred::entry(Ctx);
+  const Expr *Rsp0 = P.reg64(x86::Reg::RSP);
+
+  for (int64_t K = 0; K < 64; ++K)
+    S.relate(Region{Ctx.mkAddK(Rsp0, -8 * K), 8}, Region{Rsp0, 8}, P);
+  EXPECT_GT(S.stats().CacheEvicted, 0u)
+      << "cap under a single live version never cleared";
+  EXPECT_EQ(S.stats().CacheInvalidated, 0u)
+      << "live-entry clears must not masquerade as stale sweeps";
+  EXPECT_EQ(S.relate(Region{Ctx.mkAddK(Rsp0, -8), 8}, Region{Rsp0, 8}, P),
+            MemRel::MustSep);
+}
+
+TEST(RelationCache, NoSweepCountersBelowCap) {
+  // The healthy steady state — and the reason `rel_cache_invalidated: 0`
+  // in --stats-json is not a dead counter: version-keyed entries make
+  // mutation itself the invalidation (stale keys just stop being
+  // queried), so the sweep counters only move when the cap forces a
+  // cleanup. Below the cap both stay zero no matter how often the
+  // predicate mutates.
+  ExprContext Ctx;
+  RelationSolver::Config Cfg;
+  Cfg.UseZ3 = false; // default CacheCap (1 << 16), far above this traffic
+  RelationSolver S(Ctx, Cfg);
+  Pred P = Pred::entry(Ctx);
+  const Expr *Rsp0 = P.reg64(x86::Reg::RSP);
+  for (int Round = 0; Round < 8; ++Round) {
+    for (int64_t K = 0; K < 8; ++K)
+      S.relate(Region{Ctx.mkAddK(Rsp0, -8 * K), 8}, Region{Rsp0, 8}, P);
+    P.setReg64(x86::Reg::RAX, Ctx.mkConst(Round, 64));
+  }
+  EXPECT_EQ(S.stats().CacheInvalidated, 0u);
+  EXPECT_EQ(S.stats().CacheEvicted, 0u);
+  EXPECT_GT(S.stats().CacheMisses, 0u);
+}
+
+TEST(RelationCache, LiftStatsMirrorsSweepAndEvictionCounters) {
+  // --stats-json reads the LiftStats mirror, not RelationSolver::Stats;
+  // the two must agree for every counter the report exposes.
+  ExprContext Ctx;
+  RelationSolver::Config Cfg;
+  Cfg.UseZ3 = false;
+  Cfg.CacheCap = 8;
+  RelationSolver S(Ctx, Cfg);
+  hglift::LiftStats LS;
+  S.setLiftStats(&LS);
+  Pred P = Pred::entry(Ctx);
+  const Expr *Rsp0 = P.reg64(x86::Reg::RSP);
+
+  // Phase 1: churn versions so the cap triggers stale sweeps.
+  for (int Round = 0; Round < 16; ++Round) {
+    for (int64_t K = 0; K < 8; ++K)
+      S.relate(Region{Ctx.mkAddK(Rsp0, -8 * K), 8}, Region{Rsp0, 8}, P);
+    P.setReg64(x86::Reg::RAX, Ctx.mkConst(Round, 64));
+  }
+  // Phase 2: hammer one version so the cap forces live evictions.
+  for (int64_t K = 0; K < 64; ++K)
+    S.relate(Region{Ctx.mkAddK(Rsp0, -8 * K), 8}, Region{Rsp0, 8}, P);
+
+  EXPECT_GT(S.stats().CacheInvalidated, 0u);
+  EXPECT_GT(S.stats().CacheEvicted, 0u);
+  EXPECT_EQ(LS.RelCacheInvalidated, S.stats().CacheInvalidated);
+  EXPECT_EQ(LS.RelCacheEvicted, S.stats().CacheEvicted);
+  EXPECT_EQ(LS.RelCacheHits, S.stats().CacheHits);
+  EXPECT_EQ(LS.RelCacheMisses, S.stats().CacheMisses);
+  EXPECT_EQ(LS.SolverQueries, S.stats().Queries);
+}
+
 // --- the leq memo ---------------------------------------------------------
 
 TEST(StateLeqMemo, MatchesDirectLeq) {

@@ -1,0 +1,194 @@
+//===- shard_test.cpp - Multi-process sharded lifting ---------------------===//
+//
+// The shard runner's whole contract is "N processes, same bytes": the
+// merged report of any worker count must be byte-identical to the serial
+// run, a killed worker must be retried without a trace in the output, and
+// a poisoned artifact-store entry must degrade to a clean re-lift in
+// whichever process hits it. Workers are the real hglift binary
+// (HGLIFT_BIN), spawned through shard::runShards exactly as the CLI does
+// it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Programs.h"
+#include "shard/Shard.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+using namespace hglift;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string tmpPath(const std::string &Name) {
+  return "/tmp/hglift_shard_" + Name;
+}
+
+void writeBinary(const corpus::BuiltBinary &BB, const std::string &Path) {
+  std::ofstream Out(Path, std::ios::binary);
+  Out.write(reinterpret_cast<const char *>(BB.ElfBytes.data()),
+            static_cast<std::streamsize>(BB.ElfBytes.size()));
+}
+
+/// The corpus every test shares: a mix of clean lifts and one binary the
+/// analysis rejects, so exit-code aggregation is exercised too.
+std::vector<std::string> corpusOnDisk() {
+  static std::vector<std::string> Paths = [] {
+    std::vector<std::string> P;
+    auto Put = [&](const char *Name,
+                   std::optional<corpus::BuiltBinary> BB) {
+      if (!BB)
+        return;
+      std::string Path = tmpPath(std::string(Name) + ".elf");
+      writeBinary(*BB, Path);
+      P.push_back(Path);
+    };
+    Put("callchain", corpus::callChainBinary());
+    Put("jt", corpus::jumpTableBinary());
+    Put("branch", corpus::branchLoopBinary());
+    Put("overflow", corpus::overflowBinary());
+    return P;
+  }();
+  return Paths;
+}
+
+shard::ShardOptions baseOptions(const std::string &CacheDir,
+                                unsigned Shards) {
+  shard::ShardOptions O;
+  O.Binaries = corpusOnDisk();
+  O.Shards = Shards;
+  O.CacheDir = CacheDir;
+  O.Check = true;
+  O.WorkerExe = HGLIFT_BIN;
+  return O;
+}
+
+shard::ShardResult runFresh(const std::string &Tag, unsigned Shards) {
+  std::string Dir = tmpPath("cache_" + Tag);
+  fs::remove_all(Dir);
+  return shard::runShards(baseOptions(Dir, Shards));
+}
+
+TEST(ShardPlan, RoundRobinDeterministicAndBalanced) {
+  auto Plan = shard::planShards(10, 3);
+  ASSERT_EQ(Plan.size(), 3u);
+  EXPECT_EQ(Plan[0], (std::vector<size_t>{0, 3, 6, 9}));
+  EXPECT_EQ(Plan[1], (std::vector<size_t>{1, 4, 7}));
+  EXPECT_EQ(Plan[2], (std::vector<size_t>{2, 5, 8}));
+
+  // Every index appears exactly once, slices are balanced to within one,
+  // and more shards than binaries leaves the tail empty, never crashes.
+  auto Wide = shard::planShards(2, 5);
+  ASSERT_EQ(Wide.size(), 5u);
+  size_t Total = 0;
+  for (const auto &Slice : Wide)
+    Total += Slice.size();
+  EXPECT_EQ(Total, 2u);
+  EXPECT_TRUE(Wide[3].empty());
+  EXPECT_TRUE(shard::planShards(0, 4) ==
+              std::vector<std::vector<size_t>>(4));
+  // Shards == 0 is clamped to one slice holding everything.
+  auto One = shard::planShards(7, 0);
+  ASSERT_EQ(One.size(), 1u);
+  EXPECT_EQ(One[0].size(), 7u);
+}
+
+TEST(ShardMerge, SerialOneAndManyShardsAreByteIdentical) {
+  shard::ShardResult Serial = runFresh("serial", 1);
+  ASSERT_TRUE(Serial.Ok) << Serial.Error;
+  EXPECT_EQ(Serial.WorkersSpawned, 0u) << "serial mode runs in-process";
+  EXPECT_FALSE(Serial.MergedReport.empty());
+  // The corpus contains a rejected binary: aggregate exit must say so.
+  EXPECT_EQ(Serial.Exit, 1);
+
+  for (unsigned N : {2u, 4u}) {
+    shard::ShardResult R = runFresh("n" + std::to_string(N), N);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_GE(R.WorkersSpawned, std::min<size_t>(N, corpusOnDisk().size()));
+    EXPECT_EQ(R.WorkersCrashed, 0u);
+    EXPECT_EQ(R.Exit, Serial.Exit);
+    EXPECT_EQ(R.MergedReport, Serial.MergedReport)
+        << N << "-shard merge differs from the serial run";
+  }
+}
+
+TEST(ShardMerge, KilledWorkerIsRetriedWithUnaffectedReport) {
+  shard::ShardResult Clean = runFresh("clean", 3);
+  ASSERT_TRUE(Clean.Ok) << Clean.Error;
+
+  // Shard 1's first attempt kills itself before lifting (the hook the
+  // parent plants only in that child's environment); the retry must run
+  // clean and the merged bytes must not betray that anything happened.
+  ::setenv("HGLIFT_SHARD_TEST_CRASH", "1", 1);
+  shard::ShardResult Crashed = runFresh("crashed", 3);
+  ::unsetenv("HGLIFT_SHARD_TEST_CRASH");
+
+  ASSERT_TRUE(Crashed.Ok) << Crashed.Error;
+  EXPECT_EQ(Crashed.WorkersCrashed, 1u);
+  EXPECT_EQ(Crashed.WorkersRetried, 1u);
+  EXPECT_EQ(Crashed.Exit, Clean.Exit);
+  EXPECT_EQ(Crashed.MergedReport, Clean.MergedReport);
+}
+
+TEST(ShardCache, PoisonedEntryDegradesToCleanMissAcrossProcesses) {
+  std::string Dir = tmpPath("cache_poison");
+  fs::remove_all(Dir);
+  shard::ShardResult Cold = shard::runShards(baseOptions(Dir, 2));
+  ASSERT_TRUE(Cold.Ok) << Cold.Error;
+
+  // Corrupt every stored function object: truncate to half. The store's
+  // checksum must reject them in whichever worker process reads them, and
+  // the warm re-run must silently re-lift — identical report, no crash.
+  size_t Poisoned = 0;
+  for (auto &E : fs::directory_iterator(Dir + "/objects")) {
+    std::ifstream In(E.path(), std::ios::binary);
+    std::string Bytes((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    In.close();
+    ASSERT_GT(Bytes.size(), 16u);
+    std::ofstream Out(E.path(), std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(),
+              static_cast<std::streamsize>(Bytes.size() / 2));
+    ++Poisoned;
+  }
+  ASSERT_GT(Poisoned, 0u);
+
+  shard::ShardResult Warm = shard::runShards(baseOptions(Dir, 2));
+  ASSERT_TRUE(Warm.Ok) << Warm.Error;
+  EXPECT_EQ(Warm.Exit, Cold.Exit);
+  EXPECT_EQ(Warm.MergedReport, Cold.MergedReport);
+}
+
+TEST(ShardErrors, UsageAndIoFailuresAreReportedNotHung) {
+  shard::ShardOptions NoCache = baseOptions("", 2);
+  NoCache.CacheDir.clear();
+  shard::ShardResult R = shard::runShards(NoCache);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Exit, 2);
+
+  shard::ShardOptions Empty = baseOptions(tmpPath("cache_empty"), 2);
+  Empty.Binaries.clear();
+  R = shard::runShards(Empty);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Exit, 2);
+
+  // An unreadable input is a per-binary rejection, not a crash: the run
+  // completes with a synthetic "unreadable" fragment and exit 1.
+  std::string Garbage = tmpPath("garbage.bin");
+  std::ofstream(Garbage) << "this is not an elf";
+  shard::ShardOptions WithGarbage = baseOptions(tmpPath("cache_garbage"), 2);
+  fs::remove_all(tmpPath("cache_garbage"));
+  WithGarbage.Binaries.push_back(Garbage);
+  R = shard::runShards(WithGarbage);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Exit, 1);
+  EXPECT_NE(R.MergedReport.find("\"outcome\": \"unreadable\""),
+            std::string::npos);
+}
+
+} // namespace
