@@ -18,7 +18,13 @@
 //     run is byte-identical to the serial run;
 //   * scaling gate (full mode, >= 4 hardware threads only — auto-skipped
 //     and reported as such on smaller machines): 4 workers beat the
-//     serial run by >= 1.3x wall clock.
+//     serial run by >= 1.3x wall clock;
+//   * skew gate (same auto-skip rule, with the reason recorded in the
+//     JSON): on a corpus with one dominant binary parked behind a static
+//     round-robin slice-mate, the work-stealing scheduler beats the
+//     --no-work-stealing ablation by >= 1.3x wall clock with identical
+//     merged bytes; a ledger-warm rerun (observed seconds driving claim
+//     order, artifact store dropped) is timed alongside.
 //
 // Results go to BENCH_shard.json (--out PATH to override). --smoke runs a
 // tiny corpus and only the identity/consistency gates; that mode is wired
@@ -280,6 +286,86 @@ ShardRun runShardMode(const std::vector<std::string> &Paths,
   return Out;
 }
 
+// --- phase 5: skewed corpus, work stealing vs static round-robin ----------
+
+/// Twelve small shared objects and one dominant one (~4x a small one's
+/// cost), the dominant placed at an index the round-robin plan maps to a
+/// worker that also owns small binaries. Static assignment serializes the
+/// dominant binary behind its slice-mates; the pull scheduler starts it
+/// first (longest-job-first via the cost heuristic) and spreads the small
+/// ones over the remaining workers.
+std::vector<std::string> skewCorpusToDisk(const std::string &Dir) {
+  std::filesystem::create_directories(Dir);
+  std::vector<std::string> Paths;
+  auto Emit = [&](const corpus::GenOptions &G) {
+    auto BB = corpus::randomLibrary(G);
+    if (!BB) {
+      std::fprintf(stderr, "warning: skew item %s failed to build\n",
+                   G.Name.c_str());
+      return;
+    }
+    std::string P = Dir + "/" + G.Name + ".elf";
+    std::ofstream Out(P, std::ios::binary);
+    Out.write(reinterpret_cast<const char *>(BB->ElfBytes.data()),
+              static_cast<std::streamsize>(BB->ElfBytes.size()));
+    Paths.push_back(P);
+  };
+  for (unsigned I = 0; I < 12; ++I) {
+    corpus::GenOptions G;
+    G.Seed = 0x5e3d00 + I;
+    G.NumFuncs = 3;
+    G.TargetInstrs = 40;
+    G.JumpTablePct = 10;
+    G.Name = "skew_small_" + std::to_string(I);
+    Emit(G);
+    if (I == 3) {
+      // Index 4: worker 0's slice under a 4-worker round-robin, behind
+      // its index-0 small binary.
+      corpus::GenOptions D;
+      D.Seed = 0x5e3dff;
+      D.NumFuncs = 10;
+      D.TargetInstrs = 160;
+      D.JumpTablePct = 20;
+      D.Name = "skew_dominant";
+      Emit(D);
+    }
+  }
+  return Paths;
+}
+
+struct SkewRun {
+  bool Ok = false;
+  double Wall = 0;
+  uint64_t Steals = 0;
+  std::string Report;
+};
+
+SkewRun runSkewMode(const std::vector<std::string> &Paths,
+                    const std::string &CacheDir, bool Stealing, bool Fresh) {
+  if (Fresh)
+    std::filesystem::remove_all(CacheDir);
+  shard::ShardOptions O;
+  O.Binaries = Paths;
+  O.Shards = 4;
+  O.WorkStealing = Stealing;
+  O.Library = true;
+  O.CacheDir = CacheDir;
+  O.WorkerExe = HGLIFT_BIN;
+  auto T0 = std::chrono::steady_clock::now();
+  shard::ShardResult R = shard::runShards(O);
+  SkewRun Out;
+  Out.Wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  Out.Ok = R.Ok;
+  Out.Steals = R.Sched.Steals;
+  Out.Report = std::move(R.MergedReport);
+  if (!R.Ok)
+    std::fprintf(stderr, "skew run (%s): %s\n",
+                 Stealing ? "stealing" : "static", R.Error.c_str());
+  return Out;
+}
+
 std::string jsonNum(double D) {
   char Buf[32];
   std::snprintf(Buf, sizeof(Buf), "%.6f", D);
@@ -290,15 +376,23 @@ std::string jsonNum(double D) {
 
 int main(int argc, char **argv) {
   bool Smoke = false;
+  bool ForceSkew = false;
   std::string OutPath = "BENCH_shard.json";
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     if (A == "--smoke")
       Smoke = true;
+    else if (A == "--force-skew")
+      // Maintainer knob: run the skew phase even where it would auto-skip
+      // (smoke mode, few hardware threads). The speedup gate still
+      // applies, so expect a FAIL on machines without real parallelism —
+      // this is for exercising the phase, not for passing it.
+      ForceSkew = true;
     else if (A == "--out" && I + 1 < argc)
       OutPath = argv[++I];
     else {
-      std::fprintf(stderr, "usage: bench_shard [--smoke] [--out F]\n");
+      std::fprintf(stderr,
+                   "usage: bench_shard [--smoke] [--force-skew] [--out F]\n");
       return 2;
     }
   }
@@ -377,6 +471,52 @@ int main(int argc, char **argv) {
                       : "fewer than 4 hardware threads");
   }
 
+  // Phase 5: skewed corpus — one dominant binary behind a static
+  // round-robin slice-mate. The pull scheduler must recover the idle
+  // time: >= 1.3x wall clock over the --no-work-stealing ablation, same
+  // bytes. Needs real parallelism underneath, so auto-skipped (and the
+  // reason recorded) below 4 hardware threads and in smoke mode.
+  bool SkewSkipped = (Smoke || HwThreads < 4) && !ForceSkew;
+  std::string SkewSkipReason =
+      !SkewSkipped ? ""
+      : Smoke      ? "smoke mode"
+                   : "fewer than 4 hardware threads";
+  double SkewSpeedup = 0, SkewRRWall = 0, SkewWSWall = 0, SkewWarmWall = 0;
+  uint64_t SkewSteals = 0;
+  bool SkewPass = true, SkewIdentical = true;
+  if (!SkewSkipped) {
+    std::vector<std::string> SkewPaths =
+        skewCorpusToDisk(WorkRoot + "/skew_elfs");
+    std::string SkewCacheRR = WorkRoot + "/cache_skew_rr";
+    std::string SkewCacheWS = WorkRoot + "/cache_skew_ws";
+    SkewRun RR = runSkewMode(SkewPaths, SkewCacheRR, /*Stealing=*/false,
+                             /*Fresh=*/true);
+    SkewRun WS = runSkewMode(SkewPaths, SkewCacheWS, /*Stealing=*/true,
+                             /*Fresh=*/true);
+    // Ledger-warm: keep the cost ledger from the stealing run but drop
+    // the lifted-artifact store, so the rerun re-lifts everything with
+    // observed seconds (not the static heuristic) driving claim order.
+    std::filesystem::remove_all(SkewCacheWS + "/objects");
+    std::filesystem::remove_all(SkewCacheWS + "/shard");
+    SkewRun Warm = runSkewMode(SkewPaths, SkewCacheWS, /*Stealing=*/true,
+                               /*Fresh=*/false);
+    SkewRRWall = RR.Wall;
+    SkewWSWall = WS.Wall;
+    SkewWarmWall = Warm.Wall;
+    SkewSteals = WS.Steals;
+    SkewSpeedup = WS.Wall > 0 ? RR.Wall / WS.Wall : 0;
+    SkewIdentical = RR.Ok && WS.Ok && Warm.Ok && WS.Report == RR.Report &&
+                    Warm.Report == RR.Report;
+    SkewPass = SkewIdentical && SkewSpeedup >= 1.3;
+    std::printf("skew: round-robin %.3fs vs stealing %.3fs = %.2fx "
+                "(ledger-warm %.3fs, %llu steals); bytes %s\n\n",
+                RR.Wall, WS.Wall, SkewSpeedup, Warm.Wall,
+                (unsigned long long)WS.Steals,
+                SkewIdentical ? "identical" : "DIFFER");
+  } else {
+    std::printf("skew: skipped (%s)\n\n", SkewSkipReason.c_str());
+  }
+
   // Gates. Timing/count reductions only gate the full run (smoke corpora
   // are too small for stable ratios).
   bool GateStruct = StructIdentical;
@@ -384,8 +524,8 @@ int main(int argc, char **argv) {
   bool GateShard = Identical2 && Identical4;
   bool GateZ3 = Smoke || Z3Reduction >= 1.5;
   bool GateTime = Smoke || TimeReduction >= 1.5;
-  bool Pass =
-      GateStruct && GateDiff && GateShard && GateZ3 && GateTime && ScalingPass;
+  bool Pass = GateStruct && GateDiff && GateShard && GateZ3 && GateTime &&
+              ScalingPass && SkewPass;
 
   std::ofstream Out(OutPath);
   if (!Out) {
@@ -431,6 +571,19 @@ int main(int argc, char **argv) {
       << "    \"skipped\": " << (ScalingSkipped ? "true" : "false") << ",\n"
       << "    \"speedup_4_workers\": " << jsonNum(ScalingSpeedup) << "\n"
       << "  },\n"
+      << "  \"skew\": {\n"
+      << "    \"skipped\": " << (SkewSkipped ? "true" : "false") << ",\n"
+      << "    \"skip_reason\": \"" << SkewSkipReason << "\",\n"
+      << "    \"round_robin_wall_seconds\": " << jsonNum(SkewRRWall) << ",\n"
+      << "    \"work_stealing_wall_seconds\": " << jsonNum(SkewWSWall)
+      << ",\n"
+      << "    \"ledger_warm_wall_seconds\": " << jsonNum(SkewWarmWall)
+      << ",\n"
+      << "    \"speedup\": " << jsonNum(SkewSpeedup) << ",\n"
+      << "    \"steals\": " << SkewSteals << ",\n"
+      << "    \"bytes_identical\": " << (SkewIdentical ? "true" : "false")
+      << "\n"
+      << "  },\n"
       << "  \"gates\": {\n"
       << "    \"structural_identity\": " << (GateStruct ? "true" : "false")
       << ",\n"
@@ -443,7 +596,9 @@ int main(int argc, char **argv) {
       << (GateTime ? "true" : "false") << ",\n"
       << "    \"process_scaling\": "
       << (ScalingSkipped ? "\"skipped\"" : (ScalingPass ? "true" : "false"))
-      << "\n"
+      << ",\n"
+      << "    \"skew_speedup_1_3x\": "
+      << (SkewSkipped ? "\"skipped\"" : (SkewPass ? "true" : "false")) << "\n"
       << "  },\n"
       << "  \"pass\": " << (Pass ? "true" : "false") << "\n"
       << "}\n";

@@ -51,12 +51,15 @@
 //                          checks) as JSON Lines to F
 //
 // Sharded corpus lifting (see docs/SHARDING.md):
-//   hglift shard <bin1.elf> <bin2.elf> ... --cache-dir DIR [--shards N]
-//               [--check] [--library] [--no-solver-portfolio]
+//   hglift shard <bin1.elf> <bin2.elf> ... --cache-dir DIR [--shards N|auto]
+//               [--no-work-stealing] [--steal-granularity binary|function]
+//               [--progress] [--check] [--library] [--no-solver-portfolio]
 //               [--cache-max-mb N] [--no-cache-validate] [--max-seconds N]
-//               [--report-json FILE]
-//   (--shard-worker I,J,... is the internal worker mode the parent spawns;
-//   the merged report is byte-identical to a --shards 1 serial run.)
+//               [--report-json FILE] [--stats-json FILE]
+//   (--shard-worker-fds G,R is the internal worker mode the parent spawns:
+//   the worker claims units over the grant/request pipes. The merged
+//   report is byte-identical to a --shards 1 serial run under any worker
+//   count and steal order.)
 //
 // Fuzzing (see docs/FUZZING.md):
 //   hglift fuzz [--seed S] [--runs N] [--max-insns K] [--mutate-semantics]
@@ -81,6 +84,7 @@
 #include "export/IsabelleExport.h"
 #include "fuzz/Campaign.h"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -101,9 +105,11 @@ void printUsage(std::ostream &OS) {
         "[--stats-json FILE] [--report-json FILE] [--trace FILE]\n"
         "       hglift check <binary.elf> [options]   (implies --check)\n"
         "       hglift shard <bin1.elf> <bin2.elf> ... --cache-dir DIR "
-        "[--shards N] [--check] [--library] [--no-solver-portfolio] "
-        "[--cache-max-mb N] [--no-cache-validate] [--max-seconds N] "
-        "[--report-json FILE]\n"
+        "[--shards N|auto] [--no-work-stealing] "
+        "[--steal-granularity binary|function] [--progress] [--check] "
+        "[--library] [--no-solver-portfolio] [--cache-max-mb N] "
+        "[--no-cache-validate] [--max-seconds N] [--report-json FILE] "
+        "[--stats-json FILE]\n"
         "       hglift explain <report.json> [--function F] [--addr A]\n"
         "       hglift fuzz [--seed S] [--runs N] [--max-insns K] "
         "[--mutate-semantics] [--mutants a,b] [--fuzz-json FILE] "
@@ -199,17 +205,38 @@ int explainMain(int argc, char **argv) {
 }
 
 /// `hglift shard`: multi-process corpus lifting (shard/Shard.h). The same
-/// entry also hosts the internal worker mode — `--shard-worker I,J,...`
-/// lifts just those indices in-process and writes their report fragments.
+/// entry also hosts the internal worker mode — `--shard-worker-fds G,R`
+/// claims work units over the grant/request pipe pair until told BYE.
 int shardMain(int argc, char **argv) {
   shard::ShardOptions Opt;
-  std::string WorkerSpec, ReportJsonOut;
+  std::string WorkerFds, ReportJsonOut, StatsJsonOut;
   for (int I = 2; I < argc; ++I) {
     std::string A = argv[I];
-    if (A == "--shards" && I + 1 < argc)
-      Opt.Shards = static_cast<unsigned>(std::atoi(argv[++I]));
-    else if (A == "--shard-worker" && I + 1 < argc)
-      WorkerSpec = argv[++I];
+    if (A == "--shards" && I + 1 < argc) {
+      std::string V = argv[++I];
+      if (V == "auto") {
+        Opt.AutoShards = true;
+      } else {
+        Opt.Shards = static_cast<unsigned>(std::atoi(V.c_str()));
+        Opt.AutoShards = false;
+      }
+    } else if (A == "--shard-worker-fds" && I + 1 < argc)
+      WorkerFds = argv[++I];
+    else if (A == "--no-work-stealing")
+      Opt.WorkStealing = false;
+    else if (A == "--steal-granularity" && I + 1 < argc) {
+      std::string V = argv[++I];
+      if (V == "binary")
+        Opt.Granularity = shard::StealGranularity::Binary;
+      else if (V == "function")
+        Opt.Granularity = shard::StealGranularity::Function;
+      else {
+        std::cerr << "shard: bad --steal-granularity (binary|function): " << V
+                  << "\n";
+        return toExit(ExitCode::Usage);
+      }
+    } else if (A == "--progress")
+      Opt.Progress = true;
     else if (A == "--cache-dir" && I + 1 < argc)
       Opt.CacheDir = argv[++I];
     else if (A == "--cache-max-mb" && I + 1 < argc)
@@ -226,6 +253,8 @@ int shardMain(int argc, char **argv) {
       Opt.MaxSeconds = std::atof(argv[++I]);
     else if (A == "--report-json" && I + 1 < argc)
       ReportJsonOut = argv[++I];
+    else if (A == "--stats-json" && I + 1 < argc)
+      StatsJsonOut = argv[++I];
     else if (!A.empty() && A[0] != '-')
       Opt.Binaries.push_back(A);
     else {
@@ -235,30 +264,34 @@ int shardMain(int argc, char **argv) {
     }
   }
 
-  if (!WorkerSpec.empty()) {
-    std::vector<size_t> Indices;
-    size_t Pos = 0;
-    while (Pos <= WorkerSpec.size()) {
-      size_t Comma = WorkerSpec.find(',', Pos);
-      if (Comma == std::string::npos)
-        Comma = WorkerSpec.size();
-      if (Comma > Pos)
-        Indices.push_back(std::strtoull(
-            WorkerSpec.substr(Pos, Comma - Pos).c_str(), nullptr, 10));
-      Pos = Comma + 1;
+  if (!WorkerFds.empty()) {
+    int GrantFd = -1, RequestFd = -1;
+    if (std::sscanf(WorkerFds.c_str(), "%d,%d", &GrantFd, &RequestFd) != 2 ||
+        GrantFd < 0 || RequestFd < 0) {
+      std::cerr << "shard: bad --shard-worker-fds: " << WorkerFds << "\n";
+      return toExit(ExitCode::Usage);
     }
-    return shard::runWorker(Opt, Indices);
+    return shard::runWorkerLoop(Opt, GrantFd, RequestFd);
   }
 
   shard::ShardResult R = shard::runShards(Opt);
+  if (!StatsJsonOut.empty()) {
+    std::ofstream Out(StatsJsonOut, std::ios::binary);
+    if (!Out) {
+      std::cerr << "cannot open " << StatsJsonOut << " for writing\n";
+      return toExit(ExitCode::Io);
+    }
+    shard::writeShardStatsJson(Out, Opt, R);
+  }
   if (!R.Ok) {
     std::cerr << "shard: " << R.Error << "\n";
     return R.Exit;
   }
   std::cout << "shard: " << Opt.Binaries.size() << " binaries across "
-            << (Opt.Shards <= 1 ? 1u : Opt.Shards) << " shard(s), "
-            << R.WorkersSpawned << " worker(s) spawned, " << R.WorkersCrashed
-            << " crashed, " << R.WorkersRetried << " retried\n";
+            << R.ShardsResolved << " shard(s), " << R.WorkersSpawned
+            << " worker(s) spawned, " << R.WorkersCrashed << " crashed, "
+            << R.WorkersRetried << " retried, " << R.Sched.Steals
+            << " stolen unit(s)\n";
   if (!ReportJsonOut.empty()) {
     std::ofstream Out(ReportJsonOut, std::ios::binary);
     if (!Out) {

@@ -7,16 +7,23 @@
 #include "diag/Json.h"
 #include "driver/ExitCode.h"
 #include "elf/ElfReader.h"
+#include "store/CostLedger.h"
+#include "store/Store.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <thread>
 
+#include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -35,11 +42,49 @@ std::vector<std::vector<size_t>> planShards(size_t NumBinaries,
   return Plan;
 }
 
+unsigned resolveAutoShards(size_t NumUnits) {
+  unsigned Hw = std::thread::hardware_concurrency();
+  if (Hw == 0)
+    Hw = 1;
+  uint64_t Cap = Hw;
+  // A worker holds one Session plus solver state; budget 256 MiB each and
+  // never probe past what the machine can actually back.
+  std::ifstream In("/proc/meminfo");
+  std::string Line;
+  while (std::getline(In, Line)) {
+    unsigned long long Kb = 0;
+    if (std::sscanf(Line.c_str(), "MemAvailable: %llu kB", &Kb) == 1) {
+      uint64_t MemCap = Kb / (256 * 1024);
+      if (MemCap < 1)
+        MemCap = 1;
+      Cap = std::min(Cap, MemCap);
+      break;
+    }
+  }
+  if (NumUnits)
+    Cap = std::min<uint64_t>(Cap, NumUnits);
+  return static_cast<unsigned>(std::max<uint64_t>(1, Cap));
+}
+
 std::string fragPath(const std::string &CacheDir, size_t Idx) {
   return CacheDir + "/shard/frag-" + std::to_string(Idx) + ".report.json";
 }
 
 namespace {
+
+/// Static cost heuristic when the ledger has nothing: executable bytes
+/// dominate, with a per-function constant for symbol-rich libraries. The
+/// absolute scale only matters until the first observed completion — the
+/// progress reporter calibrates ETA against real seconds as they arrive,
+/// and the ledger replaces the estimate entirely on the next run.
+double heuristicCost(const elf::BinaryImage &Img) {
+  size_t TextBytes = 0;
+  for (const elf::Segment &S : Img.Segments)
+    if (S.Exec)
+      TextBytes += S.Bytes.size();
+  return 1e-3 * static_cast<double>(TextBytes) +
+         0.02 * static_cast<double>(Img.Functions.size());
+}
 
 /// Render one binary's report fragment — the exact bytes `hglift
 /// [check] --report-json` would write for it. Unreadable ELFs get a
@@ -114,21 +159,106 @@ bool ensureFragDir(const std::string &CacheDir, std::string &Err) {
   return true;
 }
 
-/// Build the worker argv for one shard. The slice is passed as a
-/// comma-separated list of global indices; every CLI-serializable option
-/// is forwarded so the worker reconstructs an identical ShardOptions.
-std::vector<std::string> workerArgs(const ShardOptions &Opt,
-                                    const std::vector<size_t> &Indices,
-                                    const std::string &Exe) {
-  std::string Spec;
-  for (size_t I : Indices) {
-    if (!Spec.empty())
-      Spec += ",";
-    Spec += std::to_string(I);
+// --- claim-protocol plumbing ---------------------------------------------
+//
+// Line-based, newline-terminated, every message far below PIPE_BUF so
+// writes are atomic. Parent-to-worker: "RUN <id> L <bin>", "RUN <id> P
+// <bin> <e1>,<e2>,...", "BYE". Worker-to-parent: "REQ", "FIN <id> <exit>
+// <seconds>". This seam is deliberately transport-shaped: `hglift serve`
+// will speak the same claim/complete protocol over a socket.
+
+bool writeAll(int Fd, const std::string &S) {
+  size_t Off = 0;
+  while (Off < S.size()) {
+    ssize_t N = ::write(Fd, S.data() + Off, S.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
   }
-  std::vector<std::string> A{Exe,          "shard", "--shard-worker",
-                             Spec,         "--cache-dir", Opt.CacheDir,
-                             "--shards",   std::to_string(Opt.Shards)};
+  return true;
+}
+
+/// Blocking read of one line; Buf carries bytes past the newline for the
+/// next call. nullopt on EOF or a hard error (the peer is gone).
+std::optional<std::string> readLineBlocking(int Fd, std::string &Buf) {
+  for (;;) {
+    size_t NL = Buf.find('\n');
+    if (NL != std::string::npos) {
+      std::string L = Buf.substr(0, NL);
+      Buf.erase(0, NL + 1);
+      return L;
+    }
+    char Tmp[512];
+    ssize_t N = ::read(Fd, Tmp, sizeof(Tmp));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return std::nullopt;
+    }
+    if (N == 0)
+      return std::nullopt;
+    Buf.append(Tmp, static_cast<size_t>(N));
+  }
+}
+
+std::string makeRunLine(size_t Id, const WorkUnit &U) {
+  std::ostringstream OS;
+  OS << "RUN " << Id << " " << (U.K == WorkUnit::Kind::Lift ? "L" : "P")
+     << " " << U.Bin;
+  if (U.K == WorkUnit::Kind::Prewarm) {
+    OS << " ";
+    for (size_t I = 0; I < U.Entries.size(); ++I) {
+      if (I)
+        OS << ",";
+      OS << std::hex << U.Entries[I] << std::dec;
+    }
+  }
+  OS << "\n";
+  return OS.str();
+}
+
+bool parseRunLine(const std::string &Line, size_t &Id, WorkUnit &U) {
+  std::istringstream IS(Line);
+  std::string Tag, Kind;
+  size_t Bin = 0;
+  if (!(IS >> Tag >> Id >> Kind >> Bin) || Tag != "RUN")
+    return false;
+  U.Bin = Bin;
+  if (Kind == "L") {
+    U.K = WorkUnit::Kind::Lift;
+    return true;
+  }
+  if (Kind != "P")
+    return false;
+  U.K = WorkUnit::Kind::Prewarm;
+  std::string List;
+  if (!(IS >> List))
+    return false;
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = List.size();
+    if (Comma > Pos)
+      U.Entries.push_back(
+          std::strtoull(List.substr(Pos, Comma - Pos).c_str(), nullptr, 16));
+    Pos = Comma + 1;
+  }
+  return !U.Entries.empty();
+}
+
+/// Build the worker argv. No slice — workers pull over the claim pipes —
+/// but every CLI-serializable option is still forwarded so the worker
+/// reconstructs an identical per-unit ShardOptions.
+std::vector<std::string> workerArgs(const ShardOptions &Opt, int GrantR,
+                                    int ReqW, const std::string &Exe) {
+  std::vector<std::string> A{Exe, "shard", "--shard-worker-fds",
+                             std::to_string(GrantR) + "," +
+                                 std::to_string(ReqW),
+                             "--cache-dir", Opt.CacheDir};
   if (Opt.CacheMaxMB) {
     A.push_back("--cache-max-mb");
     A.push_back(std::to_string(Opt.CacheMaxMB));
@@ -150,16 +280,38 @@ std::vector<std::string> workerArgs(const ShardOptions &Opt,
   return A;
 }
 
-struct WorkerProc {
+/// One worker slot in the parent: its process, its pipe ends, and its
+/// protocol state.
+struct WorkerSlot {
   pid_t Pid = -1;
-  size_t ShardIdx = 0;
-  unsigned Attempt = 0;
+  int ReqR = -1;   ///< parent reads REQ/FIN here
+  int GrantW = -1; ///< parent writes RUN/BYE here
+  unsigned SpawnCount = 0;
+  long Claimed = -1; ///< unit id currently claimed, -1 when idle
+  bool Parked = false;
+  bool ByeSent = false;
+  bool Alive = false;
+  std::string Buf;
 };
 
-/// fork/exec one worker. InjectCrash plants the crash-now variable in the
-/// child's environment only — the parent's environment is never touched,
-/// so concurrent shards and the retry are unaffected.
-pid_t spawnWorker(const std::vector<std::string> &Args, bool InjectCrash) {
+/// fork/exec one worker on fresh pipes. The crash hooks are planted in
+/// the child's environment only — the parent's environment is never
+/// touched, so sibling workers and the retry are unaffected. All other
+/// slots' pipe ends are closed in the child: a crashed sibling's request
+/// pipe must reach EOF in the parent, not stay open here.
+bool spawnWorker(const ShardOptions &Opt, const std::string &Exe,
+                 std::vector<WorkerSlot> &Slots, size_t SlotIdx,
+                 bool InjectCrashNow, bool InjectCrashMidClaim) {
+  int Req[2], Grant[2];
+  if (::pipe(Req) != 0)
+    return false;
+  if (::pipe(Grant) != 0) {
+    ::close(Req[0]);
+    ::close(Req[1]);
+    return false;
+  }
+
+  std::vector<std::string> Args = workerArgs(Opt, Grant[0], Req[1], Exe);
   std::vector<char *> Argv;
   Argv.reserve(Args.size() + 1);
   for (const std::string &A : Args)
@@ -167,55 +319,258 @@ pid_t spawnWorker(const std::vector<std::string> &Args, bool InjectCrash) {
   Argv.push_back(nullptr);
 
   pid_t Pid = ::fork();
-  if (Pid != 0)
-    return Pid; // parent (or fork failure, -1)
-  if (InjectCrash)
-    ::setenv("HGLIFT_SHARD_CRASH_NOW", "1", 1);
-  else
-    ::unsetenv("HGLIFT_SHARD_CRASH_NOW");
-  ::execv(Argv[0], Argv.data());
-  // exec failed: exit with the Usage code so the parent treats it as a
-  // crash-class failure and reports it after the retry also fails.
-  std::fprintf(stderr, "shard: cannot exec %s: %s\n", Argv[0],
-               std::strerror(errno));
-  ::_exit(toExit(ExitCode::Usage));
-}
+  if (Pid < 0) {
+    ::close(Req[0]);
+    ::close(Req[1]);
+    ::close(Grant[0]);
+    ::close(Grant[1]);
+    return false;
+  }
+  if (Pid == 0) {
+    for (const WorkerSlot &S : Slots) {
+      if (S.ReqR >= 0)
+        ::close(S.ReqR);
+      if (S.GrantW >= 0)
+        ::close(S.GrantW);
+    }
+    ::close(Req[0]);
+    ::close(Grant[1]);
+    if (InjectCrashNow)
+      ::setenv("HGLIFT_SHARD_CRASH_NOW", "1", 1);
+    else
+      ::unsetenv("HGLIFT_SHARD_CRASH_NOW");
+    if (InjectCrashMidClaim)
+      ::setenv("HGLIFT_SHARD_CRASH_AFTER_CLAIM", "1", 1);
+    else
+      ::unsetenv("HGLIFT_SHARD_CRASH_AFTER_CLAIM");
+    ::execv(Argv[0], Argv.data());
+    // exec failed: exit with the Usage code so the parent treats it as a
+    // crash-class failure and reports it after the retry also fails.
+    std::fprintf(stderr, "shard: cannot exec %s: %s\n", Argv[0],
+                 std::strerror(errno));
+    ::_exit(toExit(ExitCode::Usage));
+  }
 
-bool fragsPresent(const ShardOptions &Opt, const std::vector<size_t> &Indices) {
-  for (size_t I : Indices)
-    if (!std::filesystem::exists(fragPath(Opt.CacheDir, I)))
-      return false;
+  ::close(Req[1]);
+  ::close(Grant[0]);
+  WorkerSlot &S = Slots[SlotIdx];
+  S.Pid = Pid;
+  S.ReqR = Req[0];
+  S.GrantW = Grant[1];
+  ++S.SpawnCount;
+  S.Claimed = -1;
+  S.Parked = false;
+  S.ByeSent = false;
+  S.Alive = true;
+  S.Buf.clear();
   return true;
 }
 
+/// Live progress/ETA line on stderr. Carriage-return refreshed, final
+/// newline on finish; never touches stdout or the merged report.
+struct ProgressLine {
+  bool Enabled = false;
+  bool Printed = false;
+  std::chrono::steady_clock::time_point Last{};
+
+  void tick(size_t Done, size_t Total, unsigned Running, size_t Queued,
+            const ShardSchedStats &Sched, double EstDone, double EstRemain,
+            unsigned Workers, bool Force) {
+    if (!Enabled)
+      return;
+    auto Now = std::chrono::steady_clock::now();
+    if (!Force && Printed &&
+        std::chrono::duration<double>(Now - Last).count() < 0.2)
+      return;
+    Last = Now;
+    Printed = true;
+    // Calibrate the heuristic scale against observed completions; until
+    // one lands, trust the estimates at face value.
+    double Calib = (EstDone > 1e-9 && Sched.ObservedSeconds > 0)
+                       ? Sched.ObservedSeconds / EstDone
+                       : 1.0;
+    double Eta = Workers ? EstRemain * Calib / Workers : EstRemain * Calib;
+    std::fprintf(stderr,
+                 "\rshard: %zu/%zu units done, %u running, %zu queued | "
+                 "steals %llu requeues %llu | eta %.1fs   ",
+                 Done, Total, Running, Queued,
+                 static_cast<unsigned long long>(Sched.Steals),
+                 static_cast<unsigned long long>(Sched.Requeues), Eta);
+  }
+
+  void finish() {
+    if (Enabled && Printed)
+      std::fprintf(stderr, "\n");
+  }
+};
+
 } // namespace
 
-int runWorker(const ShardOptions &Opt, const std::vector<size_t> &Indices) {
-  // Deterministic crash hook for the retry test: planted by the parent in
-  // this process's environment, never set outside the harness.
+std::vector<WorkUnit> planUnits(const ShardOptions &Opt, unsigned Shards,
+                                ShardSchedStats &Sched) {
+  std::vector<WorkUnit> Units;
+  store::CostLedger Ledger(Opt.CacheDir + "/ledger");
+  for (size_t I = 0; I < Opt.Binaries.size(); ++I) {
+    unsigned Owner = Shards ? static_cast<unsigned>(I % Shards) : 0;
+    WorkUnit Lift;
+    Lift.K = WorkUnit::Kind::Lift;
+    Lift.Bin = I;
+    Lift.RROwner = Owner;
+
+    auto Img = elf::readElfFile(Opt.Binaries[I]);
+    if (!Img) {
+      // Cost 0: the synthetic "unreadable" fragment is the cheapest unit
+      // in any queue. No ledger key to look up or record.
+      Units.push_back(std::move(Lift));
+      ++Sched.UnitsLift;
+      continue;
+    }
+
+    Lift.CostKey = store::costKey(*Img);
+    if (std::optional<store::CostRecord> R = Ledger.lookup(Lift.CostKey)) {
+      Lift.Est = R->Seconds;
+      Lift.FromLedger = true;
+      ++Sched.LedgerHits;
+    } else {
+      Lift.Est = heuristicCost(*Img);
+      ++Sched.LedgerMisses;
+    }
+
+    // Function granularity: split symbol-rich library binaries into
+    // advisory prewarm chunks. The lift unit runs after them (DepsLeft)
+    // and assembles its fragment from store hits, so the fragment bytes
+    // are exactly a warm run's — which are gated byte-identical to cold.
+    if (Opt.Granularity == StealGranularity::Function && Opt.Library &&
+        Opt.PrewarmChunk > 0) {
+      std::vector<uint64_t> Entries;
+      for (const elf::Symbol &F : Img->Functions)
+        if (F.IsFunc)
+          Entries.push_back(F.Addr);
+      std::sort(Entries.begin(), Entries.end());
+      Entries.erase(std::unique(Entries.begin(), Entries.end()),
+                    Entries.end());
+      if (Entries.size() > Opt.PrewarmChunk) {
+        size_t NumChunks =
+            (Entries.size() + Opt.PrewarmChunk - 1) / Opt.PrewarmChunk;
+        size_t LiftId = Units.size() + NumChunks;
+        double FullEst = Lift.Est;
+        for (size_t C = 0; C < NumChunks; ++C) {
+          WorkUnit P;
+          P.K = WorkUnit::Kind::Prewarm;
+          P.Bin = I;
+          P.RROwner = Owner;
+          P.CostKey = Lift.CostKey;
+          P.FromLedger = Lift.FromLedger;
+          size_t Begin = C * Opt.PrewarmChunk;
+          size_t End = std::min(Entries.size(), Begin + Opt.PrewarmChunk);
+          P.Entries.assign(Entries.begin() + Begin, Entries.begin() + End);
+          P.Est = FullEst * static_cast<double>(End - Begin) /
+                  static_cast<double>(Entries.size());
+          P.Dependents.push_back(LiftId);
+          Units.push_back(std::move(P));
+          ++Sched.UnitsPrewarm;
+        }
+        Lift.DepsLeft = static_cast<unsigned>(NumChunks);
+        // The lift unit itself then runs at warm-cache speed: every hit
+        // is still Step-2 re-proven, so it is cheaper, not free.
+        Lift.Est = 0.25 * FullEst;
+      }
+    }
+
+    Units.push_back(std::move(Lift));
+    ++Sched.UnitsLift;
+  }
+  Sched.UnitsTotal = Units.size();
+  for (const WorkUnit &U : Units)
+    Sched.EstimatedSeconds += U.Est;
+  return Units;
+}
+
+int execUnit(const ShardOptions &Opt, const WorkUnit &U, double *SecondsOut) {
+  auto T0 = std::chrono::steady_clock::now();
+  int Exit = toExit(ExitCode::Ok);
+  if (U.K == WorkUnit::Kind::Lift) {
+    if (U.Bin >= Opt.Binaries.size())
+      return toExit(ExitCode::Usage);
+    int Accum = toExit(ExitCode::Ok);
+    std::string Frag = liftOneFragment(Opt, U.Bin, Accum);
+    if (!writeAtomically(fragPath(Opt.CacheDir, U.Bin), Frag)) {
+      std::fprintf(stderr, "shard: cannot write %s\n",
+                   fragPath(Opt.CacheDir, U.Bin).c_str());
+      Exit = toExit(ExitCode::Io);
+    } else {
+      Exit = Accum;
+    }
+  } else {
+    // Prewarm: lift the chunk's functions into the shared store through
+    // the ordinary cache hook. The LiftConfig must match the lift unit's
+    // result-visible knobs exactly or the store's config digest would
+    // miss; the digest ignores cache/thread/budget knobs by design.
+    if (U.Bin < Opt.Binaries.size()) {
+      if (auto Img = elf::readElfFile(Opt.Binaries[U.Bin])) {
+        store::CacheStore::Options SO;
+        SO.Dir = Opt.CacheDir;
+        SO.MaxBytes = Opt.CacheMaxMB * 1024 * 1024;
+        SO.Validate = Opt.CacheValidate;
+        store::CacheStore CS(std::move(SO));
+        hg::LiftConfig Cfg;
+        Cfg.Solver.Portfolio = Opt.Portfolio;
+        if (Opt.MaxSeconds > 0)
+          Cfg.MaxSeconds = Opt.MaxSeconds;
+        Cfg.Cache = &CS;
+        hg::Lifter L(*Img, Cfg);
+        for (uint64_t E : U.Entries)
+          L.liftFunction(E);
+      }
+    }
+    // Advisory by contract: a prewarm that could not run leaves the
+    // cache cold and the lift unit does the work instead.
+  }
+  if (SecondsOut)
+    *SecondsOut =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count();
+  return Exit;
+}
+
+int runWorkerLoop(const ShardOptions &Opt, int GrantFd, int RequestFd) {
+  // Deterministic crash hooks for the retry tests: planted by the parent
+  // in this process's environment, never set outside the harness.
   if (std::getenv("HGLIFT_SHARD_CRASH_NOW"))
     ::raise(SIGKILL);
+  bool CrashAfterClaim = std::getenv("HGLIFT_SHARD_CRASH_AFTER_CLAIM");
 
+  ::signal(SIGPIPE, SIG_IGN);
   std::string Err;
   if (!ensureFragDir(Opt.CacheDir, Err)) {
     std::fprintf(stderr, "shard: %s\n", Err.c_str());
     return toExit(ExitCode::Io);
   }
 
-  int Exit = toExit(ExitCode::Ok);
-  for (size_t Idx : Indices) {
-    if (Idx >= Opt.Binaries.size()) {
-      std::fprintf(stderr, "shard: binary index %zu out of range\n", Idx);
+  if (!writeAll(RequestFd, "REQ\n"))
+    return toExit(ExitCode::Io);
+  std::string Buf;
+  for (;;) {
+    std::optional<std::string> Line = readLineBlocking(GrantFd, Buf);
+    if (!Line)
+      return toExit(ExitCode::Io); // parent vanished
+    if (*Line == "BYE")
+      return toExit(ExitCode::Ok);
+    size_t Id = 0;
+    WorkUnit U;
+    if (!parseRunLine(*Line, Id, U)) {
+      std::fprintf(stderr, "shard: malformed grant: %s\n", Line->c_str());
       return toExit(ExitCode::Usage);
     }
-    std::string Frag = liftOneFragment(Opt, Idx, Exit);
-    if (!writeAtomically(fragPath(Opt.CacheDir, Idx), Frag)) {
-      std::fprintf(stderr, "shard: cannot write %s\n",
-                   fragPath(Opt.CacheDir, Idx).c_str());
+    if (CrashAfterClaim)
+      ::raise(SIGKILL); // mid-claim: unit granted, nothing executed
+    double Secs = 0;
+    int E = execUnit(Opt, U, &Secs);
+    char Msg[128];
+    std::snprintf(Msg, sizeof(Msg), "FIN %zu %d %.6f\nREQ\n", Id, E, Secs);
+    if (!writeAll(RequestFd, Msg))
       return toExit(ExitCode::Io);
-    }
   }
-  return Exit;
 }
 
 ShardResult runShards(const ShardOptions &Opt) {
@@ -235,89 +590,347 @@ ShardResult runShards(const ShardOptions &Opt) {
     return R;
   }
   // Stale fragments from a previous run must not satisfy this one's
-  // missing-fragment check (they could mask a crashed worker).
+  // completion checks (they could mask a crashed worker).
   for (size_t I = 0; I < Opt.Binaries.size(); ++I)
     std::remove(fragPath(Opt.CacheDir, I).c_str());
 
-  auto Plan = planShards(Opt.Binaries.size(), Opt.Shards);
+  unsigned Shards =
+      Opt.AutoShards ? resolveAutoShards(Opt.Binaries.size())
+                     : (Opt.Shards == 0 ? 1u : Opt.Shards);
+  // More workers than binaries only ever idle: with function granularity
+  // the extra units still funnel into per-binary fragments.
+  unsigned W = static_cast<unsigned>(
+      std::min<size_t>(Shards, Opt.Binaries.size()));
+  if (W == 0)
+    W = 1;
+  R.ShardsResolved = W;
 
-  if (Opt.Shards <= 1) {
-    // Serial reference: the same per-binary code path, in-process.
-    R.Exit = runWorker(Opt, Plan[0]);
-    if (R.Exit >= toExit(ExitCode::Usage)) {
-      R.Error = "serial lift failed";
-      return R;
+  std::vector<WorkUnit> Units = planUnits(Opt, W, R.Sched);
+  store::CostLedger Ledger(Opt.CacheDir + "/ledger");
+
+  // Shared scheduler state (parent side; the serial path drains the same
+  // structures in-process).
+  const size_t N = Units.size();
+  std::vector<uint8_t> Done(N, 0), ClaimedFlag(N, 0), AnyOwner(N, 0);
+  std::vector<unsigned> UnitAttempts(N, 0);
+  std::vector<size_t> Ready;
+  for (size_t I = 0; I < N; ++I)
+    if (Units[I].DepsLeft == 0)
+      Ready.push_back(I);
+  size_t DoneCount = 0;
+  int ExitAccum = toExit(ExitCode::Ok);
+  double EstDone = 0;
+  std::vector<double> BinSecs(Opt.Binaries.size(), 0);
+  std::vector<unsigned> BinOutstanding(Opt.Binaries.size(), 0);
+  for (const WorkUnit &U : Units)
+    ++BinOutstanding[U.Bin];
+
+  ProgressLine Progress;
+  Progress.Enabled = Opt.Progress;
+
+  // Steal-order priority: longest estimated job first, then unit id for
+  // determinism. The static ablation instead serves each worker its
+  // round-robin slice in plan order.
+  auto Better = [&](size_t A, size_t B) {
+    if (!Opt.WorkStealing)
+      return A < B;
+    if (Units[A].Est != Units[B].Est)
+      return Units[A].Est > Units[B].Est;
+    return A < B;
+  };
+  auto PickUnit = [&](unsigned WorkerId) -> long {
+    long Best = -1;
+    for (size_t Id : Ready) {
+      if (!Opt.WorkStealing && !AnyOwner[Id] &&
+          Units[Id].RROwner != WorkerId)
+        continue;
+      if (Best < 0 || Better(Id, static_cast<size_t>(Best)))
+        Best = static_cast<long>(Id);
     }
+    return Best;
+  };
+  auto MarkDone = [&](size_t Id, int Exit, double Secs) {
+    Done[Id] = 1;
+    ++DoneCount;
+    EstDone += Units[Id].Est;
+    if (Units[Id].K == WorkUnit::Kind::Lift)
+      ExitAccum = std::max(ExitAccum, Exit);
+    R.Sched.ObservedSeconds += Secs;
+    size_t Bin = Units[Id].Bin;
+    BinSecs[Bin] += Secs;
+    if (--BinOutstanding[Bin] == 0 && Units[Id].CostKey) {
+      if (Ledger.record(Units[Id].CostKey, BinSecs[Bin]))
+        ++R.Sched.LedgerRecords;
+    }
+    for (size_t Dep : Units[Id].Dependents)
+      if (--Units[Dep].DepsLeft == 0)
+        Ready.push_back(Dep);
+  };
+
+  if (W <= 1) {
+    // Serial reference: drain the very same queue in-process, in the
+    // same cost-model order the scheduler would grant it.
+    while (DoneCount < N) {
+      long Id = PickUnit(0);
+      if (Id < 0) {
+        R.Error = "internal: scheduler stalled with units remaining";
+        R.Exit = toExit(ExitCode::Io);
+        return R;
+      }
+      Ready.erase(std::find(Ready.begin(), Ready.end(),
+                            static_cast<size_t>(Id)));
+      ++R.Sched.Claims;
+      double Secs = 0;
+      int E = execUnit(Opt, Units[Id], &Secs);
+      if (E >= toExit(ExitCode::Usage)) {
+        Progress.finish();
+        R.Error = "serial lift failed";
+        R.Exit = E;
+        return R;
+      }
+      MarkDone(static_cast<size_t>(Id), E, Secs);
+      Progress.tick(DoneCount, N, 0, Ready.size(), R.Sched, EstDone,
+                    R.Sched.EstimatedSeconds - EstDone, 1, true);
+    }
+    R.Exit = ExitAccum;
   } else {
     std::string Exe = Opt.WorkerExe.empty() ? "/proc/self/exe" : Opt.WorkerExe;
-    long CrashShard = -1;
+    long CrashSlot = -1, MidClaimSlot = -1;
     if (const char *TC = std::getenv("HGLIFT_SHARD_TEST_CRASH"))
-      CrashShard = std::strtol(TC, nullptr, 10);
+      CrashSlot = std::strtol(TC, nullptr, 10);
+    if (const char *TC = std::getenv("HGLIFT_SHARD_TEST_CRASH_MIDCLAIM"))
+      MidClaimSlot = std::strtol(TC, nullptr, 10);
 
-    // Per-shard exit codes; retried shards overwrite their first attempt.
-    std::vector<int> ShardExit(Plan.size(), toExit(ExitCode::Ok));
-    for (unsigned Attempt = 0; Attempt <= Opt.MaxRetries; ++Attempt) {
-      std::vector<WorkerProc> Live;
-      for (size_t SI = 0; SI < Plan.size(); ++SI) {
-        if (Plan[SI].empty())
+    // Dead workers must surface as EPIPE on the grant pipe, not kill the
+    // parent (which may be a test harness) with SIGPIPE.
+    void (*OldPipe)(int) = ::signal(SIGPIPE, SIG_IGN);
+
+    std::vector<WorkerSlot> Slots(W);
+    std::string FatalError;
+    int FatalExit = 0;
+
+    auto CleanupAll = [&]() {
+      for (WorkerSlot &S : Slots) {
+        if (!S.Alive)
           continue;
-        if (Attempt > 0 && ShardExit[SI] < toExit(ExitCode::Usage) &&
-            fragsPresent(Opt, Plan[SI]))
-          continue; // first attempt succeeded
-        bool Inject = Attempt == 0 && static_cast<long>(SI) == CrashShard;
-        pid_t Pid = spawnWorker(workerArgs(Opt, Plan[SI], Exe), Inject);
-        if (Pid < 0) {
-          R.Error = "fork failed";
-          R.Exit = toExit(ExitCode::Io);
-          return R;
+        ::close(S.ReqR);
+        ::close(S.GrantW);
+        S.ReqR = -1;
+        S.GrantW = -1;
+        ::kill(S.Pid, SIGKILL);
+        int St = 0;
+        ::waitpid(S.Pid, &St, 0);
+        S.Alive = false;
+      }
+      ::signal(SIGPIPE, OldPipe);
+    };
+
+    // Serve a worker's pending request: grant the best eligible unit,
+    // send BYE when the queue is drained, park it otherwise.
+    auto TryServe = [&](size_t SlotIdx) {
+      WorkerSlot &S = Slots[SlotIdx];
+      if (!S.Alive || S.ByeSent || S.Claimed >= 0 || !S.Parked)
+        return;
+      if (DoneCount == N) {
+        S.Parked = false;
+        S.ByeSent = true;
+        writeAll(S.GrantW, "BYE\n"); // failure surfaces as EOF next poll
+        return;
+      }
+      long Id = PickUnit(static_cast<unsigned>(SlotIdx));
+      if (Id < 0)
+        return; // stay parked; a FIN or requeue will unblock it
+      if (!writeAll(S.GrantW, makeRunLine(static_cast<size_t>(Id),
+                                          Units[Id])))
+        return; // worker died mid-grant; EOF handling requeues nothing
+                // (the unit was never committed to it)
+      Ready.erase(
+          std::find(Ready.begin(), Ready.end(), static_cast<size_t>(Id)));
+      ClaimedFlag[Id] = 1;
+      S.Claimed = Id;
+      S.Parked = false;
+      ++R.Sched.Claims;
+      if (Opt.WorkStealing && Units[Id].RROwner != SlotIdx)
+        ++R.Sched.Steals;
+    };
+
+    auto Requeue = [&](size_t Id) -> bool {
+      ClaimedFlag[Id] = 0;
+      AnyOwner[Id] = 1; // its owner may be gone; anyone may rescue it
+      ++R.Sched.Requeues;
+      if (++UnitAttempts[Id] > Opt.MaxRetries) {
+        FatalError = "unit for " + Opt.Binaries[Units[Id].Bin] +
+                     " failed repeatedly";
+        FatalExit = toExit(ExitCode::Io);
+        return false;
+      }
+      Ready.push_back(Id);
+      return true;
+    };
+
+    auto HandleExit = [&](size_t SlotIdx) {
+      WorkerSlot &S = Slots[SlotIdx];
+      int Status = 0;
+      ::waitpid(S.Pid, &Status, 0);
+      ::close(S.ReqR);
+      ::close(S.GrantW);
+      // Scrub the fd numbers: a respawn's fresh pipes may reuse them, and
+      // the child closes every fd still recorded in the slot table.
+      S.ReqR = -1;
+      S.GrantW = -1;
+      S.Alive = false;
+      bool Clean = S.ByeSent && S.Claimed < 0 && WIFEXITED(Status) &&
+                   WEXITSTATUS(Status) == toExit(ExitCode::Ok);
+      if (Clean)
+        return;
+      ++R.WorkersCrashed;
+      if (S.Claimed >= 0) {
+        size_t Id = static_cast<size_t>(S.Claimed);
+        S.Claimed = -1;
+        if (!Requeue(Id))
+          return;
+      }
+      if (S.SpawnCount <= Opt.MaxRetries) {
+        if (!spawnWorker(Opt, Exe, Slots, SlotIdx, false, false)) {
+          FatalError = "fork failed";
+          FatalExit = toExit(ExitCode::Io);
+          return;
         }
         ++R.WorkersSpawned;
-        Live.push_back({Pid, SI, Attempt});
+        ++R.WorkersRetried;
+      } else {
+        FatalError = "shard worker " + std::to_string(SlotIdx) +
+                     " failed twice (status " + std::to_string(Status) + ")";
+        FatalExit = WIFEXITED(Status) ? WEXITSTATUS(Status)
+                                      : toExit(ExitCode::Io);
       }
-      if (Live.empty())
-        break;
-      for (WorkerProc &W : Live) {
-        int Status = 0;
-        if (::waitpid(W.Pid, &Status, 0) < 0) {
-          R.Error = "waitpid failed";
-          R.Exit = toExit(ExitCode::Io);
-          return R;
-        }
-        bool Crashed = WIFSIGNALED(Status) ||
-                       (WIFEXITED(Status) &&
-                        WEXITSTATUS(Status) >= toExit(ExitCode::Usage)) ||
-                       !fragsPresent(Opt, Plan[W.ShardIdx]);
-        if (Crashed) {
-          ShardExit[W.ShardIdx] = toExit(ExitCode::Usage); // retry marker
-          if (Attempt == 0) {
-            ++R.WorkersCrashed;
+    };
+
+    auto ProcessLines = [&](size_t SlotIdx) {
+      WorkerSlot &S = Slots[SlotIdx];
+      size_t NL;
+      while (S.Alive && (NL = S.Buf.find('\n')) != std::string::npos) {
+        std::string Line = S.Buf.substr(0, NL);
+        S.Buf.erase(0, NL + 1);
+        if (Line == "REQ") {
+          S.Parked = true;
+          TryServe(SlotIdx);
+        } else if (Line.rfind("FIN ", 0) == 0) {
+          size_t Id = 0;
+          int UnitExit = 0;
+          double Secs = 0;
+          if (std::sscanf(Line.c_str(), "FIN %zu %d %lf", &Id, &UnitExit,
+                          &Secs) != 3 ||
+              Id >= N || S.Claimed != static_cast<long>(Id) ||
+              !ClaimedFlag[Id]) {
+            FatalError = "malformed completion from worker " +
+                         std::to_string(SlotIdx) + ": " + Line;
+            FatalExit = toExit(ExitCode::Io);
+            return;
+          }
+          S.Claimed = -1;
+          ClaimedFlag[Id] = 0;
+          if (UnitExit >= toExit(ExitCode::Usage)) {
+            // Unit-level IO/usage failure with a live worker: requeue the
+            // unit (someone else may have a healthier view of the disk),
+            // fail the run if it keeps failing.
+            if (!Requeue(Id))
+              return;
           } else {
-            R.Error = "shard " + std::to_string(W.ShardIdx) +
-                      " failed twice (status " + std::to_string(Status) + ")";
-            R.Exit = WIFEXITED(Status) ? WEXITSTATUS(Status)
-                                       : toExit(ExitCode::Io);
-            return R;
+            MarkDone(Id, UnitExit, Secs);
+            if (DoneCount == N)
+              for (size_t K = 0; K < Slots.size(); ++K)
+                TryServe(K);
           }
         } else {
-          ShardExit[W.ShardIdx] =
-              WIFEXITED(Status) ? WEXITSTATUS(Status) : toExit(ExitCode::Ok);
+          FatalError = "malformed message from worker " +
+                       std::to_string(SlotIdx) + ": " + Line;
+          FatalExit = toExit(ExitCode::Io);
+          return;
         }
-        if (W.Attempt > 0)
-          ++R.WorkersRetried;
       }
-      bool AnyCrashed = false;
-      for (size_t SI = 0; SI < Plan.size(); ++SI)
-        AnyCrashed |= ShardExit[SI] >= toExit(ExitCode::Usage);
-      if (!AnyCrashed)
+    };
+
+    for (size_t K = 0; K < Slots.size() && FatalError.empty(); ++K) {
+      if (!spawnWorker(Opt, Exe, Slots, K,
+                       static_cast<long>(K) == CrashSlot,
+                       static_cast<long>(K) == MidClaimSlot)) {
+        FatalError = "fork failed";
+        FatalExit = toExit(ExitCode::Io);
         break;
+      }
+      ++R.WorkersSpawned;
     }
-    for (int E : ShardExit)
-      R.Exit = std::max(R.Exit, E);
+
+    while (FatalError.empty()) {
+      bool AnyAlive = false;
+      std::vector<struct pollfd> Fds;
+      std::vector<size_t> FdSlot;
+      for (size_t K = 0; K < Slots.size(); ++K) {
+        if (!Slots[K].Alive)
+          continue;
+        AnyAlive = true;
+        Fds.push_back({Slots[K].ReqR, POLLIN, 0});
+        FdSlot.push_back(K);
+      }
+      if (!AnyAlive) {
+        if (DoneCount == N)
+          break;
+        FatalError = "all workers exited with units remaining";
+        FatalExit = toExit(ExitCode::Io);
+        break;
+      }
+      int PR = ::poll(Fds.data(), static_cast<nfds_t>(Fds.size()), 200);
+      if (PR < 0 && errno != EINTR) {
+        FatalError = "poll failed";
+        FatalExit = toExit(ExitCode::Io);
+        break;
+      }
+      for (size_t F = 0; F < Fds.size() && FatalError.empty(); ++F) {
+        if (!(Fds[F].revents & (POLLIN | POLLHUP | POLLERR)))
+          continue;
+        WorkerSlot &S = Slots[FdSlot[F]];
+        if (!S.Alive)
+          continue;
+        char Tmp[512];
+        ssize_t Rd = ::read(S.ReqR, Tmp, sizeof(Tmp));
+        if (Rd > 0) {
+          S.Buf.append(Tmp, static_cast<size_t>(Rd));
+          ProcessLines(FdSlot[F]);
+        } else if (Rd == 0) {
+          HandleExit(FdSlot[F]);
+        } else if (errno != EINTR && errno != EAGAIN) {
+          HandleExit(FdSlot[F]);
+        }
+      }
+      // Requeues and freshly unblocked units may satisfy parked workers.
+      for (size_t K = 0; K < Slots.size() && FatalError.empty(); ++K)
+        TryServe(K);
+
+      unsigned Running = 0;
+      for (const WorkerSlot &S : Slots)
+        if (S.Alive && S.Claimed >= 0)
+          ++Running;
+      Progress.tick(DoneCount, N, Running, Ready.size(), R.Sched, EstDone,
+                    R.Sched.EstimatedSeconds - EstDone, W, false);
+    }
+
+    if (!FatalError.empty()) {
+      Progress.finish();
+      CleanupAll();
+      R.Error = FatalError;
+      R.Exit = FatalExit;
+      return R;
+    }
+    ::signal(SIGPIPE, OldPipe);
+    R.Exit = ExitAccum;
   }
+  Progress.finish();
 
   // Entry-ordered merge: each fragment spliced in verbatim. No timing, no
   // worker identity, no schedule-dependent bytes — this is what the
-  // byte-identity gate compares against the serial run.
+  // byte-identity gate compares against the serial run, under any steal
+  // order.
   std::string Merged;
   Merged += "{\"shard_schema_version\": 1, \"binaries\": [\n";
   for (size_t I = 0; I < Opt.Binaries.size(); ++I) {
@@ -339,6 +952,51 @@ ShardResult runShards(const ShardOptions &Opt) {
   R.MergedReport = std::move(Merged);
   R.Ok = true;
   return R;
+}
+
+void writeShardStatsJson(std::ostream &OS, const ShardOptions &Opt,
+                         const ShardResult &R) {
+  auto Num = [](double D) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.6f", D);
+    return std::string(Buf);
+  };
+  OS << "{\n"
+     << "  \"shard_stats_schema_version\": 1,\n"
+     << "  \"binaries\": " << Opt.Binaries.size() << ",\n"
+     << "  \"shards\": " << R.ShardsResolved << ",\n"
+     << "  \"auto_shards\": " << (Opt.AutoShards ? "true" : "false") << ",\n"
+     << "  \"work_stealing\": " << (Opt.WorkStealing ? "true" : "false")
+     << ",\n"
+     << "  \"granularity\": \""
+     << (Opt.Granularity == StealGranularity::Function ? "function"
+                                                       : "binary")
+     << "\",\n"
+     << "  \"units\": {\n"
+     << "    \"total\": " << R.Sched.UnitsTotal << ",\n"
+     << "    \"lift\": " << R.Sched.UnitsLift << ",\n"
+     << "    \"prewarm\": " << R.Sched.UnitsPrewarm << "\n"
+     << "  },\n"
+     << "  \"scheduler\": {\n"
+     << "    \"claims\": " << R.Sched.Claims << ",\n"
+     << "    \"steals\": " << R.Sched.Steals << ",\n"
+     << "    \"requeues\": " << R.Sched.Requeues << ",\n"
+     << "    \"workers_spawned\": " << R.WorkersSpawned << ",\n"
+     << "    \"workers_crashed\": " << R.WorkersCrashed << ",\n"
+     << "    \"workers_retried\": " << R.WorkersRetried << "\n"
+     << "  },\n"
+     << "  \"ledger\": {\n"
+     << "    \"hits\": " << R.Sched.LedgerHits << ",\n"
+     << "    \"misses\": " << R.Sched.LedgerMisses << ",\n"
+     << "    \"records\": " << R.Sched.LedgerRecords << "\n"
+     << "  },\n"
+     << "  \"cost\": {\n"
+     << "    \"estimated_seconds\": " << Num(R.Sched.EstimatedSeconds)
+     << ",\n"
+     << "    \"observed_seconds\": " << Num(R.Sched.ObservedSeconds) << "\n"
+     << "  },\n"
+     << "  \"exit\": " << R.Exit << "\n"
+     << "}\n";
 }
 
 } // namespace hglift::shard

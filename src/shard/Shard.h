@@ -1,39 +1,58 @@
 //===- Shard.h - Multi-process sharded lifting ----------------*- C++ -*-===//
 //
-// Corpus-level parallelism by process, not by thread: a planner splits a
-// list of binaries across N worker processes (fork/exec of this very
-// binary with `--shard-worker`), each worker lifts its slice through the
-// ordinary hglift::Session path, and the parent splices the per-binary
-// report fragments back together in entry order. Coordination happens
-// exclusively through the filesystem under --cache-dir: workers share the
-// content-addressed artifact store (which is already safe for concurrent
-// processes) and deposit fragments in <cache-dir>/shard/.
+// Corpus-level parallelism by process, not by thread — and since the
+// work-stealing rework, *pull-based*: the parent owns one queue of work
+// units and workers claim the next unit over a pipe protocol instead of
+// receiving a fixed slice at fork time. A worker that finishes early
+// simply pulls again, so a corpus with one dominant binary no longer
+// leaves N-1 processes idle behind a straggler.
 //
-// The contract that makes this testable: the merged report is
-// byte-identical to a serial run. That falls out of construction rather
-// than luck — the serial path (Shards <= 1) IS runWorker() called
-// in-process on every index, so both modes execute the same per-binary
-// code and the merge reads the same fragment bytes. Report JSON contains
-// no timing and no schedule-dependent fields, so fragment content depends
-// only on (binary, options), never on which process produced it.
+//   parent                           worker k (fork/exec of hglift with
+//     planUnits(): cost-model         `--shard-worker-fds G,R`)
+//     ordered queue                     |
+//     |  <-- "REQ"  -------------------+   claim the next unit
+//     |  --- "RUN <id> ..." -->        |   lift it, write its fragment
+//     |  <-- "FIN <id> <exit> <s>" ----+   report outcome + seconds
+//     |  <-- "REQ" ... "BYE" -->       |   drain until the queue is dry
 //
-// Crash handling: a worker that dies on a signal (or exits with a
-// malformed-invocation/IO code, or leaves fragments missing) is re-spawned
-// once for its whole slice. Fragments are written tempfile-then-rename, so
-// a retry never observes a torn file; a clean exit-1 worker (its slice
-// contained a binary the analysis rejected) is a legitimate result and is
-// NOT retried.
+// Claim order comes from a cost model: a static heuristic (executable
+// bytes, function count) refined by the persisted cost ledger
+// (store/CostLedger.h) under --cache-dir, so warm corpora schedule
+// longest-job-first from observed lift seconds. Units are whole binaries
+// by default; with function granularity, large library binaries are
+// additionally split into advisory *prewarm* units that populate the
+// shared artifact store so the fragment-producing lift unit finishes in
+// cache-hit time.
+//
+// The contract that makes all of this testable is unchanged: the merged
+// report is byte-identical to a serial run under any worker count and any
+// steal order. That falls out of construction — the serial path (one
+// shard) executes the very same unit code in-process, fragment content
+// depends only on (binary, options), and prewarm units only ever touch
+// the store, whose warm-vs-cold report identity is already gated.
+//
+// Crash handling: a worker that dies on a signal (or exits without
+// draining cleanly) has its claimed-but-unfinished unit returned to the
+// queue and is re-spawned once; fragments are written tempfile-then-
+// rename, so a retry never observes a torn file. A clean per-unit exit 1
+// (the analysis rejected that binary) is a result, not a crash.
 //
 // Test hooks (no effect outside the harness):
-//   HGLIFT_SHARD_TEST_CRASH=<k>  the parent arranges for shard k's FIRST
-//                                attempt to kill itself before lifting;
-//                                the retry runs clean. Exercised by
-//                                tests/shard_test.cpp.
+//   HGLIFT_SHARD_TEST_CRASH=<k>           worker k's FIRST spawn kills
+//                                         itself before claiming anything.
+//   HGLIFT_SHARD_TEST_CRASH_MIDCLAIM=<k>  worker k's FIRST spawn kills
+//                                         itself after claiming its first
+//                                         unit and before executing it —
+//                                         the mid-claim requeue path.
+// Both are planted by the parent in that child's environment only;
+// retries run clean. Exercised by tests/shard_test.cpp.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef HGLIFT_SHARD_SHARD_H
 #define HGLIFT_SHARD_SHARD_H
+
+#include "support/LiftStats.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -42,18 +61,44 @@
 
 namespace hglift::shard {
 
+/// How finely the queue splits the corpus into claimable units.
+enum class StealGranularity : uint8_t {
+  /// One lift unit per input binary (the default).
+  Binary,
+  /// Additionally split large library binaries into store-prewarm units
+  /// of PrewarmChunk exported functions each; the binary's lift unit runs
+  /// after them and assembles its fragment from cache hits.
+  Function,
+};
+
 /// Everything a sharded run can be configured with. A deliberately small,
 /// CLI-serializable subset of hglift::Options: whatever is set here must
 /// survive the trip through a worker's argv, so only flat flags live here.
 struct ShardOptions {
   /// Input ELF paths. Entry order is merge order, regardless of which
-  /// shard lifts which binary.
+  /// worker lifts which binary.
   std::vector<std::string> Binaries;
-  /// Worker process count. <= 1 runs the whole list in-process (the
-  /// serial reference the byte-identity gate compares against).
+  /// Worker process count. <= 1 runs the whole queue in-process (the
+  /// serial reference the byte-identity gate compares against). Ignored
+  /// when AutoShards is set.
   unsigned Shards = 1;
-  /// Coordination root (required): shared artifact store plus the
-  /// fragment directory <CacheDir>/shard/.
+  /// `--shards auto`: probe hardware threads, cap by corpus size and
+  /// available memory (resolveAutoShards).
+  bool AutoShards = false;
+  /// Pull-based claim order (the default). False restores the static
+  /// round-robin assignment as an ablation: each worker may only claim
+  /// units the round-robin plan owns, in plan order. The protocol and the
+  /// merged bytes are identical either way; only idle time differs.
+  bool WorkStealing = true;
+  StealGranularity Granularity = StealGranularity::Binary;
+  /// Exported functions per prewarm unit (function granularity). A
+  /// library binary is split only when it has more than this many.
+  unsigned PrewarmChunk = 4;
+  /// Render a live progress/ETA line to stderr (claimed/completed units,
+  /// per-worker state, steal count, ledger-calibrated ETA).
+  bool Progress = false;
+  /// Coordination root (required): shared artifact store, the fragment
+  /// directory <CacheDir>/shard/, and the cost ledger <CacheDir>/ledger/.
   std::string CacheDir;
   uint64_t CacheMaxMB = 0;
   bool CacheValidate = true;
@@ -76,15 +121,73 @@ struct ShardOptions {
   unsigned MaxRetries = 1;
 };
 
+/// One claimable unit of the queue.
+struct WorkUnit {
+  enum class Kind : uint8_t {
+    Lift,    ///< lift (and optionally check) one binary, write its fragment
+    Prewarm, ///< lift a chunk of one library binary's functions into the
+             ///< shared store; advisory — failure degrades to a cold cache
+  };
+  Kind K = Kind::Lift;
+  /// Global index into ShardOptions::Binaries.
+  size_t Bin = 0;
+  /// Function entry addresses (Prewarm only).
+  std::vector<uint64_t> Entries;
+  /// The worker the static round-robin plan would give this unit to; a
+  /// claim by any other worker counts as a steal.
+  unsigned RROwner = 0;
+  /// Cost estimate in (pseudo-)seconds: ledger seconds when FromLedger,
+  /// otherwise the static executable-bytes heuristic.
+  double Est = 0;
+  bool FromLedger = false;
+  /// Cost-ledger key of the binary (0 when the ELF is unreadable).
+  uint64_t CostKey = 0;
+  /// Prewarm units of the same binary that must complete (or be given up
+  /// on) before this Lift unit is granted — avoids two workers lifting
+  /// the same functions concurrently.
+  unsigned DepsLeft = 0;
+  /// Unit ids whose DepsLeft this unit's completion decrements.
+  std::vector<size_t> Dependents;
+};
+
 /// Round-robin partition of [0, NumBinaries) into Shards slices: binary i
 /// goes to shard i % Shards. Deterministic, order-preserving within each
 /// slice, and balanced to within one item. Slices can be empty when
-/// Shards > NumBinaries.
+/// Shards > NumBinaries. This is the *reference* assignment: the
+/// --no-work-stealing ablation grants exactly these slices, and the steal
+/// counter measures departures from it.
 std::vector<std::vector<size_t>> planShards(size_t NumBinaries,
                                             unsigned Shards);
 
+/// `--shards auto`: hardware threads, capped by the unit count and by
+/// available memory (MemAvailable / 256 MiB per worker, when
+/// /proc/meminfo is readable). Never less than 1.
+unsigned resolveAutoShards(size_t NumUnits);
+
+/// Build the cost-model-ordered unit queue: read each ELF (unreadable
+/// ones become cost-0 lift units that emit the synthetic "unreadable"
+/// fragment), consult the ledger, split large library binaries into
+/// prewarm chunks under function granularity. Sched gets the plan-time
+/// counters (units, ledger hits/misses, estimated seconds).
+std::vector<WorkUnit> planUnits(const ShardOptions &Opt, unsigned Shards,
+                                ShardSchedStats &Sched);
+
 /// Fragment path for global binary index Idx under CacheDir.
 std::string fragPath(const std::string &CacheDir, size_t Idx);
+
+/// Execute one unit in this process — the code path both the serial
+/// reference and every worker run. Lift units write their fragment and
+/// return the per-binary exit code (0/1, or 3 when the fragment cannot be
+/// written); Prewarm units populate the store and always return 0.
+/// SecondsOut (optional) receives the unit's wall time.
+int execUnit(const ShardOptions &Opt, const WorkUnit &U,
+             double *SecondsOut = nullptr);
+
+/// Worker entry for `--shard-worker-fds`: claim units over the pipe
+/// protocol (GrantFd: parent-to-worker RUN/BYE lines; RequestFd:
+/// worker-to-parent REQ/FIN lines) until BYE. Returns 0 after a clean
+/// drain; per-unit outcomes travel in FIN messages, not the exit code.
+int runWorkerLoop(const ShardOptions &Opt, int GrantFd, int RequestFd);
 
 struct ShardResult {
   /// Every fragment produced and merged (individual binaries may still
@@ -96,25 +199,30 @@ struct ShardResult {
   /// (and proved, under Check), 1 = at least one rejected, 3 = artifact
   /// IO failure.
   int Exit = 0;
+  /// Worker count the run actually used (after `--shards auto` probing
+  /// and capping by the unit count).
+  unsigned ShardsResolved = 1;
   unsigned WorkersSpawned = 0;
-  /// Workers whose first attempt died on a signal / bad exit / missing
-  /// fragments.
+  /// Workers that died on a signal or exited without draining cleanly.
   unsigned WorkersCrashed = 0;
   unsigned WorkersRetried = 0;
+  /// Scheduler counters (units, claims, steals, requeues, ledger usage).
+  ShardSchedStats Sched;
   /// The merged report: {"shard_schema_version": 1, "binaries": [f0, f1,
   /// ...]} with each fragment spliced in verbatim, entry order.
   std::string MergedReport;
 };
 
-/// Worker entry: lift (and optionally check) the given global indices of
-/// Opt.Binaries, writing one report fragment per index. Returns an exit
-/// code: max of the per-binary codes (0/1), or 3 if a fragment could not
-/// be written. Runs in-process — this is also the serial path.
-int runWorker(const ShardOptions &Opt, const std::vector<size_t> &Indices);
-
-/// Orchestrate the full run: plan, spawn (or run serially), collect,
-/// retry crashes once, merge.
+/// Orchestrate the full run: plan the queue, spawn workers (or drain the
+/// queue in-process), feed claims, requeue crashed units, retry crashed
+/// workers once, merge fragments, persist ledger observations.
 ShardResult runShards(const ShardOptions &Opt);
+
+/// The `hglift shard --stats-json` payload: resolved worker count, unit
+/// and claim counters, steal/requeue counts, ledger usage, and cost-model
+/// totals. Schema documented in docs/CLI.md.
+void writeShardStatsJson(std::ostream &OS, const ShardOptions &Opt,
+                         const ShardResult &R);
 
 } // namespace hglift::shard
 

@@ -1,0 +1,121 @@
+//===- CostLedger.cpp - Persisted per-binary lift-cost ledger -------------===//
+
+#include "store/CostLedger.h"
+
+#include "elf/Binary.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+namespace hglift::store {
+
+uint64_t costKey(const elf::BinaryImage &Img) {
+  uint64_t H = 1469598103934665603ULL;
+  auto Mix = [&H](uint8_t B) {
+    H ^= B;
+    H *= 1099511628211ULL;
+  };
+  auto Mix64 = [&](uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Mix(static_cast<uint8_t>(V >> (8 * I)));
+  };
+  for (const elf::Segment &S : Img.Segments) {
+    if (!S.Exec)
+      continue;
+    Mix64(S.VAddr);
+    Mix64(S.Bytes.size());
+    for (uint8_t B : S.Bytes)
+      Mix(B);
+  }
+  return H;
+}
+
+std::string serializeCostRecord(const CostRecord &R) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "hgcost %u %016llx %.6f %u\n",
+                CostLedgerVersion, static_cast<unsigned long long>(R.Key),
+                R.Seconds, R.Samples);
+  return Buf;
+}
+
+std::optional<CostRecord> parseCostRecord(const std::string &Bytes) {
+  unsigned Version = 0, Samples = 0;
+  unsigned long long Key = 0;
+  double Seconds = 0;
+  int Consumed = 0;
+  if (std::sscanf(Bytes.c_str(), "hgcost %u %16llx %lf %u\n%n", &Version, &Key,
+                  &Seconds, &Samples, &Consumed) != 4)
+    return std::nullopt;
+  if (static_cast<size_t>(Consumed) != Bytes.size())
+    return std::nullopt;
+  if (Version != CostLedgerVersion)
+    return std::nullopt;
+  if (!std::isfinite(Seconds) || Seconds < 0 || Seconds > 1e6)
+    return std::nullopt;
+  if (Samples < 1 || Samples > 1000000)
+    return std::nullopt;
+  CostRecord R{Key, Seconds, Samples};
+  // Canonical-form gate: any record we did not write byte-for-byte (torn
+  // tail, hand edits, float-rendering drift) is a miss, not a guess.
+  if (serializeCostRecord(R) != Bytes)
+    return std::nullopt;
+  return R;
+}
+
+std::string CostLedger::entryPath(uint64_t Key) const {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "%016llx.cost",
+                static_cast<unsigned long long>(Key));
+  return Dir + "/" + Name;
+}
+
+std::optional<CostRecord> CostLedger::lookup(uint64_t Key) const {
+  std::ifstream In(entryPath(Key), std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::optional<CostRecord> R = parseCostRecord(SS.str());
+  if (!R || R->Key != Key)
+    return std::nullopt;
+  return R;
+}
+
+bool CostLedger::record(uint64_t Key, double ObservedSeconds) {
+  if (!std::isfinite(ObservedSeconds) || ObservedSeconds < 0)
+    return false;
+  if (ObservedSeconds > 1e6)
+    ObservedSeconds = 1e6;
+  CostRecord R{Key, ObservedSeconds, 1};
+  if (std::optional<CostRecord> Old = lookup(Key)) {
+    R.Seconds = 0.5 * Old->Seconds + 0.5 * ObservedSeconds;
+    R.Samples = Old->Samples < 1000000 ? Old->Samples + 1 : Old->Samples;
+  }
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC)
+    return false;
+  std::string Path = entryPath(Key);
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    std::string Bytes = serializeCostRecord(R);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    if (!Out)
+      return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace hglift::store

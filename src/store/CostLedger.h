@@ -1,0 +1,98 @@
+//===- CostLedger.h - Persisted per-binary lift-cost ledger ----*- C++ -*-===//
+//
+// The shard scheduler's memory of how expensive a binary actually was:
+// one tiny record per binary, keyed by an FNV digest of its executable
+// bytes, holding an exponentially-weighted average of observed lift
+// seconds. Warm corpora therefore schedule longest-job-first from real
+// data instead of the static text-size heuristic.
+//
+// The ledger lives inside the artifact store directory
+// (<cache-dir>/ledger/<key>.cost) and follows the store's posture
+// exactly:
+//
+//   * writes are tempfile+rename — concurrent shard runs can race a
+//     ledger entry and readers still only ever see a complete record;
+//   * reads validate, never trust: a record must re-serialize to the
+//     exact bytes on disk (canonical form) and carry sane values, or the
+//     lookup degrades to a miss and the scheduler falls back to the
+//     static heuristic;
+//   * the ledger is advisory only. It orders work; it can never change
+//     what any unit computes, so a corrupt, stale, or adversarial ledger
+//     cannot perturb a single report byte (tests/cost_ledger_test.cpp
+//     pins this).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_STORE_COSTLEDGER_H
+#define HGLIFT_STORE_COSTLEDGER_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hglift::elf {
+class BinaryImage;
+}
+
+namespace hglift::store {
+
+/// Format version of the on-disk record. Bump on any layout change;
+/// old-version records are misses.
+constexpr uint32_t CostLedgerVersion = 1;
+
+/// One ledger record: the content key, the smoothed observed lift time,
+/// and how many observations fed it.
+struct CostRecord {
+  uint64_t Key = 0;
+  double Seconds = 0;
+  uint32_t Samples = 0;
+
+  bool operator==(const CostRecord &O) const {
+    return Key == O.Key && Seconds == O.Seconds && Samples == O.Samples;
+  }
+};
+
+/// Content key for cost purposes: FNV-1a over every executable segment's
+/// address and bytes. Deliberately instruction-byte-only — symbol renames
+/// and rodata edits keep the key (costs barely move), code changes roll it.
+uint64_t costKey(const elf::BinaryImage &Img);
+
+/// Canonical serialization: "hgcost <version> <key> <seconds> <samples>\n"
+/// with fixed field widths. Byte-deterministic for a given record.
+std::string serializeCostRecord(const CostRecord &R);
+
+/// Strict parse: exact canonical form only (a parsed record must
+/// re-serialize to the input bytes), version CostLedgerVersion, finite
+/// non-negative seconds under 1e6, samples in [1, 1e6]. Anything else is
+/// nullopt — the caller degrades to the static heuristic.
+std::optional<CostRecord> parseCostRecord(const std::string &Bytes);
+
+/// The ledger directory handle. Cheap to construct; every operation goes
+/// to the filesystem so concurrent processes compose the same way the
+/// artifact store does.
+class CostLedger {
+public:
+  explicit CostLedger(std::string Dir) : Dir(std::move(Dir)) {}
+
+  /// Path of Key's record file under Dir.
+  std::string entryPath(uint64_t Key) const;
+
+  /// Read and validate Key's record. nullopt on missing, torn, corrupt,
+  /// wrong-version, or key-mismatched entries (validate-don't-trust).
+  std::optional<CostRecord> lookup(uint64_t Key) const;
+
+  /// Fold one observation into Key's record (EWMA, alpha 0.5 — warm data
+  /// adapts quickly to code changes the key cannot see, e.g. a faster
+  /// solver) and persist it atomically. False only on IO failure, which
+  /// callers may ignore: the ledger is advisory.
+  bool record(uint64_t Key, double ObservedSeconds);
+
+  const std::string &dir() const { return Dir; }
+
+private:
+  std::string Dir;
+};
+
+} // namespace hglift::store
+
+#endif // HGLIFT_STORE_COSTLEDGER_H

@@ -135,6 +135,142 @@ TEST(ShardMerge, KilledWorkerIsRetriedWithUnaffectedReport) {
   EXPECT_EQ(Crashed.MergedReport, Clean.MergedReport);
 }
 
+TEST(ShardMerge, MidClaimCrashRequeuesUnitWithUnaffectedReport) {
+  shard::ShardResult Clean = runFresh("mc_clean", 3);
+  ASSERT_TRUE(Clean.Ok) << Clean.Error;
+
+  // Worker 1's first spawn claims a unit and dies before executing it —
+  // the claimed-but-unfinished unit must go back to the queue, someone
+  // must lift it, and the merged bytes must not change.
+  ::setenv("HGLIFT_SHARD_TEST_CRASH_MIDCLAIM", "1", 1);
+  shard::ShardResult Crashed = runFresh("mc_crashed", 3);
+  ::unsetenv("HGLIFT_SHARD_TEST_CRASH_MIDCLAIM");
+
+  ASSERT_TRUE(Crashed.Ok) << Crashed.Error;
+  EXPECT_EQ(Crashed.WorkersCrashed, 1u);
+  EXPECT_EQ(Crashed.WorkersRetried, 1u);
+  EXPECT_GE(Crashed.Sched.Requeues, 1u)
+      << "the claimed unit was never returned to the queue";
+  EXPECT_EQ(Crashed.Exit, Clean.Exit);
+  EXPECT_EQ(Crashed.MergedReport, Clean.MergedReport);
+}
+
+TEST(ShardSched, AutoShardsResolveAndStayByteIdentical) {
+  // The probe itself: at least one worker, never more than the units.
+  unsigned Auto = shard::resolveAutoShards(3);
+  EXPECT_GE(Auto, 1u);
+  EXPECT_LE(Auto, 3u);
+
+  shard::ShardResult Serial = runFresh("auto_serial", 1);
+  ASSERT_TRUE(Serial.Ok) << Serial.Error;
+
+  std::string Dir = tmpPath("cache_auto");
+  fs::remove_all(Dir);
+  shard::ShardOptions O = baseOptions(Dir, 1);
+  O.AutoShards = true;
+  shard::ShardResult R = shard::runShards(O);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GE(R.ShardsResolved, 1u);
+  EXPECT_LE(R.ShardsResolved, corpusOnDisk().size());
+  EXPECT_EQ(R.Exit, Serial.Exit);
+  EXPECT_EQ(R.MergedReport, Serial.MergedReport);
+}
+
+TEST(ShardSched, StaticAblationStealsNothingAndMatchesBytes) {
+  shard::ShardResult Serial = runFresh("ab_serial", 1);
+  ASSERT_TRUE(Serial.Ok) << Serial.Error;
+
+  std::string Dir = tmpPath("cache_ablation");
+  fs::remove_all(Dir);
+  shard::ShardOptions O = baseOptions(Dir, 2);
+  O.WorkStealing = false;
+  shard::ShardResult R = shard::runShards(O);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Sched.Steals, 0u)
+      << "--no-work-stealing granted outside the round-robin plan";
+  EXPECT_EQ(R.Sched.Claims, R.Sched.UnitsTotal);
+  EXPECT_EQ(R.MergedReport, Serial.MergedReport);
+}
+
+TEST(ShardSched, FunctionGranularityPrewarmsAndMatchesBytes) {
+  // A symbol-rich shared object: enough exports that function granularity
+  // actually splits it into prewarm chunks.
+  corpus::GenOptions G;
+  G.Seed = 11;
+  G.NumFuncs = 9;
+  G.TargetInstrs = 18;
+  G.JumpTablePct = 0;
+  G.ExternalPct = 0;
+  G.Name = "shardlib";
+  auto Lib = corpus::randomLibrary(G);
+  ASSERT_TRUE(Lib.has_value());
+  std::string LibPath = tmpPath("shardlib.so");
+  writeBinary(*Lib, LibPath);
+
+  auto MakeOpts = [&](const std::string &Tag, unsigned Shards) {
+    std::string Dir = tmpPath("cache_fg_" + Tag);
+    fs::remove_all(Dir);
+    shard::ShardOptions O;
+    O.Binaries = {LibPath};
+    O.Shards = Shards;
+    O.CacheDir = Dir;
+    O.Check = true;
+    O.Library = true;
+    O.WorkerExe = HGLIFT_BIN;
+    return O;
+  };
+
+  shard::ShardResult Serial = shard::runShards(MakeOpts("serial", 1));
+  ASSERT_TRUE(Serial.Ok) << Serial.Error;
+
+  for (unsigned N : {1u, 2u}) {
+    shard::ShardOptions O = MakeOpts("n" + std::to_string(N), N);
+    O.Granularity = shard::StealGranularity::Function;
+    O.PrewarmChunk = 3;
+    shard::ShardResult R = shard::runShards(O);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_GE(R.Sched.UnitsPrewarm, 2u)
+        << "library was not split into prewarm chunks";
+    EXPECT_EQ(R.Exit, Serial.Exit);
+    EXPECT_EQ(R.MergedReport, Serial.MergedReport)
+        << "function granularity perturbed the report (N=" << N << ")";
+  }
+}
+
+TEST(ShardSched, LedgerWarmsAcrossRunsWithoutPerturbingBytes) {
+  std::string Dir = tmpPath("cache_ledger");
+  fs::remove_all(Dir);
+
+  shard::ShardOptions O = baseOptions(Dir, 1);
+  O.Progress = true; // progress writes stderr only; bytes must not move
+  shard::ShardResult Cold = shard::runShards(O);
+  ASSERT_TRUE(Cold.Ok) << Cold.Error;
+  EXPECT_EQ(Cold.Sched.LedgerHits, 0u);
+  // Every readable binary's observed seconds get persisted.
+  EXPECT_GE(Cold.Sched.LedgerRecords, 3u);
+
+  shard::ShardResult Warm = shard::runShards(O);
+  ASSERT_TRUE(Warm.Ok) << Warm.Error;
+  EXPECT_GE(Warm.Sched.LedgerHits, 3u)
+      << "second run did not schedule from recorded costs";
+  EXPECT_EQ(Warm.MergedReport, Cold.MergedReport);
+
+  // A trashed ledger is a cold ledger, never an error: scribble over
+  // every record and the run must fall back to the heuristic with the
+  // same bytes.
+  size_t Scribbled = 0;
+  for (auto &E : fs::directory_iterator(Dir + "/ledger")) {
+    std::ofstream(E.path(), std::ios::trunc) << "hgcost 1 garbage";
+    ++Scribbled;
+  }
+  ASSERT_GT(Scribbled, 0u);
+  shard::ShardResult Corrupt = shard::runShards(O);
+  ASSERT_TRUE(Corrupt.Ok) << Corrupt.Error;
+  EXPECT_EQ(Corrupt.Sched.LedgerHits, 0u)
+      << "corrupt ledger records were trusted";
+  EXPECT_EQ(Corrupt.MergedReport, Cold.MergedReport);
+}
+
 TEST(ShardCache, PoisonedEntryDegradesToCleanMissAcrossProcesses) {
   std::string Dir = tmpPath("cache_poison");
   fs::remove_all(Dir);
