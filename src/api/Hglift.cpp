@@ -6,13 +6,21 @@ namespace hglift {
 
 Session::Session(const elf::BinaryImage &Img, Options O)
     : Img(Img), Opt(std::move(O)) {
-  if (!Opt.CacheDir.empty()) {
+  if (Opt.SharedCache) {
+    // A host-owned store reused across Sessions: adopt it, and drop any
+    // hit-time validations a previous binary left behind — they are keyed
+    // by entry address only and must never leak into this report.
+    CacheRef = Opt.SharedCache;
+    CacheRef->resetValidations();
+    Opt.Lift.Cache = CacheRef;
+  } else if (!Opt.CacheDir.empty()) {
     store::CacheStore::Options SO;
     SO.Dir = Opt.CacheDir;
     SO.MaxBytes = Opt.CacheMaxMB * 1024 * 1024;
     SO.Validate = Opt.CacheValidate;
     Cache = std::make_unique<store::CacheStore>(std::move(SO));
-    Opt.Lift.Cache = Cache.get();
+    CacheRef = Cache.get();
+    Opt.Lift.Cache = CacheRef;
   }
   Lifter = std::make_unique<hg::Lifter>(Img, Opt.Lift);
 }
@@ -32,7 +40,7 @@ const exporter::CheckResult &Session::check() {
     return Check;
   const hg::BinaryResult &R = lift();
   exporter::CheckContext CC{Img, Opt.Lift.Sym, nullptr};
-  if (Cache) {
+  if (CacheRef) {
     // Merge in function-entry order — the same order checkBinary merges —
     // reusing the hit-time Step-2 proofs where the cache has them (every
     // reused result is fully proven; failed validations became misses).
@@ -42,7 +50,7 @@ const exporter::CheckResult &Session::check() {
     exporter::CheckResult Sum;
     for (const hg::FunctionResult &F : R.Functions) {
       if (std::optional<exporter::CheckResult> V =
-              Cache->takeValidation(F.Entry))
+              CacheRef->takeValidation(F.Entry))
         Sum.merge(*V);
       else
         Sum.merge(exporter::checkFunction(CC, F));
@@ -70,9 +78,9 @@ void Session::writeReportJson(std::ostream &OS) {
 expr::ExprContext &Session::scratchContext() { return Lifter->exprContext(); }
 
 std::optional<store::CacheStats> Session::cacheStats() const {
-  if (!Cache)
+  if (!CacheRef)
     return std::nullopt;
-  return Cache->stats();
+  return CacheRef->stats();
 }
 
 } // namespace hglift

@@ -59,6 +59,18 @@ struct Options {
   /// (the default, and the soundness story). Turning this off trusts the
   /// stored graphs and is only defensible for throwaway exploration.
   bool CacheValidate = true;
+  /// Use this already-open store instead of constructing one from
+  /// CacheDir (which is then ignored). Non-owning; must outlive the
+  /// Session. This is how a long-lived host — the `hglift serve` daemon —
+  /// keeps one warm store per worker thread across many Sessions: the
+  /// counters accumulate a cross-request picture and the directory handle
+  /// stays hot. Sharing is *sequential* per instance (one Session at a
+  /// time); concurrent Sessions should each use their own instance over
+  /// the same directory, which the on-disk format makes safe. The Session
+  /// clears pending hit-time validations at construction
+  /// (CacheStore::resetValidations) so a previous binary's proofs can
+  /// never be merged into this one's report.
+  store::CacheStore *SharedCache = nullptr;
 };
 
 /// One lift-and-check run over one binary image. Owns the Lifter, the
@@ -114,7 +126,8 @@ public:
 private:
   const elf::BinaryImage &Img;
   Options Opt;
-  std::unique_ptr<store::CacheStore> Cache; ///< null unless CacheDir set
+  std::unique_ptr<store::CacheStore> Cache; ///< owned; null when none or shared
+  store::CacheStore *CacheRef = nullptr;    ///< owned or Options::SharedCache
   std::unique_ptr<hg::Lifter> Lifter;
 
   bool Lifted = false;

@@ -81,9 +81,15 @@ int runExplain(const ExplainOptions &Opts, std::ostream &OS,
   }
   std::stringstream Buf;
   Buf << In.rdbuf();
-  std::optional<JValue> Doc = diag::parseJson(Buf.str());
+  return runExplainText(Buf.str(), Opts, OS, ES, Opts.ReportPath);
+}
+
+int runExplainText(const std::string &Text, const ExplainOptions &Opts,
+                   std::ostream &OS, std::ostream &ES,
+                   const std::string &SourceName) {
+  std::optional<JValue> Doc = diag::parseJson(Text);
   if (!Doc || !Doc->isObj()) {
-    ES << "explain: " << Opts.ReportPath << " is not a JSON report\n";
+    ES << "explain: " << SourceName << " is not a JSON report\n";
     return 2;
   }
   double Schema = Doc->num("schema_version", -1);

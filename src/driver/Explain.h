@@ -31,6 +31,14 @@ struct ExplainOptions {
 int runExplain(const ExplainOptions &Opts, std::ostream &OS,
                std::ostream &ES);
 
+/// Same rendering, but over an in-memory report document instead of a file
+/// — the entry point `hglift serve` uses for `explain` requests, where the
+/// report text arrives over the wire. SourceName is only used in error
+/// messages. Opts.ReportPath is ignored.
+int runExplainText(const std::string &Text, const ExplainOptions &Opts,
+                   std::ostream &OS, std::ostream &ES,
+                   const std::string &SourceName = "(inline report)");
+
 } // namespace hglift::driver
 
 #endif // HGLIFT_DRIVER_EXPLAIN_H

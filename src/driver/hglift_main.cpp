@@ -61,6 +61,16 @@
 //   report is byte-identical to a --shards 1 serial run under any worker
 //   count and steal order.)
 //
+// Persistent lifting service (see docs/SERVE.md):
+//   hglift serve --socket PATH [--tcp-port N] [--threads N] [--max-queue N]
+//               [--memo-max N] [--retry-after-ms N] [--cache-dir DIR]
+//               [--cache-max-mb N] [--no-cache-validate] [--max-seconds N]
+//               [--max-insns N]
+//   (daemon: JSONL lift/check/explain/metrics/shutdown requests over the
+//   socket, warm per-worker artifact stores, bounded-queue admission
+//   control, SIGTERM drain. --client submits one request and streams the
+//   response; the report payload is byte-identical to --report-json.)
+//
 // Fuzzing (see docs/FUZZING.md):
 //   hglift fuzz [--seed S] [--runs N] [--max-insns K] [--mutate-semantics]
 //               [--mutants a,b] [--fuzz-json FILE] [--repro-dir DIR]
@@ -76,6 +86,7 @@
 
 #include "api/Hglift.h"
 #include "diag/Trace.h"
+#include "serve/Serve.h"
 #include "shard/Shard.h"
 #include "driver/Explain.h"
 #include "driver/ExitCode.h"
@@ -111,6 +122,14 @@ void printUsage(std::ostream &OS) {
         "[--no-cache-validate] [--max-seconds N] [--report-json FILE] "
         "[--stats-json FILE]\n"
         "       hglift explain <report.json> [--function F] [--addr A]\n"
+        "       hglift serve --socket PATH [--tcp-port N] [--threads N] "
+        "[--max-queue N] [--memo-max N] [--retry-after-ms N] "
+        "[--cache-dir DIR] [--cache-max-mb N] [--no-cache-validate] "
+        "[--max-seconds N] [--max-insns N]   (daemon; see docs/SERVE.md)\n"
+        "       hglift serve --socket PATH --client [--op "
+        "lift|check|explain|metrics|shutdown] [FILE] [--library] "
+        "[--max-seconds N] [--max-insns N] [--function F] [--addr A] "
+        "[--report-out FILE]\n"
         "       hglift fuzz [--seed S] [--runs N] [--max-insns K] "
         "[--mutate-semantics] [--mutants a,b] [--fuzz-json FILE] "
         "[--repro-dir DIR] [--reduce-mutant NAME] [--replay FILE] "
@@ -459,6 +478,15 @@ int main(int argc, char **argv) {
     return fuzzMain(argc, argv);
   if (First == "shard")
     return shardMain(argc, argv);
+  if (First == "serve") {
+    serve::ServeOptions SO;
+    if (!serve::parseServeArgs(argc, argv, SO, std::cerr)) {
+      printUsage(std::cerr);
+      return toExit(ExitCode::Usage);
+    }
+    return SO.Client ? serve::runServeClient(SO, std::cout, std::cerr)
+                     : serve::runServe(SO, std::cout, std::cerr);
+  }
   if (First == "lift" || First == "check" || First == "--lift") {
     if (argc < 3) {
       printUsage(std::cerr);

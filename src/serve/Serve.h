@@ -1,0 +1,99 @@
+//===- Serve.h - hglift serve: a persistent lifting service ----*- C++ -*-===//
+//
+// `hglift serve` keeps the lifter warm between invocations. A long-lived
+// daemon listens on a Unix-domain socket (optionally also 127.0.0.1 TCP)
+// and answers lift / check / explain / metrics / shutdown requests framed
+// as JSON Lines — one JSON object per '\n'-terminated line in each
+// direction, the same byte-level framing the shard claim protocol uses
+// (shard/LineProto.h). The full wire contract — every request and response
+// field, the error taxonomy, backpressure and dedup semantics — is
+// specified in docs/SERVE.md and versioned by ServeSchemaVersion below;
+// every response line carries that number.
+//
+// What stays warm across requests:
+//   - one content-addressed artifact store instance per worker thread
+//     (store/Store.h) over the shared --cache-dir: two clients submitting
+//     identical instruction bytes pay for one lift, and the second gets a
+//     Step-2-re-proven hit, never a trusted one;
+//   - an in-memory LRU memo of whole-file responses (--memo-max), so a
+//     byte-identical resubmission skips even the ELF parse.
+// The report payload inside a `result` event is produced by the same
+// Session::writeReportJson the CLI's --report-json uses, so a warm serve
+// response is byte-identical to a cold CLI run's report file.
+//
+// Admission control: requests past a bounded queue depth (--max-queue) are
+// rejected immediately with a structured `rejected` event carrying
+// retry_after_ms — a 429, not a hang. SIGTERM/SIGINT (or a `shutdown`
+// request) drain: stop accepting, finish queued work, then exit 0.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_SERVE_SERVE_H
+#define HGLIFT_SERVE_SERVE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace hglift::serve {
+
+/// Protocol revision stamped on every response line as
+/// "serve_schema_version". Bump on any incompatible change to the JSONL
+/// schemas in docs/SERVE.md; golden tests lock the rendered bytes per
+/// version.
+inline constexpr int ServeSchemaVersion = 1;
+
+/// Everything `hglift serve` (daemon and client mode) can be configured
+/// with. Plain data, filled by parseServeArgs.
+struct ServeOptions {
+  std::string SocketPath; ///< --socket PATH (required, both modes)
+  unsigned TcpPort = 0;   ///< --tcp-port N: also listen on 127.0.0.1:N
+  unsigned Workers = 1;   ///< --threads N: lifting worker threads
+  unsigned MaxQueue = 64; ///< --max-queue N: admission-control bound
+  unsigned MemoMax = 128; ///< --memo-max N: LRU response memo (0 = off)
+  unsigned RetryAfterMs = 100; ///< --retry-after-ms N: advertised backoff
+
+  std::string CacheDir;      ///< --cache-dir DIR: shared artifact store
+  uint64_t CacheMaxMB = 0;   ///< --cache-max-mb N
+  bool CacheValidate = true; ///< cleared by --no-cache-validate
+
+  /// --max-seconds N. Daemon: server-side cap a request's max_seconds can
+  /// lower but never raise. Client: the request budget (sent iff given).
+  double MaxSeconds = 60.0;
+  bool MaxSecondsGiven = false;
+  /// --max-insns N. Same cap/request duality; maps onto the lifter's
+  /// vertex fuel (LiftConfig::MaxVertices), which bounds explored
+  /// instructions and retains the partial graph on exhaustion.
+  uint64_t MaxInsns = 0;
+  bool MaxInsnsGiven = false;
+
+  // Client mode (--client): connect, submit one request, stream the
+  // response lines to stdout, exit with the result's exit code.
+  bool Client = false;
+  std::string Op = "lift"; ///< --op lift|check|explain|metrics|shutdown
+  std::string File;        ///< positional: binary (lift/check), report (explain)
+  bool Library = false;    ///< --library
+  std::string FunctionFilter; ///< --function F (explain)
+  std::string AddrFilter;     ///< --addr A (explain)
+  std::string ReportOut;      ///< --report-out F: unescaped report payload
+};
+
+/// Parse `hglift serve ...` argv (argv[1] == "serve"). False on bad usage,
+/// with a message on ES.
+bool parseServeArgs(int argc, char **argv, ServeOptions &Opt,
+                    std::ostream &ES);
+
+/// Run the daemon: listen on Opt.SocketPath (and TcpPort), serve requests
+/// until SIGTERM/SIGINT or a `shutdown` request, drain, return a process
+/// exit code (driver/ExitCode.h).
+int runServe(const ServeOptions &Opt, std::ostream &OS, std::ostream &ES);
+
+/// Client mode: submit one request to a running daemon and stream every
+/// response line to OS. Returns the result's exit code (rejection maps to
+/// Fail, transport loss to Io).
+int runServeClient(const ServeOptions &Opt, std::ostream &OS,
+                   std::ostream &ES);
+
+} // namespace hglift::serve
+
+#endif // HGLIFT_SERVE_SERVE_H

@@ -1,0 +1,71 @@
+//===- LineProto.h - Newline-framed message plumbing -----------*- C++ -*-===//
+//
+// The byte-level half of the shard claim protocol (REQ/RUN/FIN/BYE over a
+// pipe pair), factored out so `hglift serve` speaks the same dialect over
+// a socket: one message per '\n'-terminated line, every line far below
+// PIPE_BUF, writes retried across EINTR until complete, reads buffered so
+// a message split across read() calls reassembles transparently.
+//
+// Nothing here knows what the lines mean. Shard.cpp layers the grant
+// protocol on top; serve/Serve.cpp layers the JSONL request/response
+// protocol (docs/SERVE.md) on top. Both ends treat EOF and hard errors
+// identically — the peer is gone — which is what makes crash handling
+// (shard) and client-disconnect handling (serve) the same code shape.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_SHARD_LINEPROTO_H
+#define HGLIFT_SHARD_LINEPROTO_H
+
+#include <cerrno>
+#include <optional>
+#include <string>
+
+#include <unistd.h>
+
+namespace hglift::shard {
+
+/// Write all of S to Fd, retrying partial writes and EINTR. False when the
+/// peer is gone (EPIPE with SIGPIPE ignored) or the fd is broken.
+inline bool writeAll(int Fd, const std::string &S) {
+  size_t Off = 0;
+  while (Off < S.size()) {
+    ssize_t N = ::write(Fd, S.data() + Off, S.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Blocking read of one '\n'-terminated line from Fd; Buf carries bytes
+/// past the newline for the next call (callers keep one Buf per fd).
+/// Returns the line without its newline; nullopt on EOF or a hard error
+/// (the peer is gone).
+inline std::optional<std::string> readLineBlocking(int Fd, std::string &Buf) {
+  for (;;) {
+    size_t NL = Buf.find('\n');
+    if (NL != std::string::npos) {
+      std::string L = Buf.substr(0, NL);
+      Buf.erase(0, NL + 1);
+      return L;
+    }
+    char Tmp[512];
+    ssize_t N = ::read(Fd, Tmp, sizeof(Tmp));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return std::nullopt;
+    }
+    if (N == 0)
+      return std::nullopt;
+    Buf.append(Tmp, static_cast<size_t>(N));
+  }
+}
+
+} // namespace hglift::shard
+
+#endif // HGLIFT_SHARD_LINEPROTO_H

@@ -3,6 +3,7 @@
 #include "shard/Shard.h"
 
 #include "api/Hglift.h"
+#include "shard/LineProto.h"
 #include "diag/Diag.h"
 #include "diag/Json.h"
 #include "driver/ExitCode.h"
@@ -164,45 +165,10 @@ bool ensureFragDir(const std::string &CacheDir, std::string &Err) {
 // Line-based, newline-terminated, every message far below PIPE_BUF so
 // writes are atomic. Parent-to-worker: "RUN <id> L <bin>", "RUN <id> P
 // <bin> <e1>,<e2>,...", "BYE". Worker-to-parent: "REQ", "FIN <id> <exit>
-// <seconds>". This seam is deliberately transport-shaped: `hglift serve`
-// will speak the same claim/complete protocol over a socket.
-
-bool writeAll(int Fd, const std::string &S) {
-  size_t Off = 0;
-  while (Off < S.size()) {
-    ssize_t N = ::write(Fd, S.data() + Off, S.size() - Off);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      return false;
-    }
-    Off += static_cast<size_t>(N);
-  }
-  return true;
-}
-
-/// Blocking read of one line; Buf carries bytes past the newline for the
-/// next call. nullopt on EOF or a hard error (the peer is gone).
-std::optional<std::string> readLineBlocking(int Fd, std::string &Buf) {
-  for (;;) {
-    size_t NL = Buf.find('\n');
-    if (NL != std::string::npos) {
-      std::string L = Buf.substr(0, NL);
-      Buf.erase(0, NL + 1);
-      return L;
-    }
-    char Tmp[512];
-    ssize_t N = ::read(Fd, Tmp, sizeof(Tmp));
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      return std::nullopt;
-    }
-    if (N == 0)
-      return std::nullopt;
-    Buf.append(Tmp, static_cast<size_t>(N));
-  }
-}
+// <seconds>". The byte-level framing (writeAll/readLineBlocking) lives in
+// shard/LineProto.h because this seam is deliberately transport-shaped:
+// `hglift serve` speaks its JSONL request/response protocol over a socket
+// with the very same plumbing.
 
 std::string makeRunLine(size_t Id, const WorkUnit &U) {
   std::ostringstream OS;

@@ -236,4 +236,9 @@ std::optional<exporter::CheckResult> CacheStore::takeValidation(uint64_t Entry) 
   return R;
 }
 
+void CacheStore::resetValidations() {
+  std::lock_guard<std::mutex> G(Mu);
+  Validations.clear();
+}
+
 } // namespace hglift::store

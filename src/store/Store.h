@@ -49,6 +49,19 @@ struct CacheStats {
   uint64_t Validated = 0; ///< hits that passed Step-2 re-validation
   uint64_t ValidationFailures = 0; ///< hits rejected by Step-2 (degraded to miss)
   uint64_t Evictions = 0; ///< objects removed by the byte-budget sweep
+
+  /// Fold another counter snapshot in — consumers that own several store
+  /// instances over one directory (one per serve worker thread) aggregate
+  /// a fleet-wide picture this way.
+  CacheStats &operator+=(const CacheStats &O) {
+    Hits += O.Hits;
+    Misses += O.Misses;
+    Stored += O.Stored;
+    Validated += O.Validated;
+    ValidationFailures += O.ValidationFailures;
+    Evictions += O.Evictions;
+    return *this;
+  }
 };
 
 class CacheStore : public hg::FunctionCache {
@@ -78,6 +91,15 @@ public:
   /// instead of re-checking, which both avoids double work and keeps the
   /// fresh-variable sequence identical to a cold run's.
   std::optional<exporter::CheckResult> takeValidation(uint64_t Entry);
+
+  /// Drop every pending hit-time validation. A store instance reused
+  /// across *sequential* Sessions (the serve daemon keeps one per worker
+  /// thread warm across requests) must call this between binaries:
+  /// validations are keyed by function entry address, and a stale entry
+  /// from the previous binary could otherwise be merged into an unrelated
+  /// function's Step-2 summary when entry addresses collide. Counters are
+  /// untouched — they are cumulative by design.
+  void resetValidations();
 
 private:
   std::optional<hg::FunctionResult> lookupImpl(const elf::BinaryImage &Img,

@@ -2,8 +2,13 @@
 #
 # Greps the driver's argument parser for every registered flag ("--xyz"
 # string literal) and subcommand (compared against argv[1]) and fails if
-# any is not mentioned in docs/CLI.md. Run as:
-#   cmake -DMAIN=<hglift_main.cpp> -DDOC=<CLI.md> -P doc_drift_check.cmake
+# any is not mentioned in docs/CLI.md. When SERVE_SRC/SERVEDOC are given,
+# additionally requires every serve flag and request-op literal from
+# src/serve/Serve.cpp to appear in BOTH docs/CLI.md and docs/SERVE.md, and
+# the wire spec to pin the serve_schema_version literal. Run as:
+#   cmake -DMAIN=<hglift_main.cpp> -DDOC=<CLI.md>
+#         [-DSERVE_SRC=<Serve.cpp> -DSERVEDOC=<SERVE.md>]
+#         -P doc_drift_check.cmake
 
 if(NOT EXISTS "${MAIN}")
   message(FATAL_ERROR "doc_drift_check: missing source ${MAIN}")
@@ -46,3 +51,58 @@ if(MISSING)
                       "undocumented in docs/CLI.md: ${MISSING}")
 endif()
 message(STATUS "doc_drift_check: all ${TOKENS} documented")
+
+# ---- serve wire-protocol drift: Serve.cpp vs docs/SERVE.md + docs/CLI.md
+if(SERVE_SRC)
+  if(NOT EXISTS "${SERVE_SRC}")
+    message(FATAL_ERROR "doc_drift_check: missing source ${SERVE_SRC}")
+  endif()
+  if(NOT EXISTS "${SERVEDOC}")
+    message(FATAL_ERROR "doc_drift_check: docs/SERVE.md does not exist -- "
+                        "the serve wire protocol must be specified there")
+  endif()
+  file(READ "${SERVE_SRC}" SERVE_SRC_TXT)
+  file(READ "${SERVEDOC}" SERVEDOC_TXT)
+
+  # Serve flags, and the request ops the dispatcher compares against.
+  string(REGEX MATCHALL "\"--[a-z0-9-]+\"" RAW_SFLAGS "${SERVE_SRC_TXT}")
+  string(REGEX MATCHALL "== \"[a-z][a-z-]*\"" RAW_SOPS "${SERVE_SRC_TXT}")
+  set(STOKENS "")
+  foreach(F ${RAW_SFLAGS})
+    string(REPLACE "\"" "" F "${F}")
+    list(APPEND STOKENS "${F}")
+  endforeach()
+  foreach(S ${RAW_SOPS})
+    string(REPLACE "== " "" S "${S}")
+    string(REPLACE "\"" "" S "${S}")
+    list(APPEND STOKENS "${S}")
+  endforeach()
+  list(REMOVE_DUPLICATES STOKENS)
+
+  set(SMISSING "")
+  foreach(T ${STOKENS})
+    string(FIND "${SERVEDOC_TXT}" "${T}" SPOS)
+    string(FIND "${DOC_SRC}" "${T}" CPOS)
+    if(SPOS EQUAL -1 OR CPOS EQUAL -1)
+      list(APPEND SMISSING "${T}")
+    endif()
+  endforeach()
+  if(SMISSING)
+    message(FATAL_ERROR "doc_drift_check: registered in Serve.cpp but "
+                        "undocumented in docs/SERVE.md and/or docs/CLI.md: "
+                        "${SMISSING}")
+  endif()
+
+  # The wire spec and the CLI doc must both pin the protocol version field.
+  string(FIND "${SERVEDOC_TXT}" "serve_schema_version" VPOS)
+  if(VPOS EQUAL -1)
+    message(FATAL_ERROR "doc_drift_check: docs/SERVE.md must document the "
+                        "serve_schema_version response field")
+  endif()
+  string(FIND "${DOC_SRC}" "serve_schema_version" CVPOS)
+  if(CVPOS EQUAL -1)
+    message(FATAL_ERROR "doc_drift_check: docs/CLI.md must mention the "
+                        "serve_schema_version response field")
+  endif()
+  message(STATUS "doc_drift_check: serve tokens ${STOKENS} documented")
+endif()
