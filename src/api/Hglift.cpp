@@ -72,7 +72,7 @@ void Session::writeStatsJson(std::ostream &OS) {
 }
 
 void Session::writeReportJson(std::ostream &OS) {
-  driver::writeReportJson(OS, lift(), Checked ? &Check : nullptr);
+  driver::writeReportJson(OS, lift(), Checked ? &Check : nullptr, witnesses());
 }
 
 expr::ExprContext &Session::scratchContext() { return Lifter->exprContext(); }

@@ -59,6 +59,16 @@ struct Options {
   /// (the default, and the soundness story). Turning this off trusts the
   /// stored graphs and is only defensible for throwaway exploration.
   bool CacheValidate = true;
+  /// Incorrectness witnesses: when WitnessDir is non-empty, a check run is
+  /// followed by a witness search (src/witness) over every VerifError and
+  /// unsoundness annotation; confirmed witnesses land in WitnessDir as
+  /// replayable fuzz_repro_witness_* sidecar pairs and the report gains a
+  /// `witnesses` section. The Session only stores the summary (see
+  /// setWitnesses); the search itself is driven by witness::attachWitnesses
+  /// so the api layer does not depend on the searcher.
+  std::string WitnessDir;
+  /// Max candidate initial states executed per diagnostic site.
+  unsigned WitnessBudget = 64;
   /// Use this already-open store instead of constructing one from
   /// CacheDir (which is then ignored). Non-owning; must outlive the
   /// Session. This is how a long-lived host — the `hglift serve` daemon —
@@ -108,9 +118,21 @@ public:
   /// The --stats-json payload.
   void writeStatsJson(std::ostream &OS);
   /// The --report-json payload; includes the Step-2 summary iff check()
-  /// has run. Bytes are identical for every thread count and for warm vs
+  /// has run and the `witnesses` section iff a witness summary was
+  /// attached. Bytes are identical for every thread count and for warm vs
   /// cold cache runs.
   void writeReportJson(std::ostream &OS);
+
+  /// Attach the result of a witness search (witness::attachWitnesses does
+  /// this); writeReportJson renders it as the `witnesses` section.
+  void setWitnesses(diag::WitnessSummary W) {
+    Witnesses = std::move(W);
+    HasWitnesses = true;
+  }
+  /// The attached witness summary, or null when no search ran.
+  const diag::WitnessSummary *witnesses() const {
+    return HasWitnesses ? &Witnesses : nullptr;
+  }
 
   /// Scratch expression context for exporters that render results (NOT
   /// the context lifted expressions live in — each FunctionResult carries
@@ -134,6 +156,8 @@ private:
   hg::BinaryResult Result;
   bool Checked = false;
   exporter::CheckResult Check;
+  bool HasWitnesses = false;
+  diag::WitnessSummary Witnesses;
 };
 
 } // namespace hglift

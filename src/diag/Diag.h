@@ -43,6 +43,10 @@ constexpr unsigned TraceSchemaVersion = 1;
 /// reproducer sidecar files), pinned by tests/golden/fuzz_schema_v*.txt.
 constexpr unsigned FuzzSchemaVersion = 1;
 
+/// Version of the incorrectness-witness sidecar files and of the report
+/// `witnesses` section, pinned by tests/golden/witness_schema_v*.txt.
+constexpr unsigned WitnessSchemaVersion = 1;
+
 /// The three diagnostic categories of the paper (§1, §5): a function
 /// rejection, an explicit assumption, or a residual overapproximation.
 enum class DiagKind : uint8_t {
@@ -110,6 +114,69 @@ struct Diagnostic {
 /// 1 for the second, ...). Stable within a thread's lifetime; used for
 /// Provenance::Worker and the tracer's "tid" field.
 unsigned workerOrdinal();
+
+//===----------------------------------------------------------------------===//
+// Incorrectness witnesses (plain data)
+//
+// The witness searcher itself lives in src/witness (which links fuzz and
+// api), but its *results* must be renderable by the driver's report writer
+// and storable in an api::Session without either linking the searcher.
+// These structs are the dependency-free summary they exchange.
+//===----------------------------------------------------------------------===//
+
+/// The single concretized predicate clause a witness run violates,
+/// pre-evaluated so replay needs no symbolic machinery. Exactly one shape
+/// is active, selected by Type; unused fields are zero.
+struct WitnessClaim {
+  /// "reg" | "flags" | "mem" | "range" | "none" ("none": the violation is
+  /// structural — a missing edge — and any run reaching the site with the
+  /// recorded control transfer reproduces it).
+  std::string Type = "none";
+  unsigned RegNum = 0;     ///< reg: register number (x86::regNum order)
+  uint64_t Expect = 0;     ///< reg/mem: value the abstraction claims
+  uint64_t MemAddr = 0;    ///< mem: concrete cell address
+  uint32_t MemSize = 0;    ///< mem: cell size in bytes
+  std::string RangeOp;     ///< range: rendered RelOp (e.g. "<=u")
+  uint64_t RangeBound = 0; ///< range: clause bound
+  uint64_t RangeValue = 0; ///< range: concrete value the clause binds
+  std::string FlagsPinned; ///< flags: subset of "zsco" the abstraction pins
+  bool ExpZF = false, ExpSF = false, ExpCF = false, ExpOF = false;
+};
+
+/// One witness-search outcome for one diagnostic site.
+struct WitnessRecord {
+  uint64_t Function = 0;    ///< entry of the function searched
+  uint64_t Addr = 0;        ///< diagnostic site (Provenance::Addr)
+  std::string DiagKindName; ///< diagKindName of the seeding diagnostic
+  /// "confirmed" | "unconfirmed".
+  std::string Verdict = "unconfirmed";
+  std::string Reason; ///< unconfirmed: why (empty when confirmed)
+  std::string Source; ///< candidate tier that confirmed (empty otherwise)
+  unsigned Candidates = 0; ///< candidate states executed
+  uint64_t MachineSeed = 0;
+  std::vector<uint64_t> Regs; ///< confirmed: entry register file (16)
+  std::string Phase;          ///< "at" | "after" | "return" | "reach"
+  uint64_t NextRip = 0;       ///< phase "after": observed post-state rip
+  WitnessClaim Claim;
+  std::string Clause;    ///< symbolic text of the violated clause
+  std::string Violation; ///< the oracle's violation message
+  size_t TraceLen = 0;   ///< instructions executed before the violation
+  /// Post-reduction statistics (0 when no ELF bytes were available).
+  size_t Functions = 0;
+  size_t Instructions = 0;
+  std::string SidecarElf;  ///< basename of the written .elf ("" if none)
+  std::string SidecarJson; ///< basename of the written .json ("" if none)
+  bool Replayed = false;   ///< disk replay of the sidecar reproduced it
+};
+
+/// Everything a witness search produced, attached to a Session / report.
+struct WitnessSummary {
+  unsigned Budget = 0;   ///< per-site candidate budget the search ran with
+  size_t Searched = 0;   ///< diagnostic sites searched
+  size_t Confirmed = 0;  ///< sites with a confirmed concrete witness
+  size_t Unconfirmed = 0;
+  std::vector<WitnessRecord> Records;
+};
 
 } // namespace hglift::diag
 

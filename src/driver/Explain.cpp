@@ -2,6 +2,7 @@
 
 #include "diag/Diag.h"
 #include "diag/Json.h"
+#include "x86/Reg.h"
 
 #include <cstdlib>
 #include <fstream>
@@ -27,6 +28,65 @@ uint64_t hexField(const JValue &Obj, const std::string &Key) {
   uint64_t V = 0;
   parseAddr(Obj.str(Key), V);
   return V;
+}
+
+/// The witness record seeded by diagnostic D, or nullptr: records are
+/// matched on the (function, addr) pair of D's provenance. Witnesses is
+/// the report's `witnesses` section (null for reports written without a
+/// witness search).
+const JValue *witnessFor(const JValue &D, const JValue *Witnesses) {
+  if (!Witnesses || !Witnesses->isObj())
+    return nullptr;
+  const JValue *Prov = D.get("provenance");
+  if (!Prov)
+    return nullptr;
+  const JValue *Recs = Witnesses->get("records");
+  if (!Recs || !Recs->isArr())
+    return nullptr;
+  for (const JValue &R : Recs->Arr)
+    if (R.str("function") == Prov->str("function") &&
+        R.str("addr") == Prov->str("addr") &&
+        R.str("diag_kind") == D.str("kind"))
+      return &R;
+  return nullptr;
+}
+
+/// The "witnessed:" narrative line under a diagnostic: yes (with the
+/// concrete entry register file inline), unconfirmed (with the recorded
+/// reason), or no (the search ran but found no record for this site —
+/// e.g. the diagnostic is a proof obligation, which gets no witness).
+void renderWitness(std::ostream &OS, const JValue &D, const JValue *Witnesses) {
+  if (!Witnesses || !Witnesses->isObj())
+    return;
+  std::string Kind = D.str("kind");
+  if (Kind != "verification-error" && Kind != "unsoundness-annotation")
+    return;
+  const JValue *W = witnessFor(D, Witnesses);
+  if (!W) {
+    OS << "    witnessed: no\n";
+    return;
+  }
+  if (W->str("verdict") != "confirmed") {
+    OS << "    witnessed: unconfirmed (" << W->str("reason", "unknown")
+       << ")\n";
+    return;
+  }
+  OS << "    witnessed: yes — " << W->str("source") << " candidate, phase "
+     << W->str("phase") << " after "
+     << static_cast<uint64_t>(W->num("candidates")) << " state(s)";
+  if (std::string SJ = W->str("sidecar_json"); !SJ.empty())
+    OS << ", sidecar " << SJ
+       << (W->get("replayed") && W->get("replayed")->B ? " (replayed)" : "");
+  OS << "\n";
+  if (const JValue *Regs = W->get("regs"); Regs && Regs->isArr()) {
+    OS << "      entry registers:";
+    for (size_t RI = 0; RI < Regs->Arr.size() && RI < x86::NumGPRs; ++RI)
+      OS << " " << x86::regName(x86::regFromNum(static_cast<unsigned>(RI)))
+         << "=" << Regs->Arr[RI].Str;
+    OS << "\n";
+  }
+  if (std::string C = W->str("clause"); !C.empty())
+    OS << "      violated clause: `" << C << "`\n";
 }
 
 /// One diagnostic, rendered as an indented narrative block.
@@ -142,6 +202,7 @@ int runExplainText(const std::string &Text, const ExplainOptions &Opts,
       for (const JValue &D : Diags->Arr)
         if (diagMatches(D, HaveAddr, AddrFilter)) {
           renderDiag(OS, D);
+          renderWitness(OS, D, Doc->get("witnesses"));
           ++Shown;
         }
     }
@@ -159,9 +220,18 @@ int runExplainText(const std::string &Text, const ExplainOptions &Opts,
         if (!diagMatches(D, HaveAddr, AddrFilter))
           continue;
         renderDiag(OS, D);
+        renderWitness(OS, D, Doc->get("witnesses"));
         ++Shown;
       }
   }
+
+  if (const JValue *Wit = Doc->get("witnesses"); Wit && Wit->isObj())
+    OS << "\nwitness search: "
+       << static_cast<uint64_t>(Wit->num("confirmed")) << " confirmed, "
+       << static_cast<uint64_t>(Wit->num("unconfirmed"))
+       << " unconfirmed of " << static_cast<uint64_t>(Wit->num("searched"))
+       << " site(s), budget "
+       << static_cast<uint64_t>(Wit->num("budget")) << "\n";
 
   if (Shown == 0)
     OS << "\nno diagnostics"

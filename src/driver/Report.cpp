@@ -139,6 +139,47 @@ void writeDiagJson(std::ostream &OS, const diag::Diagnostic &D,
   OS << "]}}";
 }
 
+/// One witness-search record as a report-JSON object. 64-bit values are
+/// hex strings (diag::JValue numbers are doubles); the claim object always
+/// carries the full field set so consumers never branch on presence.
+void writeWitnessRecordJson(std::ostream &OS, const diag::WitnessRecord &W,
+                            const char *Indent) {
+  OS << Indent << "{\"function\": \"" << hexStr(W.Function) << "\", \"addr\": \""
+     << hexStr(W.Addr) << "\", \"diag_kind\": \"" << jsonEscape(W.DiagKindName)
+     << "\",\n"
+     << Indent << " \"verdict\": \"" << jsonEscape(W.Verdict)
+     << "\", \"reason\": \"" << jsonEscape(W.Reason) << "\", \"source\": \""
+     << jsonEscape(W.Source) << "\", \"candidates\": " << W.Candidates << ",\n"
+     << Indent << " \"machine_seed\": \"" << hexStr(W.MachineSeed)
+     << "\", \"regs\": [";
+  for (size_t I = 0; I < W.Regs.size(); ++I)
+    OS << (I ? ", " : "") << "\"" << hexStr(W.Regs[I]) << "\"";
+  OS << "],\n"
+     << Indent << " \"phase\": \"" << jsonEscape(W.Phase)
+     << "\", \"next_rip\": \"" << hexStr(W.NextRip) << "\",\n"
+     << Indent << " \"claim\": {\"type\": \"" << jsonEscape(W.Claim.Type)
+     << "\", \"reg\": " << W.Claim.RegNum << ", \"expect\": \""
+     << hexStr(W.Claim.Expect) << "\", \"mem_addr\": \""
+     << hexStr(W.Claim.MemAddr) << "\", \"mem_size\": " << W.Claim.MemSize
+     << ",\n"
+     << Indent << "           \"range_op\": \"" << jsonEscape(W.Claim.RangeOp)
+     << "\", \"range_bound\": \"" << hexStr(W.Claim.RangeBound)
+     << "\", \"range_value\": \"" << hexStr(W.Claim.RangeValue)
+     << "\", \"flags_pinned\": \"" << jsonEscape(W.Claim.FlagsPinned)
+     << "\", \"zf\": " << (W.Claim.ExpZF ? "true" : "false")
+     << ", \"sf\": " << (W.Claim.ExpSF ? "true" : "false")
+     << ", \"cf\": " << (W.Claim.ExpCF ? "true" : "false")
+     << ", \"of\": " << (W.Claim.ExpOF ? "true" : "false") << "},\n"
+     << Indent << " \"clause\": \"" << jsonEscape(W.Clause)
+     << "\", \"violation\": \"" << jsonEscape(W.Violation)
+     << "\", \"trace_len\": " << W.TraceLen << ",\n"
+     << Indent << " \"functions\": " << W.Functions
+     << ", \"instructions\": " << W.Instructions << ", \"sidecar_elf\": \""
+     << jsonEscape(W.SidecarElf) << "\", \"sidecar_json\": \""
+     << jsonEscape(W.SidecarJson)
+     << "\", \"replayed\": " << (W.Replayed ? "true" : "false") << "}";
+}
+
 } // namespace
 
 void writeStatsJson(std::ostream &OS, const BinaryResult &R) {
@@ -167,7 +208,8 @@ void writeStatsJson(std::ostream &OS, const BinaryResult &R) {
 }
 
 void writeReportJson(std::ostream &OS, const BinaryResult &R,
-                     const exporter::CheckResult *Check) {
+                     const exporter::CheckResult *Check,
+                     const diag::WitnessSummary *Witnesses) {
   OS << "{\n";
   OS << "  \"schema_version\": " << diag::ReportSchemaVersion << ",\n";
   OS << "  \"binary\": \"" << jsonEscape(R.Name) << "\",\n";
@@ -202,6 +244,19 @@ void writeReportJson(std::ostream &OS, const BinaryResult &R,
       writeDiagJson(OS, Check->Diags[J], "    ");
     }
     OS << (Check->Diags.empty() ? "" : "\n   ") << "]}";
+  }
+  if (Witnesses) {
+    OS << ",\n  \"witnesses\": {\"witness_schema_version\": "
+       << diag::WitnessSchemaVersion << ", \"budget\": " << Witnesses->Budget
+       << ", \"searched\": " << Witnesses->Searched
+       << ", \"confirmed\": " << Witnesses->Confirmed
+       << ", \"unconfirmed\": " << Witnesses->Unconfirmed
+       << ",\n   \"records\": [";
+    for (size_t J = 0; J < Witnesses->Records.size(); ++J) {
+      OS << (J ? ",\n" : "\n");
+      writeWitnessRecordJson(OS, Witnesses->Records[J], "    ");
+    }
+    OS << (Witnesses->Records.empty() ? "" : "\n   ") << "]}";
   }
   OS << "\n}\n";
 }

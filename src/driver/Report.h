@@ -29,11 +29,13 @@ void writeStatsJson(std::ostream &OS, const hg::BinaryResult &R);
 /// Emit the machine-readable verification report (the --report-json
 /// payload, schema version diag::ReportSchemaVersion): outcome and
 /// structured diagnostics with provenance for every function, plus the
-/// Step-2 summary when Check is non-null. Deliberately excludes wall times
-/// and worker ordinals so the bytes are identical for every --threads
-/// value (see docs/CLI.md).
+/// Step-2 summary when Check is non-null and the `witnesses` section
+/// (schema diag::WitnessSchemaVersion) when Witnesses is non-null.
+/// Deliberately excludes wall times and worker ordinals so the bytes are
+/// identical for every --threads value (see docs/CLI.md).
 void writeReportJson(std::ostream &OS, const hg::BinaryResult &R,
-                     const exporter::CheckResult *Check = nullptr);
+                     const exporter::CheckResult *Check = nullptr,
+                     const diag::WitnessSummary *Witnesses = nullptr);
 
 } // namespace hglift::driver
 

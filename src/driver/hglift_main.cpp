@@ -49,6 +49,18 @@
 //     --trace F            stream structured trace events (lift spans,
 //                          fixpoint iterations, solver calls, Step-2 edge
 //                          checks) as JSON Lines to F
+//     --witness-dir DIR    incorrectness witnesses (docs/WITNESSES.md):
+//                          search every VerificationError and unsoundness
+//                          annotation for a concrete counterexample state,
+//                          write confirmed witnesses to DIR as replayable
+//                          fuzz_repro_witness_* sidecars, and add the
+//                          `witnesses` section to --report-json
+//     --witness-budget N   candidate initial states per diagnostic site
+//                          for the witness search (default 64)
+//     --mutant NAME        plant the named fuzz-registry semantics mutant
+//                          during lifting (and during --check when its
+//                          scope is Both); regression fixture for the
+//                          witness pipeline — see docs/WITNESSES.md
 //
 // Sharded corpus lifting (see docs/SHARDING.md):
 //   hglift shard <bin1.elf> <bin2.elf> ... --cache-dir DIR [--shards N|auto]
@@ -76,6 +88,8 @@
 //               [--mutants a,b] [--fuzz-json FILE] [--repro-dir DIR]
 //               [--reduce-mutant NAME] [--replay FILE] [--budget-seconds N]
 //               [--oracle-runs N]
+//   (--replay dispatches on the sidecar's "kind" field: campaign
+//   reproducers and incorrectness witnesses replay through the same flag.)
 //
 // Exit codes follow one table for every subcommand (driver/ExitCode.h):
 // 0 = claim holds, 1 = analysis rejected the input, 2 = bad invocation,
@@ -94,6 +108,9 @@
 #include "export/DotExport.h"
 #include "export/IsabelleExport.h"
 #include "fuzz/Campaign.h"
+#include "fuzz/Mutants.h"
+#include "support/Format.h"
+#include "witness/Witness.h"
 
 #include <cstdio>
 #include <cstring>
@@ -113,7 +130,8 @@ void printUsage(std::ostream &OS) {
         "[--export-isabelle FILE] [--export-dot FILE] [--dump-hg] "
         "[--no-join] [--destroy-always] [--no-hotpath-cache] "
         "[--lifo-worklist] [--max-seconds N] [--threads N] "
-        "[--stats-json FILE] [--report-json FILE] [--trace FILE]\n"
+        "[--stats-json FILE] [--report-json FILE] [--trace FILE] "
+        "[--witness-dir DIR] [--witness-budget N] [--mutant NAME]\n"
         "       hglift check <binary.elf> [options]   (implies --check)\n"
         "       hglift shard <bin1.elf> <bin2.elf> ... --cache-dir DIR "
         "[--shards N|auto] [--no-work-stealing] "
@@ -180,7 +198,7 @@ int fuzzMain(int argc, char **argv) {
   }
 
   if (!Replay.empty())
-    return fuzz::replayReproducer(Replay, std::cout);
+    return witness::replayAny(Replay, std::cout);
 
   fuzz::CampaignResult R = fuzz::runCampaign(Opts, std::cout);
   if (!R.Error.empty()) {
@@ -329,6 +347,7 @@ int liftMain(int argc, char **argv, int ArgStart, bool Check) {
   std::string Path = argv[ArgStart];
   bool DumpHG = false;
   std::string IsabelleOut, DotOut, StatsJsonOut, ReportJsonOut, TraceOut;
+  const fuzz::Mutant *Mut = nullptr;
   Options Opt;
   for (int I = ArgStart + 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -369,7 +388,17 @@ int liftMain(int argc, char **argv, int ArgStart, bool Check) {
       ReportJsonOut = argv[++I];
     else if (A == "--trace" && I + 1 < argc)
       TraceOut = argv[++I];
-    else {
+    else if (A == "--witness-dir" && I + 1 < argc)
+      Opt.WitnessDir = argv[++I];
+    else if (A == "--witness-budget" && I + 1 < argc)
+      Opt.WitnessBudget = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (A == "--mutant" && I + 1 < argc) {
+      Mut = fuzz::findMutant(argv[++I]);
+      if (!Mut) {
+        std::cerr << "unknown mutant: " << argv[I] << "\n";
+        return toExit(ExitCode::Usage);
+      }
+    } else {
       std::cerr << "unknown option: " << A << "\n";
       return toExit(ExitCode::Usage);
     }
@@ -398,6 +427,16 @@ int liftMain(int argc, char **argv, int ArgStart, bool Check) {
   }
 
   Session S(*Img, Opt);
+  if (Mut) {
+    // Plant the deliberately-wrong semantics during lifting (and during
+    // the Step-2 check too when the mutant corrupts both layers), then
+    // restore clean semantics: the witness search and the oracle are the
+    // judges and must run the true machine.
+    fuzz::MutantInstall MI(*Mut);
+    S.lift();
+    if (Mut->Scope == fuzz::MutantScope::Both && Check)
+      S.check();
+  }
   const hg::BinaryResult &R = S.lift();
   S.printReport(std::cout, DumpHG);
   if (std::optional<store::CacheStats> CS = S.cacheStats())
@@ -421,6 +460,22 @@ int liftMain(int argc, char **argv, int ArgStart, bool Check) {
               << " Hoare triples proven\n";
     for (const std::string &F : C.Failures)
       std::cout << "  FAILED: " << F << "\n";
+  }
+
+  if (!Opt.WitnessDir.empty()) {
+    std::ifstream ElfIn(Path, std::ios::binary);
+    std::vector<uint8_t> ElfBytes(std::istreambuf_iterator<char>(ElfIn), {});
+    const diag::WitnessSummary &W = witness::attachWitnesses(
+        S, ElfBytes.empty() ? nullptr : &ElfBytes);
+    std::cout << "witnesses: " << W.Confirmed << " confirmed, "
+              << W.Unconfirmed << " unconfirmed of " << W.Searched
+              << " site(s) (budget " << W.Budget << ")\n";
+    for (const diag::WitnessRecord &Rec : W.Records)
+      if (!Rec.SidecarJson.empty())
+        std::cout << "  witness " << hexStr(Rec.Function) << "/"
+                  << hexStr(Rec.Addr) << " -> " << Opt.WitnessDir << "/"
+                  << Rec.SidecarJson
+                  << (Rec.Replayed ? " (replayed)" : "") << "\n";
   }
 
   if (!ReportJsonOut.empty()) {

@@ -5,6 +5,7 @@
 #include "api/Hglift.h"
 #include "corpus/Programs.h"
 #include "diag/Json.h"
+#include "fuzz/Sidecar.h"
 #include "elf/ElfReader.h"
 #include "export/HoareChecker.h"
 #include "support/Format.h"
@@ -37,17 +38,6 @@ uint64_t fnv1a(const std::string &S) {
 const char *scopeName(MutantScope S) {
   return S == MutantScope::LiftOnly ? "lift-only" : "both";
 }
-
-/// The generated subject of one run: the binary plus the seeds that made
-/// it. Shared by the run loop, the mutant probes, and the reducer so a
-/// (index, seed) pair always regenerates the same subject.
-struct Subject {
-  std::optional<corpus::BuiltBinary> BB;
-  bool Library = false;
-  uint64_t GenSeed = 0;
-  uint64_t OracleSeed = 0;
-  std::string Name;
-};
 
 Subject genSubject(unsigned Index, uint64_t RunSeed,
                    const FuzzOptions &Opts) {
@@ -182,6 +172,7 @@ MutantOutcome probeMutant(const Mutant &M, const FuzzOptions &Opts,
       MO.KillSeed = ProbeSeed;
       MO.KillFn = R.FirstFailFn;
       MO.KillAddr = R.FirstFailAddr;
+      MO.KillIndex = P;
       if (KillIndex)
         *KillIndex = P;
     }
@@ -261,20 +252,13 @@ bool reduceAndWrite(const Mutant &M, const FuzzOptions &Opts,
       return false;
   }
 
-  std::string Stem = Opts.ReproDir + "/fuzz_repro_" + M.Name;
-  Rec.ReproElf = Stem + ".elf";
-  Rec.ReproJson = Stem + ".json";
+  std::string Stem = sidecarStem(Opts.ReproDir, M.Name);
+  Rec.ReproElf = sidecarElfPath(Stem);
+  Rec.ReproJson = sidecarJsonPath(Stem);
+  if (!writeSidecarElf(Stem, RR.Bytes))
+    return false;
   {
-    std::ofstream E(Rec.ReproElf, std::ios::binary);
-    if (!E)
-      return false;
-    E.write(reinterpret_cast<const char *>(RR.Bytes.data()),
-            static_cast<std::streamsize>(RR.Bytes.size()));
-  }
-  {
-    std::ofstream J(Rec.ReproJson);
-    if (!J)
-      return false;
+    std::ostringstream J;
     J << "{\n";
     J << "  \"fuzz_schema_version\": " << diag::FuzzSchemaVersion << ",\n";
     J << "  \"kind\": \"hglift-fuzz-reproducer\",\n";
@@ -290,6 +274,8 @@ bool reduceAndWrite(const Mutant &M, const FuzzOptions &Opts,
     J << "  \"instructions\": " << Rec.InstructionsAfter << ",\n";
     J << "  \"functions\": " << Rec.FunctionsAfter << "\n";
     J << "}\n";
+    if (!writeSidecarJson(Stem, J.str()))
+      return false;
   }
   Log << "reduce: " << M.Name << " shrank " << Rec.InstructionsBefore
       << " -> " << Rec.InstructionsAfter << " instructions ("
@@ -306,6 +292,11 @@ bool reduceAndWrite(const Mutant &M, const FuzzOptions &Opts,
 }
 
 } // namespace
+
+Subject regenerateSubject(unsigned Index, uint64_t RunSeed,
+                          const FuzzOptions &Opts) {
+  return genSubject(Index, RunSeed, Opts);
+}
 
 size_t CampaignResult::checkFailures() const {
   size_t N = 0;
@@ -427,11 +418,9 @@ CampaignResult runCampaign(const FuzzOptions &Opts, std::ostream &Log) {
       Rec.FunctionsAfter = RR.FunctionsLeft;
       Rec.InstructionsAfter = RR.InstructionsLeft;
       std::string Stem =
-          Opts.ReproDir + "/fuzz_repro_run" + std::to_string(R.Index);
-      Rec.ReproElf = Stem + ".elf";
-      std::ofstream E(Rec.ReproElf, std::ios::binary);
-      E.write(reinterpret_cast<const char *>(RR.Bytes.data()),
-              static_cast<std::streamsize>(RR.Bytes.size()));
+          sidecarStem(Opts.ReproDir, "run" + std::to_string(R.Index));
+      Rec.ReproElf = sidecarElfPath(Stem);
+      writeSidecarElf(Stem, RR.Bytes);
       Log << "wrote " << Rec.ReproElf << " (" << RR.InstructionsLeft
           << " instructions, seed " << hexStr(R.RunSeed) << ")\n";
     }

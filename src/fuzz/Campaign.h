@@ -16,12 +16,14 @@
 #ifndef HGLIFT_FUZZ_CAMPAIGN_H
 #define HGLIFT_FUZZ_CAMPAIGN_H
 
+#include "corpus/Programs.h"
 #include "fuzz/Mutants.h"
 #include "fuzz/Oracle.h"
 #include "fuzz/Reducer.h"
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -74,6 +76,10 @@ struct MutantOutcome {
   unsigned Probes = 0;
   std::string Detail; ///< first failing theorem / violation message
   uint64_t KillFn = 0, KillAddr = 0;
+  /// Probe index of the killing subject — with KillSeed, enough to
+  /// regenerate the exact killing binary (regenerateSubject). In-memory
+  /// only: NOT serialized by writeFuzzJson (the fuzz schema is versioned).
+  unsigned KillIndex = 0;
 };
 
 /// One delta-debugging reduction (reducer demo or auto-reduce).
@@ -102,6 +108,22 @@ struct CampaignResult {
   /// killed, every reduction replayable, no usage errors.
   bool success() const;
 };
+
+/// The generated subject of one run or probe: the synthesized binary plus
+/// the seeds that made it. A (index, run-seed, options) triple always
+/// regenerates the same subject; the run loop, the mutant probes, the
+/// reducer, and the witness layer's mutation check all rely on this.
+struct Subject {
+  std::optional<corpus::BuiltBinary> BB;
+  bool Library = false;
+  uint64_t GenSeed = 0;
+  uint64_t OracleSeed = 0;
+  std::string Name;
+};
+
+/// Regenerate the subject of probe/run (Index, RunSeed) under Opts.
+Subject regenerateSubject(unsigned Index, uint64_t RunSeed,
+                          const FuzzOptions &Opts);
 
 /// Run a campaign. Progress lines go to Log; the machine-readable result
 /// is the return value (render with writeFuzzJson). Serial by design: the

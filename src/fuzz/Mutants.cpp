@@ -268,6 +268,54 @@ std::vector<Mutant> buildRegistry() {
         });
       }});
 
+  // 13. Regression shape of the historical stale-loop-join-bound
+  // Pred::leq soundness bug: a loop-carried range clause survives a join
+  // it should have widened, leaving a small stale upper bound on a value
+  // that keeps growing. Modeled as: add reg, imm plants "dest <=u 2" on
+  // the fall-through invariant. The clean Step-2 re-derivation implies no
+  // such bound, and any entry state past the boundary violates it
+  // concretely — which is what the incorrectness-witness search confirms
+  // (tests/witness_test.cpp and the `--mutant` CLI fixture path).
+  R.push_back(Mutant{
+      "range-stale-loop-bound",
+      "add reg, imm plants a stale range claim dest <=u 2 during Step 1",
+      MutantScope::LiftOnly,
+      [](StepOut &Out, const SymState &, const Instr &I, ExprContext &) {
+        if (I.Mn != Mnemonic::Add || !safeDest(I) || !I.Ops[1].isImm())
+          return;
+        for (Succ &S : Out.Succs) {
+          if (S.K != CtrlKind::Fall)
+            continue;
+          const Expr *V = S.S.P.reg64(I.Ops[0].R);
+          if (!V || V->hasFreshLeaf() || (V->isConst() && V->constVal() <= 2))
+            continue; // constant within the bound: claim would be true
+          S.S.P.addRange(V, pred::RelOp::ULe, 2);
+        }
+      }});
+
+  // 14. Regression shape of the historical unsigned-boundary Pred::leq
+  // bug: an entailment near the top of the unsigned range decided by a
+  // signed comparison, effectively asserting "dest >=u 2^64-256". Modeled
+  // as: mov reg, src plants that claim on the fall-through invariant.
+  R.push_back(Mutant{
+      "range-vacuous-unsigned",
+      "mov reg, src plants an unsigned-boundary claim dest >=u -256",
+      MutantScope::LiftOnly,
+      [](StepOut &Out, const SymState &, const Instr &I, ExprContext &) {
+        constexpr uint64_t Boundary = 0xffffffffffffff00ull;
+        if (I.Mn != Mnemonic::Mov || !safeDest(I))
+          return;
+        for (Succ &S : Out.Succs) {
+          if (S.K != CtrlKind::Fall)
+            continue;
+          const Expr *V = S.S.P.reg64(I.Ops[0].R);
+          if (!V || V->hasFreshLeaf() ||
+              (V->isConst() && V->constVal() >= Boundary))
+            continue;
+          S.S.P.addRange(V, pred::RelOp::UGe, Boundary);
+        }
+      }});
+
   return R;
 }
 

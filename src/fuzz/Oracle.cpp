@@ -39,12 +39,42 @@ expr::MemOracle OracleCtx::initMem() const {
 
 namespace {
 
+/// Evaluate a RelOp on concrete operands (the same table leq entailment
+/// and the range clauses use).
+bool relHolds(pred::RelOp Op, uint64_t U, uint64_t B) {
+  int64_t S = static_cast<int64_t>(U), SB = static_cast<int64_t>(B);
+  switch (Op) {
+  case pred::RelOp::Eq:
+    return U == B;
+  case pred::RelOp::Ne:
+    return U != B;
+  case pred::RelOp::ULt:
+    return U < B;
+  case pred::RelOp::ULe:
+    return U <= B;
+  case pred::RelOp::UGe:
+    return U >= B;
+  case pred::RelOp::UGt:
+    return U > B;
+  case pred::RelOp::SLt:
+    return S < SB;
+  case pred::RelOp::SLe:
+    return S <= SB;
+  case pred::RelOp::SGe:
+    return S >= SB;
+  case pred::RelOp::SGt:
+    return S > SB;
+  }
+  return true;
+}
+
 /// Does the tracked flag abstraction agree with the machine's flags? Each
 /// FlagState kind constrains a different subset: Cmp and Test pin all of
 /// ZF/SF/CF/OF, Res pins ZF/SF (the producing instructions disagree on
 /// CF/OF, which the abstraction therefore never derives), ZeroOf pins ZF.
+/// On disagreement, fills *Fail with the pinned subset and expected bits.
 bool flagsSatisfied(const pred::FlagState &F, const OracleCtx &CC,
-                    const Machine &M) {
+                    const Machine &M, SatFailure *Fail) {
   using Kind = pred::FlagState::Kind;
   if (F.K == Kind::Unknown)
     return true;
@@ -62,6 +92,17 @@ bool flagsSatisfied(const pred::FlagState &F, const OracleCtx &CC,
       return true;
   }
   unsigned W = F.Width;
+  auto fill = [&](const char *Pinned, bool ZF, bool SF, bool CF, bool OF) {
+    if (!Fail)
+      return;
+    Fail->K = SatFailure::Kind::Flags;
+    Fail->Evaluated = true;
+    Fail->FlagsPinned = Pinned;
+    Fail->ExpZF = ZF;
+    Fail->ExpSF = SF;
+    Fail->ExpCF = CF;
+    Fail->ExpOF = OF;
+  };
   switch (F.K) {
   case Kind::Unknown:
     return true;
@@ -72,31 +113,69 @@ bool flagsSatisfied(const pred::FlagState &F, const OracleCtx &CC,
     bool ZF = Res == 0, SF = signExtend(Res, W) < 0, CF = MA < MB;
     bool SA = signExtend(MA, W) < 0, SB = signExtend(MB, W) < 0;
     bool OF = (SA != SB) && (SF != SA);
-    return M.ZF == ZF && M.SF == SF && M.CF == CF && M.OF == OF;
+    if (M.ZF == ZF && M.SF == SF && M.CF == CF && M.OF == OF)
+      return true;
+    fill("zsco", ZF, SF, CF, OF);
+    return false;
   }
   case Kind::Test: {
     // Flags of L & R with CF = OF = 0 (sem::Machine flagsLogic).
     uint64_t Res = maskToWidth(*L & (R ? *R : 0), W);
     bool ZF = Res == 0, SF = signExtend(Res, W) < 0;
-    return M.ZF == ZF && M.SF == SF && !M.CF && !M.OF;
+    if (M.ZF == ZF && M.SF == SF && !M.CF && !M.OF)
+      return true;
+    fill("zsco", ZF, SF, false, false);
+    return false;
   }
   case Kind::Res: {
     uint64_t Res = maskToWidth(*L, W);
     bool ZF = Res == 0, SF = signExtend(Res, W) < 0;
-    return M.ZF == ZF && M.SF == SF;
+    if (M.ZF == ZF && M.SF == SF)
+      return true;
+    fill("zs", ZF, SF, false, false);
+    return false;
   }
-  case Kind::ZeroOf:
-    return M.ZF == (maskToWidth(*L, W) == 0);
+  case Kind::ZeroOf: {
+    bool ZF = maskToWidth(*L, W) == 0;
+    if (M.ZF == ZF)
+      return true;
+    fill("z", ZF, false, false, false);
+    return false;
+  }
   }
   return true;
 }
 
+/// Render the symbolic text of a FlagState clause.
+std::string flagsClauseText(const pred::FlagState &F,
+                            const expr::ExprContext &Ctx) {
+  using Kind = pred::FlagState::Kind;
+  const char *K = F.K == Kind::Cmp    ? "cmp"
+                  : F.K == Kind::Test ? "test"
+                  : F.K == Kind::Res  ? "res"
+                                      : "zeroof";
+  std::string S = std::string("flags ") + K + "(";
+  if (F.L)
+    S += F.L->str(Ctx);
+  if (F.R)
+    S += ", " + F.R->str(Ctx);
+  S += ", w" + std::to_string(F.Width) + ")";
+  return S;
+}
+
 } // namespace
 
-bool stateSatisfies(const pred::Pred &P, const OracleCtx &CC,
-                    const Machine &M) {
-  if (P.isBottom())
-    return false;
+std::optional<SatFailure> stateSatisfiesExplain(const pred::Pred &P,
+                                                const OracleCtx &CC,
+                                                const Machine &M,
+                                                bool RenderClause) {
+  if (P.isBottom()) {
+    SatFailure F;
+    F.K = SatFailure::Kind::Bottom;
+    if (RenderClause)
+      F.Clause = "false";
+    return F;
+  }
   auto Vars = CC.vars();
   auto InitMem = CC.initMem();
   for (unsigned RI = 0; RI < NumGPRs; ++RI) {
@@ -104,69 +183,74 @@ bool stateSatisfies(const pred::Pred &P, const OracleCtx &CC,
     if (!V || V->hasFreshLeaf())
       continue;
     auto EV = expr::evalExpr(V, Vars, InitMem);
-    if (!EV || *EV != M.Regs[RI])
-      return false;
+    if (!EV || *EV != M.Regs[RI]) {
+      SatFailure F;
+      F.K = SatFailure::Kind::Reg;
+      F.RegNum = RI;
+      if (EV) {
+        F.Evaluated = true;
+        F.Expect = *EV;
+      }
+      if (RenderClause && CC.Ctx)
+        F.Clause = regName(regFromNum(RI)) + " == " + V->str(*CC.Ctx);
+      return F;
+    }
   }
-  if (!flagsSatisfied(P.flags(), CC, M))
-    return false;
+  {
+    SatFailure F;
+    if (!flagsSatisfied(P.flags(), CC, M, &F)) {
+      if (RenderClause && CC.Ctx)
+        F.Clause = flagsClauseText(P.flags(), *CC.Ctx);
+      return F;
+    }
+  }
   for (const pred::MemCell &C : P.cells()) {
     if (C.Addr->hasFreshLeaf() || C.Val->hasFreshLeaf())
       continue;
     auto A = expr::evalExpr(C.Addr, Vars, InitMem);
     auto V = expr::evalExpr(C.Val, Vars, InitMem);
-    if (!A || !V)
-      return false;
-    if (M.load(*A, C.Size) != maskToWidth(*V, C.Size * 8))
-      return false;
+    bool OK = A && V && M.load(*A, C.Size) == maskToWidth(*V, C.Size * 8);
+    if (OK)
+      continue;
+    SatFailure F;
+    F.K = SatFailure::Kind::Mem;
+    F.MemSize = C.Size;
+    if (A && V) {
+      F.Evaluated = true;
+      F.MemAddr = *A;
+      F.Expect = maskToWidth(*V, C.Size * 8);
+    }
+    if (RenderClause && CC.Ctx)
+      F.Clause = "[" + C.Addr->str(*CC.Ctx) + "]:" +
+                 std::to_string(C.Size) + " == " + C.Val->str(*CC.Ctx);
+    return F;
   }
   for (const pred::RangeClause &C : P.ranges()) {
     if (C.E->hasFreshLeaf())
       continue;
     auto EV = expr::evalExpr(C.E, Vars, InitMem);
-    if (!EV)
-      return false;
-    uint64_t U = *EV, B = C.Bound;
-    int64_t S = static_cast<int64_t>(U), SB = static_cast<int64_t>(B);
-    bool OK = true;
-    switch (C.Op) {
-    case pred::RelOp::Eq:
-      OK = U == B;
-      break;
-    case pred::RelOp::Ne:
-      OK = U != B;
-      break;
-    case pred::RelOp::ULt:
-      OK = U < B;
-      break;
-    case pred::RelOp::ULe:
-      OK = U <= B;
-      break;
-    case pred::RelOp::UGe:
-      OK = U >= B;
-      break;
-    case pred::RelOp::UGt:
-      OK = U > B;
-      break;
-    case pred::RelOp::SLt:
-      OK = S < SB;
-      break;
-    case pred::RelOp::SLe:
-      OK = S <= SB;
-      break;
-    case pred::RelOp::SGe:
-      OK = S >= SB;
-      break;
-    case pred::RelOp::SGt:
-      OK = S > SB;
-      break;
+    if (EV && relHolds(C.Op, *EV, C.Bound))
+      continue;
+    SatFailure F;
+    F.K = SatFailure::Kind::Range;
+    F.Op = C.Op;
+    F.Bound = C.Bound;
+    if (EV) {
+      F.Evaluated = true;
+      F.Value = *EV;
     }
-    if (!OK)
-      return false;
+    if (RenderClause && CC.Ctx)
+      F.Clause = C.E->str(*CC.Ctx) + " " + pred::relOpName(C.Op) + " " +
+                 std::to_string(C.Bound);
+    return F;
   }
-  return true;
+  return std::nullopt;
 }
 
-namespace {
+bool stateSatisfies(const pred::Pred &P, const OracleCtx &CC,
+                    const Machine &M) {
+  return !stateSatisfiesExplain(P, CC, M, /*RenderClause=*/false).has_value();
+}
 
 /// Explored vertices of F at the given rip.
 std::vector<const hg::Vertex *> verticesAt(const hg::FunctionResult &F,
@@ -179,13 +263,13 @@ std::vector<const hg::Vertex *> verticesAt(const hg::FunctionResult &F,
   return Out;
 }
 
-} // namespace
-
-void walkOnce(const elf::BinaryImage &Img, const hg::FunctionResult &F,
-              Rng &R, OracleResult &Out) {
+WalkResult walkFrom(const elf::BinaryImage &Img, const hg::FunctionResult &F,
+                    const std::array<uint64_t, x86::NumGPRs> &InitRegs,
+                    uint64_t MachineSeed, int MaxSteps) {
   assert(!sem::installedStepMutator() &&
          "oracle must run with clean semantics");
-  Machine M(Img, R.next());
+  WalkResult Out;
+  Machine M(Img, MachineSeed);
   M.setupCall(F.Entry);
 
   OracleCtx CC(Img);
@@ -195,37 +279,47 @@ void walkOnce(const elf::BinaryImage &Img, const hg::FunctionResult &F,
       CC.Init[RI] = M.reg(Reg::RSP);
       continue;
     }
-    CC.Init[RI] = R.chance(1, 3) ? R.below(1000) : R.next();
+    CC.Init[RI] = InitRegs[RI];
     M.setReg(regFromNum(RI), CC.Init[RI]);
   }
   CC.RetAddr = M.load(M.reg(Reg::RSP), 8);
   CC.EntryM = M;
 
-  ++Out.Runs;
   sem::SymExec &Exec = F.Arena->exec();
+  uint64_t Prev = 0; // rip executed just before the current one
 
-  auto violate = [&](uint64_t Addr, std::string Msg) {
-    Out.Violations.push_back(
-        OracleViolation{F.Entry, Addr, std::move(Msg)});
+  auto violate = [&](WalkViolation::Kind K, uint64_t Addr, std::string Msg) {
+    Out.Violated = true;
+    Out.V.K = K;
+    Out.V.Addr = Addr;
+    Out.V.PrevRip = Prev;
+    Out.V.Message = std::move(Msg);
   };
 
-  for (int Step = 0; Step < 300; ++Step) {
+  for (int Step = 0; Step < MaxSteps; ++Step) {
     uint64_t Rip = M.Rip;
     auto Vs = verticesAt(F, Rip);
     if (Vs.empty())
-      return; // control left this function (callee frame, external stub)
+      break; // control left this function (callee frame, external stub)
 
     // Property 1: some invariant at this rip covers the concrete state.
     ++Out.States;
     std::vector<const hg::Vertex *> Admitting;
     for (const hg::Vertex *V : Vs)
-      if (stateSatisfies(V->State.P, CC, M))
+      if (!stateSatisfiesExplain(V->State.P, CC, M, /*RenderClause=*/false))
         Admitting.push_back(V);
     if (Admitting.empty()) {
-      violate(Rip, "no vertex at " + hexStr(Rip) +
-                       " admits the concrete state (" +
-                       std::to_string(Vs.size()) + " vertices)");
-      return;
+      violate(WalkViolation::Kind::NoAdmittingVertex, Rip,
+              "no vertex at " + hexStr(Rip) +
+                  " admits the concrete state (" +
+                  std::to_string(Vs.size()) + " vertices)");
+      // Designate the first vertex's invariant and re-explain with the
+      // symbolic clause text rendered.
+      if (auto Fail = stateSatisfiesExplain(Vs[0]->State.P, CC, M)) {
+        Out.V.HasFail = true;
+        Out.V.Fail = std::move(*Fail);
+      }
+      break;
     }
 
     bool WasCall = Admitting[0]->Instr.isCall();
@@ -238,20 +332,21 @@ void walkOnce(const elf::BinaryImage &Img, const hg::FunctionResult &F,
           for (const hg::Edge &E : F.Graph.Edges)
             HasRet |= E.From == V->Key && E.To.Rip == hg::RetTargetRip;
         if (!HasRet)
-          violate(Rip, "concrete return at " + hexStr(Rip) +
-                           " has no Ret edge");
+          violate(WalkViolation::Kind::MissingRetEdge, Rip,
+                  "concrete return at " + hexStr(Rip) + " has no Ret edge");
       }
-      return;
+      break;
     }
     if (St != Machine::Status::Running)
-      return; // fault/limit on a random register file: out of scope
+      break; // fault/limit on a random register file: out of scope
     if (WasCall && M.Rip != Admitting[0]->Instr.nextAddr())
-      return; // internal call: execution descended into the callee frame;
-              // the symbolic successor models the return site instead
+      break; // internal call: execution descended into the callee frame;
+             // the symbolic successor models the return site instead
 
     // Property 2: some symbolic successor of an admitting vertex admits
     // the concrete post-state (or the step hit an annotated indirection).
     bool Covered = false, Annotated = false;
+    std::optional<SatFailure> SuccFail;
     for (const hg::Vertex *V : Admitting) {
       StepOut SO = Exec.step(V->State, V->Instr, F.RetSym);
       if (SO.VerifError)
@@ -263,22 +358,53 @@ void walkOnce(const elf::BinaryImage &Img, const hg::FunctionResult &F,
         }
         if (S.NextAddr != M.Rip)
           continue;
-        if (stateSatisfies(S.S.P, CC, M)) {
+        auto Fail = stateSatisfiesExplain(S.S.P, CC, M);
+        if (!Fail) {
           Covered = true;
           break;
         }
+        if (!SuccFail)
+          SuccFail = std::move(*Fail);
       }
       if (Covered)
         break;
     }
     if (!Covered && !Annotated) {
-      violate(Rip, "concrete step " + hexStr(Rip) + " -> " + hexStr(M.Rip) +
-                       " not admitted by any symbolic successor");
-      return;
+      violate(WalkViolation::Kind::SuccessorNotAdmitted, Rip,
+              "concrete step " + hexStr(Rip) + " -> " + hexStr(M.Rip) +
+                  " not admitted by any symbolic successor");
+      Out.V.NextRip = M.Rip;
+      if (SuccFail) {
+        Out.V.HasFail = true;
+        Out.V.Fail = std::move(*SuccFail);
+      }
+      break;
     }
+    Prev = Rip;
     if (Annotated && !Covered)
-      return; // symbolic exploration stopped at the annotation
+      break; // symbolic exploration stopped at the annotation
   }
+  Out.Trace = M.trace();
+  return Out;
+}
+
+void walkOnce(const elf::BinaryImage &Img, const hg::FunctionResult &F,
+              Rng &R, OracleResult &Out) {
+  // Draw the entry state exactly as the oracle always has: machine seed
+  // first, then per non-RSP register a 1-in-3 small value, else full
+  // random. walkFrom replays the deterministic core.
+  uint64_t MachineSeed = R.next();
+  std::array<uint64_t, NumGPRs> Init{};
+  for (unsigned RI = 0; RI < NumGPRs; ++RI) {
+    if (regFromNum(RI) == Reg::RSP)
+      continue;
+    Init[RI] = R.chance(1, 3) ? R.below(1000) : R.next();
+  }
+  ++Out.Runs;
+  WalkResult WR = walkFrom(Img, F, Init, MachineSeed);
+  Out.States += WR.States;
+  if (WR.Violated)
+    Out.Violations.push_back(OracleViolation{F.Entry, WR.V.Addr, WR.V.Message});
 }
 
 OracleResult runOracle(const elf::BinaryImage &Img,

@@ -1,0 +1,35 @@
+//===- Sidecar.cpp - Reproducer sidecar naming and writing ----------------===//
+
+#include "fuzz/Sidecar.h"
+
+#include <fstream>
+
+namespace hglift::fuzz {
+
+std::string sidecarStem(const std::string &Dir, const std::string &Tag) {
+  return Dir + "/" + SidecarPrefix + Tag;
+}
+
+std::string sidecarElfPath(const std::string &Stem) { return Stem + ".elf"; }
+
+std::string sidecarJsonPath(const std::string &Stem) { return Stem + ".json"; }
+
+bool writeSidecarElf(const std::string &Stem,
+                     const std::vector<uint8_t> &Bytes) {
+  std::ofstream OS(sidecarElfPath(Stem), std::ios::binary);
+  if (!OS)
+    return false;
+  OS.write(reinterpret_cast<const char *>(Bytes.data()),
+           static_cast<std::streamsize>(Bytes.size()));
+  return static_cast<bool>(OS);
+}
+
+bool writeSidecarJson(const std::string &Stem, const std::string &Json) {
+  std::ofstream OS(sidecarJsonPath(Stem));
+  if (!OS)
+    return false;
+  OS << Json;
+  return static_cast<bool>(OS);
+}
+
+} // namespace hglift::fuzz

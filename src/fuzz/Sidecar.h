@@ -1,0 +1,42 @@
+//===- Sidecar.h - Reproducer sidecar naming and writing --------*- C++ -*-===//
+//
+// Every replayable artifact this project emits — fuzz-campaign reproducers
+// and incorrectness witnesses alike — is a sidecar *pair*: a raw ELF image
+// next to a JSON descriptor that references it by basename. The pair
+// convention (one stem, ".elf" + ".json", "fuzz_repro_" prefix so replay
+// tooling and .gitignore rules match both producers) used to be duplicated
+// across the campaign's two writer sites; this header is the single
+// authority so witness sidecars cannot drift from campaign sidecars.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_FUZZ_SIDECAR_H
+#define HGLIFT_FUZZ_SIDECAR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hglift::fuzz {
+
+/// The common basename prefix of every reproducer sidecar.
+inline constexpr const char *SidecarPrefix = "fuzz_repro_";
+
+/// Dir + "/" + SidecarPrefix + Tag — the stem both files of a pair share.
+std::string sidecarStem(const std::string &Dir, const std::string &Tag);
+
+/// "<stem>.elf" / "<stem>.json".
+std::string sidecarElfPath(const std::string &Stem);
+std::string sidecarJsonPath(const std::string &Stem);
+
+/// Write the raw ELF half of a pair. Returns false on I/O failure.
+bool writeSidecarElf(const std::string &Stem,
+                     const std::vector<uint8_t> &Bytes);
+
+/// Write the JSON half of a pair (the caller renders the document; each
+/// producer has its own schema, keyed by its *_schema_version field).
+bool writeSidecarJson(const std::string &Stem, const std::string &Json);
+
+} // namespace hglift::fuzz
+
+#endif // HGLIFT_FUZZ_SIDECAR_H

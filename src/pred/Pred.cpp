@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <unordered_map>
 
 namespace hglift::pred {
@@ -551,6 +552,72 @@ std::optional<uint64_t> Pred::unsignedUpperBound(const Expr *E) const {
       Best = static_cast<uint64_t>(I.hi());
   }
   return Best;
+}
+
+std::vector<uint64_t> Pred::witnessSeeds(const Expr *Var) const {
+  std::vector<uint64_t> Out;
+  if (!Var)
+    return Out;
+
+  std::function<bool(const Expr *)> Mentions = [&](const Expr *E) {
+    if (E == Var)
+      return true;
+    for (const Expr *O : E->operands())
+      if (Mentions(O))
+        return true;
+    return false;
+  };
+
+  // Valuation that maps Var to X and every other variable to 0. Deref
+  // leaves have no memory oracle here, so affine probing fails (and falls
+  // back to raw boundaries) whenever the clause reads memory.
+  auto At = [&](const Expr *E, uint64_t X) -> std::optional<uint64_t> {
+    uint32_t Id = Var->varId();
+    return expr::evalExpr(
+        E, [&](uint32_t VId) -> uint64_t { return VId == Id ? X : 0; });
+  };
+
+  for (const RangeClause &C : Ranges) {
+    if (!Mentions(C.E))
+      continue;
+    uint64_t Targets[3] = {C.Bound - 1, C.Bound, C.Bound + 1};
+    bool Solved = false;
+    if (Var->isVar()) {
+      auto F0 = At(C.E, 0), F1 = At(C.E, 1);
+      if (F0 && F1) {
+        uint64_t D = *F1 - *F0; // wrapping slope of the affine probe
+        if (D != 0) {
+          // Solve D·x ≡ Delta (mod 2^64): divide out the power of two,
+          // then multiply by the odd part's inverse (Newton iteration).
+          Solved = true;
+          int Tz = std::countr_zero(D);
+          uint64_t Odd = D >> Tz, Inv = Odd;
+          for (int It = 0; It < 5; ++It)
+            Inv *= 2 - Odd * Inv;
+          for (uint64_t T : Targets) {
+            uint64_t Delta = T - *F0;
+            if (Tz == 0 || std::countr_zero(Delta) >= Tz || Delta == 0)
+              Out.push_back((Delta >> Tz) * Inv);
+          }
+        }
+      }
+    }
+    if (!Solved)
+      for (uint64_t T : Targets)
+        Out.push_back(T);
+  }
+
+  Interval I = intervalOf(Var);
+  if (!I.isTop() && !I.isEmpty()) {
+    Out.push_back(static_cast<uint64_t>(I.lo()));
+    Out.push_back(static_cast<uint64_t>(I.hi()));
+    Out.push_back(static_cast<uint64_t>(I.lo()) - 1);
+    Out.push_back(static_cast<uint64_t>(I.hi()) + 1);
+  }
+
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
 }
 
 // --- join ---------------------------------------------------------------------

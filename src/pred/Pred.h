@@ -201,6 +201,16 @@ public:
   /// from ULt/ULe clauses.
   std::optional<uint64_t> unsignedUpperBound(const Expr *E) const;
 
+  /// Candidate values of Var that straddle this predicate's range-clause
+  /// boundaries: for every range clause whose LHS mentions Var, the values
+  /// of Var that put the clause expression at Bound-1 / Bound / Bound+1
+  /// (solved exactly when the clause is affine in Var — probed at Var=0 and
+  /// Var=1 — raw boundary values otherwise), plus the endpoints of
+  /// intervalOf(Var). These are the directed seeds of the incorrectness-
+  /// witness search: a violated E □ k clause is falsified at or next to its
+  /// boundary, not in the middle of the admitted interval. Sorted, deduped.
+  std::vector<uint64_t> witnessSeeds(const Expr *Var) const;
+
   // --- join / order (Definition 3.3) --------------------------------------
 
   /// Least upper bound. Fresh variables introduced for dropped clauses are

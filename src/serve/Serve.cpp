@@ -24,6 +24,7 @@
 #include "driver/Explain.h"
 #include "elf/ElfReader.h"
 #include "shard/LineProto.h"
+#include "witness/Witness.h"
 
 #include <algorithm>
 #include <chrono>
@@ -371,6 +372,8 @@ void processJob(Server &S, store::CacheStore *Store, Job &J) {
   if (MaxInsns > 0)
     SO.Lift.MaxVertices = MaxInsns;
   SO.SharedCache = Store; // null when no --cache-dir
+  SO.WitnessDir = S.Opt.WitnessDir;
+  SO.WitnessBudget = S.Opt.WitnessBudget;
 
   std::chrono::steady_clock::time_point T0 = std::chrono::steady_clock::now();
   Session Sess(*Img, SO);
@@ -378,6 +381,11 @@ void processJob(Server &S, store::CacheStore *Store, Job &J) {
   bool Proven = true;
   if (R.Op == "check")
     Proven = Sess.check().allProven();
+  // Same witness search a CLI `check --witness-dir` run performs, so the
+  // report payload below stays byte-identical to the CLI's report file.
+  const diag::WitnessSummary *Wit = nullptr;
+  if (R.Op == "check" && !S.Opt.WitnessDir.empty())
+    Wit = &witness::attachWitnesses(Sess, &*Bytes);
   std::ostringstream Rep;
   Sess.writeReportJson(Rep);
   double Ms = std::chrono::duration<double, std::milli>(
@@ -397,7 +405,13 @@ void processJob(Server &S, store::CacheStore *Store, Job &J) {
   Payload += ",\"exit\":" + std::to_string(Exit);
   Payload += ",\"outcome\":\"";
   Payload += hg::liftOutcomeName(LR.Outcome);
-  Payload += "\",\"report\":\"" + diag::jsonEscape(Rep.str()) + "\"}\n";
+  Payload += "\"";
+  if (Wit) {
+    Payload += ",\"witnesses_confirmed\":" + std::to_string(Wit->Confirmed);
+    Payload +=
+        ",\"witnesses_unconfirmed\":" + std::to_string(Wit->Unconfirmed);
+  }
+  Payload += ",\"report\":\"" + diag::jsonEscape(Rep.str()) + "\"}\n";
 
   if (S.Opt.MemoMax > 0) {
     std::lock_guard<std::mutex> G(S.MemoMu);
@@ -824,7 +838,12 @@ bool parseServeArgs(int argc, char **argv, ServeOptions &Opt,
     } else if (A == "--max-insns" && I + 1 < argc) {
       Opt.MaxInsns = std::strtoull(argv[++I], nullptr, 0);
       Opt.MaxInsnsGiven = true;
-    } else if (A == "--client")
+    } else if (A == "--witness-dir" && I + 1 < argc)
+      Opt.WitnessDir = argv[++I];
+    else if (A == "--witness-budget" && I + 1 < argc)
+      Opt.WitnessBudget =
+          static_cast<unsigned>(std::max(1, std::atoi(argv[++I])));
+    else if (A == "--client")
       Opt.Client = true;
     else if (A == "--op" && I + 1 < argc)
       Opt.Op = argv[++I];

@@ -67,6 +67,14 @@ struct ServeOptions {
   uint64_t MaxInsns = 0;
   bool MaxInsnsGiven = false;
 
+  /// --witness-dir DIR (daemon only): after every `check` request whose
+  /// binary has verification errors, synthesise replayable counterexample
+  /// sidecars into DIR (witness/Witness.h) and embed the same `witnesses`
+  /// report section a CLI `check --witness-dir DIR` run writes — the
+  /// report payload stays byte-identical to the CLI's. Empty = off.
+  std::string WitnessDir;
+  unsigned WitnessBudget = 64; ///< --witness-budget N: candidates per site
+
   // Client mode (--client): connect, submit one request, stream the
   // response lines to stdout, exit with the result's exit code.
   bool Client = false;

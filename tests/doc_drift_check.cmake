@@ -5,9 +5,14 @@
 # any is not mentioned in docs/CLI.md. When SERVE_SRC/SERVEDOC are given,
 # additionally requires every serve flag and request-op literal from
 # src/serve/Serve.cpp to appear in BOTH docs/CLI.md and docs/SERVE.md, and
-# the wire spec to pin the serve_schema_version literal. Run as:
+# the wire spec to pin the serve_schema_version literal. When
+# WITNESSDOC/DIAG_H are given, additionally requires the witness sidecar
+# spec (docs/WITNESSES.md) to document the witness flags and both it and
+# docs/CLI.md to pin the exact "witness_schema_version N" literal declared
+# in src/diag/Diag.h. Run as:
 #   cmake -DMAIN=<hglift_main.cpp> -DDOC=<CLI.md>
 #         [-DSERVE_SRC=<Serve.cpp> -DSERVEDOC=<SERVE.md>]
+#         [-DWITNESSDOC=<WITNESSES.md> -DDIAG_H=<Diag.h>]
 #         -P doc_drift_check.cmake
 
 if(NOT EXISTS "${MAIN}")
@@ -105,4 +110,47 @@ if(SERVE_SRC)
                         "serve_schema_version response field")
   endif()
   message(STATUS "doc_drift_check: serve tokens ${STOKENS} documented")
+endif()
+
+# ---- witness sidecar drift: Diag.h schema version vs WITNESSES.md + CLI.md
+if(WITNESSDOC)
+  if(NOT EXISTS "${WITNESSDOC}")
+    message(FATAL_ERROR "doc_drift_check: docs/WITNESSES.md does not exist -- "
+                        "the witness sidecar format must be specified there")
+  endif()
+  if(NOT EXISTS "${DIAG_H}")
+    message(FATAL_ERROR "doc_drift_check: missing source ${DIAG_H}")
+  endif()
+  file(READ "${WITNESSDOC}" WITNESSDOC_TXT)
+  file(READ "${DIAG_H}" DIAG_SRC)
+
+  # The flags that configure witness synthesis must be explained in the
+  # sidecar spec, not just listed in the CLI reference.
+  foreach(T "--witness-dir" "--witness-budget")
+    string(FIND "${WITNESSDOC_TXT}" "${T}" WPOS)
+    if(WPOS EQUAL -1)
+      message(FATAL_ERROR "doc_drift_check: docs/WITNESSES.md must document "
+                          "the ${T} flag")
+    endif()
+  endforeach()
+
+  # Both docs must pin the exact schema version literal from Diag.h, so a
+  # bump there forces a matching doc (and golden) update.
+  string(REGEX MATCH "WitnessSchemaVersion = ([0-9]+)" _ "${DIAG_SRC}")
+  if(NOT CMAKE_MATCH_1)
+    message(FATAL_ERROR "doc_drift_check: could not find the "
+                        "WitnessSchemaVersion literal in ${DIAG_H}")
+  endif()
+  set(WVER "witness_schema_version ${CMAKE_MATCH_1}")
+  string(FIND "${WITNESSDOC_TXT}" "${WVER}" WVPOS)
+  if(WVPOS EQUAL -1)
+    message(FATAL_ERROR "doc_drift_check: docs/WITNESSES.md must pin "
+                        "\"${WVER}\" (the literal from src/diag/Diag.h)")
+  endif()
+  string(FIND "${DOC_SRC}" "${WVER}" CWVPOS)
+  if(CWVPOS EQUAL -1)
+    message(FATAL_ERROR "doc_drift_check: docs/CLI.md must pin "
+                        "\"${WVER}\" (the literal from src/diag/Diag.h)")
+  endif()
+  message(STATUS "doc_drift_check: witness flags and ${WVER} documented")
 endif()

@@ -394,6 +394,51 @@ TEST(ServeWarmCold, ReportByteIdenticalToCli) {
   }));
 }
 
+TEST(ServeWitness, ReportByteIdenticalToCli) {
+  // A daemon started with --witness-dir runs the same witness search a
+  // CLI `check --witness-dir` run performs, so the report payload —
+  // including the `witnesses` section and its per-site records — must be
+  // byte-identical, and the result event must surface the counts.
+  auto BB = corpus::overflowBinary();
+  ASSERT_TRUE(BB.has_value());
+  std::string Elf = tmpPath("witness.elf");
+  writeBinary(*BB, Elf);
+
+  std::string CliDir = tmpPath("witness_cli_dir");
+  std::string CliReport = tmpPath("witness_cli_report.json");
+  RunResult R = runCli("check " + Elf + " --witness-dir " + CliDir +
+                       " --report-json " + CliReport);
+  EXPECT_EQ(R.ExitCode, 1) << R.Output; // overflow fails to lift
+  std::string Cli = readFileStr(CliReport);
+  ASSERT_NE(Cli.find("\"witnesses\""), std::string::npos) << Cli;
+
+  std::string SrvDir = tmpPath("witness_srv_dir");
+  Daemon D("witness", {"--threads", "1", "--witness-dir", SrvDir});
+  Client C(D);
+  ASSERT_GE(C.Fd, 0);
+  ASSERT_TRUE(C.send(liftRequest("w", Elf, "check")));
+  EXPECT_EQ(C.readEvent().str("event"), "accepted");
+  diag::JValue Res = C.readEvent();
+  ASSERT_EQ(Res.str("event"), "result");
+  EXPECT_EQ(Res.str("report"), Cli)
+      << "serve witness report must be byte-identical to the CLI's";
+  // overflow's single site is unconfirmed (function-level failure: there
+  // is no lifted graph to drive a concrete run against).
+  EXPECT_EQ(Res.num("witnesses_confirmed", -1), 0);
+  EXPECT_EQ(Res.num("witnesses_unconfirmed", -1), 1);
+  EXPECT_EQ(C.readEvent().str("event"), "done");
+
+  // A lift (not check) request on the same daemon runs no witness search
+  // and carries no counts.
+  ASSERT_TRUE(C.send(liftRequest("l", Elf, "lift")));
+  C.readEvent(); // accepted
+  diag::JValue LRes = C.readEvent();
+  ASSERT_EQ(LRes.str("event"), "result");
+  EXPECT_EQ(LRes.get("witnesses_confirmed"), nullptr);
+  EXPECT_EQ(LRes.str("report").find("\"witnesses\""), std::string::npos);
+  C.readEvent(); // done
+}
+
 TEST(ServeDedup, TwoClientsOneStoreWrite) {
   auto BB = corpus::branchLoopBinary();
   ASSERT_TRUE(BB.has_value());
