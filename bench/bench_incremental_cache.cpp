@@ -115,7 +115,7 @@ PassResult runPass(const std::vector<CorpusItem> &Items,
   for (const CorpusItem &I : Items) {
     Options O;
     O.Library = I.Library;
-    O.CacheDir = (CacheDir / I.Name).string();
+    O.Cache.Dir = (CacheDir / I.Name).string();
     Session S(I.BB.Img, O);
     S.lift();
     S.check();
@@ -199,7 +199,7 @@ int main(int argc, char **argv) {
   {
     Options O;
     O.Library = VictimItem.Library;
-    O.CacheDir = (Dir / VictimItem.Name).string();
+    O.Cache.Dir = (Dir / VictimItem.Name).string();
     Session S(VictimItem.BB.Img, O);
     VictimR = S.lift(); // copy — outlives the session
   }

@@ -15,6 +15,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Hglift.h"
+#include "corpus/Programs.h"
 #include "corpus/Suites.h"
 #include "hg/Lifter.h"
 #include "support/Format.h"
@@ -22,6 +24,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
+#include <string>
 
 using namespace hglift;
 
@@ -205,5 +209,45 @@ int main(int argc, char **argv) {
   std::printf("\nshape: states/instrs = %.3f (paper 1.026), library lift "
               "rate = %.1f%% (paper 98%%) -> %s\n",
               StateRatio, 100.0 * LiftRate, ShapeOK ? "OK" : "MISMATCH");
-  return ShapeOK ? 0 : 1;
+
+  // --- VSA gate: on the jump-table corpus, the value-set analysis must
+  // strictly move mass out of the unresolved columns (B+C, vs --no-vsa)
+  // into column A, and its reports must stay byte-identical across
+  // thread counts (docs/VSA.md).
+  unsigned OnA = 0, OnBC = 0, OffA = 0, OffBC = 0;
+  bool VsaOK = true;
+  for (auto *Builder : {corpus::offsetTableBinary, corpus::callbackTableBinary,
+                        corpus::maskedTableBinary,
+                        corpus::widenedGuardTableBinary}) {
+    auto BB = Builder();
+    if (!BB) {
+      VsaOK = false;
+      continue;
+    }
+    for (bool Vsa : {true, false}) {
+      hglift::Options O;
+      O.Vsa.Enable = Vsa;
+      hglift::Session S(BB->Img, O);
+      const hg::BinaryResult &R = S.lift();
+      (Vsa ? OnA : OffA) += R.totalA();
+      (Vsa ? OnBC : OffBC) += R.totalB() + R.totalC();
+    }
+    std::string Rep[2];
+    for (unsigned T = 1; T <= 2; ++T) {
+      hglift::Options O;
+      O.Lift.Threads = T;
+      hglift::Session S(BB->Img, O);
+      S.lift();
+      std::ostringstream OS;
+      S.writeReportJson(OS);
+      Rep[T - 1] = OS.str();
+    }
+    VsaOK &= !Rep[0].empty() && Rep[0] == Rep[1];
+  }
+  VsaOK &= OnA > OffA;   // column A strictly up with VSA on
+  VsaOK &= OnBC < OffBC; // B+C strictly down with VSA on
+  std::printf("vsa: A %u -> %u, B+C %u -> %u (--no-vsa -> default), "
+              "reports thread-identical -> %s\n",
+              OffA, OnA, OffBC, OnBC, VsaOK ? "OK" : "MISMATCH");
+  return (ShapeOK && VsaOK) ? 0 : 1;
 }

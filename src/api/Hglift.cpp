@@ -6,18 +6,23 @@ namespace hglift {
 
 Session::Session(const elf::BinaryImage &Img, Options O)
     : Img(Img), Opt(std::move(O)) {
-  if (Opt.SharedCache) {
+  // The facade's VSA group is authoritative over the low-level SymConfig:
+  // check() builds its CheckContext from the same stored copy, so Step-1
+  // and Step-2 always resolve with identical configuration.
+  Opt.Lift.Sym.Vsa = Opt.Vsa.Enable;
+  Opt.Lift.Sym.VsaMaxTargets = Opt.Vsa.MaxTargets;
+  if (Opt.Cache.Shared) {
     // A host-owned store reused across Sessions: adopt it, and drop any
     // hit-time validations a previous binary left behind — they are keyed
     // by entry address only and must never leak into this report.
-    CacheRef = Opt.SharedCache;
+    CacheRef = Opt.Cache.Shared;
     CacheRef->resetValidations();
     Opt.Lift.Cache = CacheRef;
-  } else if (!Opt.CacheDir.empty()) {
+  } else if (!Opt.Cache.Dir.empty()) {
     store::CacheStore::Options SO;
-    SO.Dir = Opt.CacheDir;
-    SO.MaxBytes = Opt.CacheMaxMB * 1024 * 1024;
-    SO.Validate = Opt.CacheValidate;
+    SO.Dir = Opt.Cache.Dir;
+    SO.MaxBytes = Opt.Cache.MaxMB * 1024 * 1024;
+    SO.Validate = Opt.Cache.Validate;
     Cache = std::make_unique<store::CacheStore>(std::move(SO));
     CacheRef = Cache.get();
     Opt.Lift.Cache = CacheRef;

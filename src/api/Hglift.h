@@ -6,15 +6,15 @@
 //
 //   hglift::Options O;
 //   O.Lift.Threads = 4;
-//   O.CacheDir = "/var/cache/hglift";       // optional incremental store
+//   O.Cache.Dir = "/var/cache/hglift";      // optional incremental store
 //   hglift::Session S(Img, O);
 //   const hg::BinaryResult &R = S.lift();    // Step 1 (cache-aware)
 //   const exporter::CheckResult &C = S.check(); // Step 2
 //   S.writeReportJson(Out);                  // includes C iff check() ran
 //
-// Cache semantics: when CacheDir is set, lifts consult the content-
+// Cache semantics: when Cache.Dir is set, lifts consult the content-
 // addressed store (store/Store.h). Hits skip Algorithm 1 but are re-proven
-// through the Step-2 checker before being returned (unless CacheValidate
+// through the Step-2 checker before being returned (unless Cache.Validate
 // is explicitly turned off), so a warm run makes exactly the same
 // soundness claim as a cold one. check() reuses those hit-time proofs
 // instead of proving the same edges twice; because every reused result was
@@ -41,46 +41,72 @@
 namespace hglift {
 
 /// Everything a lift-and-check run can be configured with. Plain data;
-/// copy, fill in, hand to a Session.
+/// copy, fill in, hand to a Session. Related knobs live in nested plain-
+/// data sub-structs (Cache, Witness, Vsa) so call sites read as
+/// `O.Cache.Dir = ...` and new knobs have an obvious home.
 struct Options {
   /// Step-1 configuration (threads, fuel, ablations, ...). Options::Lift
-  /// .Cache is managed by the Session when CacheDir is set; leave it null.
+  /// .Cache is managed by the Session when Cache.Dir is set; leave it
+  /// null. Lift.Sym's VSA fields are overwritten from Options::Vsa at
+  /// Session construction — configure VSA through Options::Vsa only.
   hg::LiftConfig Lift;
   /// Lift every exported function symbol instead of following calls from
   /// the ELF entry point (shared-object mode, paper §5.1).
   bool Library = false;
-  /// Directory of the content-addressed artifact store. Empty = no cache.
-  /// Created on first use; safe to share between concurrent processes.
-  std::string CacheDir;
-  /// Byte budget for the store's objects/ directory in MiB (0 = no limit).
-  /// Exceeding it after a store evicts least-recently-used entries.
-  uint64_t CacheMaxMB = 0;
-  /// Re-prove every cache hit through the Step-2 checker before using it
-  /// (the default, and the soundness story). Turning this off trusts the
-  /// stored graphs and is only defensible for throwaway exploration.
-  bool CacheValidate = true;
-  /// Incorrectness witnesses: when WitnessDir is non-empty, a check run is
-  /// followed by a witness search (src/witness) over every VerifError and
-  /// unsoundness annotation; confirmed witnesses land in WitnessDir as
-  /// replayable fuzz_repro_witness_* sidecar pairs and the report gains a
-  /// `witnesses` section. The Session only stores the summary (see
-  /// setWitnesses); the search itself is driven by witness::attachWitnesses
-  /// so the api layer does not depend on the searcher.
-  std::string WitnessDir;
-  /// Max candidate initial states executed per diagnostic site.
-  unsigned WitnessBudget = 64;
-  /// Use this already-open store instead of constructing one from
-  /// CacheDir (which is then ignored). Non-owning; must outlive the
-  /// Session. This is how a long-lived host — the `hglift serve` daemon —
-  /// keeps one warm store per worker thread across many Sessions: the
-  /// counters accumulate a cross-request picture and the directory handle
-  /// stays hot. Sharing is *sequential* per instance (one Session at a
-  /// time); concurrent Sessions should each use their own instance over
-  /// the same directory, which the on-disk format makes safe. The Session
-  /// clears pending hit-time validations at construction
-  /// (CacheStore::resetValidations) so a previous binary's proofs can
-  /// never be merged into this one's report.
-  store::CacheStore *SharedCache = nullptr;
+
+  /// The incremental artifact store (store/Store.h).
+  struct CacheOptions {
+    /// Directory of the content-addressed store. Empty = no cache.
+    /// Created on first use; safe to share between concurrent processes.
+    std::string Dir;
+    /// Byte budget for the store's objects/ directory in MiB (0 = no
+    /// limit). Exceeding it after a store evicts least-recently-used
+    /// entries.
+    uint64_t MaxMB = 0;
+    /// Re-prove every cache hit through the Step-2 checker before using
+    /// it (the default, and the soundness story). Turning this off trusts
+    /// the stored graphs and is only defensible for throwaway exploration.
+    bool Validate = true;
+    /// Use this already-open store instead of constructing one from Dir
+    /// (which is then ignored). Non-owning; must outlive the Session.
+    /// This is how a long-lived host — the `hglift serve` daemon — keeps
+    /// one warm store per worker thread across many Sessions: the
+    /// counters accumulate a cross-request picture and the directory
+    /// handle stays hot. Sharing is *sequential* per instance (one
+    /// Session at a time); concurrent Sessions should each use their own
+    /// instance over the same directory, which the on-disk format makes
+    /// safe. The Session clears pending hit-time validations at
+    /// construction (CacheStore::resetValidations) so a previous binary's
+    /// proofs can never be merged into this one's report.
+    store::CacheStore *Shared = nullptr;
+  };
+  CacheOptions Cache;
+
+  /// Incorrectness witnesses: when Witness.Dir is non-empty, a check run
+  /// is followed by a witness search (src/witness) over every VerifError
+  /// and unsoundness annotation; confirmed witnesses land in Witness.Dir
+  /// as replayable fuzz_repro_witness_* sidecar pairs and the report gains
+  /// a `witnesses` section. The Session only stores the summary (see
+  /// setWitnesses); the search itself is driven by
+  /// witness::attachWitnesses so the api layer does not depend on the
+  /// searcher.
+  struct WitnessOptions {
+    std::string Dir;
+    /// Max candidate initial states executed per diagnostic site.
+    unsigned Budget = 64;
+  };
+  WitnessOptions Witness;
+
+  /// Value-set analysis for indirect jumps/calls (docs/VSA.md).
+  struct VsaOptions {
+    /// Off (`--no-vsa`) reproduces the legacy absolute-jump-table-only
+    /// resolver exactly: unresolvable sites keep today's annotations.
+    bool Enable = true;
+    /// Cap on distinct targets one resolved site may fan out to
+    /// (`--vsa-max-targets`).
+    unsigned MaxTargets = 64;
+  };
+  VsaOptions Vsa;
 };
 
 /// One lift-and-check run over one binary image. Owns the Lifter, the

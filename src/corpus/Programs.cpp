@@ -278,6 +278,189 @@ std::optional<BuiltBinary> callbackBinary() {
   return buildCallback(CbAddr, Unused);
 }
 
+namespace {
+
+/// The offset-table program, parameterized by the case addresses (empty on
+/// the first pass). As with buildCallback, the layout is deterministic, so
+/// two passes fill the 32-bit offsets exactly.
+std::optional<BuiltBinary> buildOffsetTable(const std::vector<uint64_t> &Cases,
+                                            std::vector<uint64_t> &CasesOut) {
+  constexpr unsigned NumCases = 6;
+  ProgramBuilder PB("offset_table");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), F = A.newLabel(), Default = A.newLabel();
+  Asm::Label Done = A.newLabel();
+  std::vector<Asm::Label> CaseLabels;
+  for (unsigned I = 0; I < NumCases; ++I)
+    CaseLabels.push_back(A.newLabel());
+
+  uint64_t Table = PB.rodataAlloc(4 * NumCases, 8);
+  for (unsigned I = 0; I < NumCases; ++I) {
+    uint32_t Off =
+        Cases.empty() ? 0 : static_cast<uint32_t>(Cases[I] - Table);
+    PB.rodataBytes(Table + 4 * I,
+                   {static_cast<uint8_t>(Off), static_cast<uint8_t>(Off >> 8),
+                    static_cast<uint8_t>(Off >> 16),
+                    static_cast<uint8_t>(Off >> 24)});
+  }
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  // int f(unsigned x): the gcc -fPIC switch. The table holds 32-bit
+  // offsets relative to its own base; the dispatch sign-extends an entry
+  // and adds the base back.
+  A.bind(F);
+  A.endbr64();
+  A.cmpRI(Reg::RDI, NumCases - 1, 4);
+  A.jccL(Cond::A, Default);
+  A.movRR(Reg::RAX, Reg::RDI, 4); // zero-extend the index
+  A.movRI(Reg::RCX, static_cast<int64_t>(Table), 8);
+  A.movsxdRM(Reg::RDX, memBIS(Reg::RCX, Reg::RAX, 4));
+  A.addRR(Reg::RDX, Reg::RCX, 8);
+  A.jmpR(Reg::RDX);
+  for (unsigned I = 0; I < NumCases; ++I) {
+    A.bind(CaseLabels[I]);
+    A.movRI(Reg::RAX, static_cast<int64_t>(2 * I + 1), 4);
+    A.jmpL(Done);
+  }
+  A.bind(Default);
+  A.movRI(Reg::RAX, -1, 4);
+  A.bind(Done);
+  A.ret();
+
+  auto Built = PB.build(Start);
+  if (Built) {
+    CasesOut.clear();
+    for (Asm::Label L : CaseLabels)
+      CasesOut.push_back(A.labelAddr(L));
+  }
+  return Built;
+}
+
+} // namespace
+
+std::optional<BuiltBinary> offsetTableBinary() {
+  std::vector<uint64_t> Cases;
+  if (!buildOffsetTable({}, Cases))
+    return std::nullopt;
+  std::vector<uint64_t> Unused;
+  return buildOffsetTable(Cases, Unused);
+}
+
+std::optional<BuiltBinary> callbackTableBinary() {
+  constexpr unsigned Handlers = 4;
+  ProgramBuilder PB("callback_table");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), F = A.newLabel(), Skip = A.newLabel();
+  std::vector<Asm::Label> Fns;
+  for (unsigned I = 0; I < Handlers; ++I)
+    Fns.push_back(A.newLabel());
+  // jumpTable entries are filled with label addresses at build() time, so
+  // a function-pointer array needs no double build.
+  uint64_t Table = PB.jumpTable(Fns);
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  // long f(unsigned idx): bounded dispatch through a read-only handler
+  // array — an indirect *call* the VSA resolves (column A).
+  A.bind(F);
+  A.endbr64();
+  A.cmpRI(Reg::RDI, Handlers - 1, 4);
+  A.jccL(Cond::A, Skip);
+  A.subRI(Reg::RSP, 8, 8);
+  A.movRR(Reg::RAX, Reg::RDI, 4); // zero-extend the index
+  A.callM(memBIS(Reg::None, Reg::RAX, 8, static_cast<int32_t>(Table)));
+  A.addRI(Reg::RSP, 8, 8);
+  A.bind(Skip);
+  A.ret();
+
+  for (unsigned I = 0; I < Handlers; ++I) {
+    A.bind(Fns[I]);
+    A.endbr64();
+    A.movRI(Reg::RAX, static_cast<int64_t>(10 + I), 4);
+    A.ret();
+  }
+
+  return PB.build(Start);
+}
+
+std::optional<BuiltBinary> maskedTableBinary() {
+  constexpr unsigned NumCases = 8; // mask 7
+  ProgramBuilder PB("masked_table");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), F = A.newLabel(), Done = A.newLabel();
+  std::vector<Asm::Label> CaseLabels;
+  for (unsigned I = 0; I < NumCases; ++I)
+    CaseLabels.push_back(A.newLabel());
+  uint64_t Table = PB.jumpTable(CaseLabels);
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  // int f(unsigned long x) { switch (x & 7) ... } — no cmp/ja guard; the
+  // bound is the and-mask, visible only to the extended interval queries.
+  A.bind(F);
+  A.endbr64();
+  A.movRR(Reg::RAX, Reg::RDI, 8);
+  A.arithRI(Mnemonic::And, Reg::RAX, NumCases - 1, 8);
+  A.jmpM(memBIS(Reg::None, Reg::RAX, 8, static_cast<int32_t>(Table)));
+  for (unsigned I = 0; I < NumCases; ++I) {
+    A.bind(CaseLabels[I]);
+    A.movRI(Reg::RAX, static_cast<int64_t>(3 * I + 1), 4);
+    A.jmpL(Done);
+  }
+  A.bind(Done);
+  A.ret();
+
+  return PB.build(Start);
+}
+
+std::optional<BuiltBinary> widenedGuardTableBinary() {
+  constexpr unsigned NumCases = 4;
+  ProgramBuilder PB("widened_guard_table");
+  Asm &A = PB.text();
+  Asm::Label Start = A.newLabel(), F = A.newLabel(), Loop = A.newLabel();
+  Asm::Label Default = A.newLabel(), Done = A.newLabel();
+  std::vector<Asm::Label> CaseLabels;
+  for (unsigned I = 0; I < NumCases; ++I)
+    CaseLabels.push_back(A.newLabel());
+  uint64_t Table = PB.jumpTable(CaseLabels);
+
+  A.bind(Start);
+  emitStart(PB, F);
+
+  // int f(unsigned x, long n): the cmp/ja guard dominates a counted loop.
+  // The loop's widening joins drop the range clause on x before the
+  // dispatch is reached, so the first lifting attempt cannot bound the
+  // table; the VSA restart re-runs the function protecting the interval
+  // of the index expression across widening and resolves it.
+  A.bind(F);
+  A.endbr64();
+  A.cmpRI(Reg::RDI, NumCases - 1, 4);
+  A.jccL(Cond::A, Default);
+  A.movRR(Reg::RAX, Reg::RDI, 4); // index: untouched by the loop
+  A.movRI(Reg::RCX, 8, 4);
+  A.xorRR(Reg::RDX, Reg::RDX, 8);
+  A.bind(Loop);
+  A.addRI(Reg::RDX, 3, 8);
+  A.decR(Reg::RCX, 4);
+  A.jccL(Cond::NE, Loop);
+  A.jmpM(memBIS(Reg::None, Reg::RAX, 8, static_cast<int32_t>(Table)));
+  for (unsigned I = 0; I < NumCases; ++I) {
+    A.bind(CaseLabels[I]);
+    A.movRI(Reg::RAX, static_cast<int64_t>(I + 1), 4);
+    A.jmpL(Done);
+  }
+  A.bind(Default);
+  A.movRI(Reg::RAX, -1, 4);
+  A.bind(Done);
+  A.ret();
+
+  return PB.build(Start);
+}
+
 std::optional<BuiltBinary> ret2winBinary() {
   ProgramBuilder PB("ret2win");
   Asm &A = PB.text();

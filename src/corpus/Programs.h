@@ -41,6 +41,22 @@ std::optional<BuiltBinary> straightlineBinary();
 std::optional<BuiltBinary> branchLoopBinary();
 std::optional<BuiltBinary> callChainBinary();
 std::optional<BuiltBinary> callbackBinary();
+/// A gcc -fPIC style switch: 32-bit offsets relative to the table base,
+/// sign-extended and added back (`movsxd` + `add`). Resolvable only by the
+/// extended VSA offset-table idiom; annotation B under --no-vsa.
+std::optional<BuiltBinary> offsetTableBinary();
+/// Bounded dispatch through a .rodata function-pointer array
+/// (`call [tbl + idx*8]` under a cmp/ja guard): a VSA-resolved indirect
+/// call (column A) whose edges carry jump-table provenance.
+std::optional<BuiltBinary> callbackTableBinary();
+/// A switch whose index is bounded by an `and` mask instead of a cmp/ja
+/// guard. Only the extended (VSA) interval queries understand the mask;
+/// annotation B under --no-vsa.
+std::optional<BuiltBinary> maskedTableBinary();
+/// The bounding guard dominates a counted loop whose widening joins erase
+/// the index interval before the dispatch is reached: resolving the table
+/// requires the VSA restart with protected intervals (vsa_restarts > 0).
+std::optional<BuiltBinary> widenedGuardTableBinary();
 std::optional<BuiltBinary> ret2winBinary();
 std::optional<BuiltBinary> overflowBinary();
 std::optional<BuiltBinary> stackProbeBinary();

@@ -116,6 +116,10 @@ void writeStatsFields(std::ostream &OS, const LiftStats &S) {
      << ", \"rel_cache_evicted\": " << S.RelCacheEvicted
      << ", \"leq_hits\": " << S.LeqHits
      << ", \"leq_misses\": " << S.LeqMisses
+     << ", \"vsa_queries\": " << S.VsaQueries
+     << ", \"vsa_resolved\": " << S.VsaResolved
+     << ", \"vsa_targets\": " << S.VsaTargets
+     << ", \"vsa_restarts\": " << S.VsaRestarts
      << ", \"seconds\": " << jsonNum(S.Seconds);
 }
 

@@ -35,6 +35,11 @@
 //     --no-solver-portfolio ablation: single-tier relation solving (fresh
 //                          Z3 solver per residual query) instead of the
 //                          tiered portfolio (smt/RelationSolver.h)
+//     --no-vsa             ablation: disable the value-set analysis for
+//                          indirect jumps/calls (docs/VSA.md); unresolved
+//                          sites keep the legacy unsoundness annotations
+//     --vsa-max-targets N  cap on distinct targets one VSA-resolved site
+//                          may fan out to (default 64)
 //     --max-seconds N      per-function wall budget (default 60)
 //     --threads N          worker threads for lifting and the Step-2 check
 //                          (0 = hardware, default 1); results are identical
@@ -131,7 +136,8 @@ void printUsage(std::ostream &OS) {
         "[--no-join] [--destroy-always] [--no-hotpath-cache] "
         "[--lifo-worklist] [--max-seconds N] [--threads N] "
         "[--stats-json FILE] [--report-json FILE] [--trace FILE] "
-        "[--witness-dir DIR] [--witness-budget N] [--mutant NAME]\n"
+        "[--witness-dir DIR] [--witness-budget N] [--no-vsa] "
+        "[--vsa-max-targets N] [--mutant NAME]\n"
         "       hglift check <binary.elf> [options]   (implies --check)\n"
         "       hglift shard <bin1.elf> <bin2.elf> ... --cache-dir DIR "
         "[--shards N|auto] [--no-work-stealing] "
@@ -368,12 +374,16 @@ int liftMain(int argc, char **argv, int ArgStart, bool Check) {
       Opt.Lift.OrderedWorklist = false;
     else if (A == "--no-solver-portfolio")
       Opt.Lift.Solver.Portfolio = false;
+    else if (A == "--no-vsa")
+      Opt.Vsa.Enable = false;
+    else if (A == "--vsa-max-targets" && I + 1 < argc)
+      Opt.Vsa.MaxTargets = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (A == "--cache-dir" && I + 1 < argc)
-      Opt.CacheDir = argv[++I];
+      Opt.Cache.Dir = argv[++I];
     else if (A == "--cache-max-mb" && I + 1 < argc)
-      Opt.CacheMaxMB = std::strtoull(argv[++I], nullptr, 0);
+      Opt.Cache.MaxMB = std::strtoull(argv[++I], nullptr, 0);
     else if (A == "--no-cache-validate")
-      Opt.CacheValidate = false;
+      Opt.Cache.Validate = false;
     else if (A == "--export-isabelle" && I + 1 < argc)
       IsabelleOut = argv[++I];
     else if (A == "--export-dot" && I + 1 < argc)
@@ -389,9 +399,9 @@ int liftMain(int argc, char **argv, int ArgStart, bool Check) {
     else if (A == "--trace" && I + 1 < argc)
       TraceOut = argv[++I];
     else if (A == "--witness-dir" && I + 1 < argc)
-      Opt.WitnessDir = argv[++I];
+      Opt.Witness.Dir = argv[++I];
     else if (A == "--witness-budget" && I + 1 < argc)
-      Opt.WitnessBudget = static_cast<unsigned>(std::atoi(argv[++I]));
+      Opt.Witness.Budget = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (A == "--mutant" && I + 1 < argc) {
       Mut = fuzz::findMutant(argv[++I]);
       if (!Mut) {
@@ -462,7 +472,7 @@ int liftMain(int argc, char **argv, int ArgStart, bool Check) {
       std::cout << "  FAILED: " << F << "\n";
   }
 
-  if (!Opt.WitnessDir.empty()) {
+  if (!Opt.Witness.Dir.empty()) {
     std::ifstream ElfIn(Path, std::ios::binary);
     std::vector<uint8_t> ElfBytes(std::istreambuf_iterator<char>(ElfIn), {});
     const diag::WitnessSummary &W = witness::attachWitnesses(
@@ -473,7 +483,7 @@ int liftMain(int argc, char **argv, int ArgStart, bool Check) {
     for (const diag::WitnessRecord &Rec : W.Records)
       if (!Rec.SidecarJson.empty())
         std::cout << "  witness " << hexStr(Rec.Function) << "/"
-                  << hexStr(Rec.Addr) << " -> " << Opt.WitnessDir << "/"
+                  << hexStr(Rec.Addr) << " -> " << Opt.Witness.Dir << "/"
                   << Rec.SidecarJson
                   << (Rec.Replayed ? " (replayed)" : "") << "\n";
   }

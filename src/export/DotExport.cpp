@@ -85,10 +85,16 @@ void emitFunction(std::string &Out, const expr::ExprContext &Ctx,
     Out += "  " + From + " -> " + To;
     if (IsWeird(E))
       Out += " [color=red,penwidth=2,label=\"weird\"]";
-    else if (E.Kind == sem::CtrlKind::CallInternal)
-      Out += " [style=dashed,label=\"call " + hexStr(E.CalleeAddr) + "\"]";
-    else if (E.Kind == sem::CtrlKind::CallExternal)
+    else if (E.Kind == sem::CtrlKind::CallInternal) {
+      // VSA-resolved call edges carry the table provenance in the label.
+      std::string L = "call " + hexStr(E.CalleeAddr);
+      if (E.ViaTable)
+        L += " via jump-table@" + hexStr(E.ViaTable);
+      Out += " [style=dashed,label=\"" + L + "\"]";
+    } else if (E.Kind == sem::CtrlKind::CallExternal)
       Out += " [style=dashed,label=\"ext\"]";
+    else if (E.ViaTable)
+      Out += " [label=\"via jump-table@" + hexStr(E.ViaTable) + "\"]";
     Out += ";\n";
   }
 }

@@ -16,7 +16,11 @@ std::string edgeStr(const Edge &E) {
   if (E.To.Rip == hg::RetTargetRip)
     To = "ret";
   else if (E.To.Rip == hg::UnresolvedTargetRip)
-    To = "unresolved";
+    // Distinguish the two annotation kinds (Table 1 columns B and C):
+    // an unresolved jump abandons the path, an unresolved call continues
+    // as an unknown external call.
+    To = E.Kind == sem::CtrlKind::UnresCall ? "unresolved-call"
+                                            : "unresolved-jump";
   else
     To = hexStr(E.To.Rip);
   return hexStr(E.From.Rip) + " -> " + To;

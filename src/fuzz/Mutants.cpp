@@ -316,6 +316,46 @@ std::vector<Mutant> buildRegistry() {
         }
       }});
 
+  // 15. VSA cheat: a table-resolved indirection redirects one of its
+  // targets. Note merely *adding* a phantom target would be an unkillable
+  // weakening (the Step-2 checker verifies every derived successor is
+  // covered, not that the graph has no extra edges), so the mutant
+  // redirects the first target instead — the true edge goes missing, the
+  // clean re-derivation produces it, and covered() fails. This is the
+  // validate-don't-trust contract of docs/VSA.md under test: a wrong
+  // resolution must die in Step 2, never ship as a silent claim.
+  R.push_back(Mutant{
+      "vsa-phantom-target",
+      "VSA-resolved indirections redirect their first jump target and fake "
+      "resolved-call effects during Step 1",
+      MutantScope::LiftOnly,
+      [](StepOut &Out, const SymState &, const Instr &I, ExprContext &Ctx) {
+        bool Via = false;
+        for (const Succ &S : Out.Succs)
+          Via |= S.ViaTable != 0;
+        if (!Via)
+          return;
+        // A resolved call's callee set is validated at the binary level
+        // (every callee is itself lifted and proven), so redirecting it is
+        // invisible to the per-function theorem; and the return-site
+        // vertex joins all per-callee post-states, so a corruption on one
+        // successor would be laundered by the join. The checkable phantom
+        // claim is an *agreeing* callee effect: every resolved-call
+        // successor asserts rax == call site, which the clean Step-2
+        // re-derivation (rax == fresh return value) cannot entail.
+        for (Succ &S : Out.Succs)
+          if (S.ViaTable && S.K == CtrlKind::CallInternal)
+            S.S.P.setReg64(Reg::RAX, Ctx.mkConst(I.Addr, 64));
+        for (Succ &S : Out.Succs)
+          if (S.ViaTable && S.K == CtrlKind::Fall) {
+            // Redirect to the indirect jump itself: always a decodable
+            // location, and never a table target (unlike I.nextAddr(),
+            // which typically IS the first case of a compiler switch).
+            S.NextAddr = I.Addr;
+            break;
+          }
+      }});
+
   return R;
 }
 

@@ -51,16 +51,24 @@ struct Edge {
   x86::Instr Instr;
   sem::CtrlKind Kind = sem::CtrlKind::Fall;
   uint64_t CalleeAddr = 0; ///< for CallInternal edges
+  /// Non-zero when the edge came from a VSA table resolution: the table's
+  /// first-entry address (DotExport provenance, docs/VSA.md).
+  uint64_t ViaTable = 0;
 
   auto operator<=>(const Edge &O) const {
     if (auto C = From <=> O.From; C != 0)
       return C;
     if (auto C = To <=> O.To; C != 0)
       return C;
-    return Kind <=> O.Kind;
+    if (auto C = Kind <=> O.Kind; C != 0)
+      return C;
+    if (auto C = CalleeAddr <=> O.CalleeAddr; C != 0)
+      return C;
+    return ViaTable <=> O.ViaTable;
   }
   bool operator==(const Edge &O) const {
-    return From == O.From && To == O.To && Kind == O.Kind;
+    return From == O.From && To == O.To && Kind == O.Kind &&
+           CalleeAddr == O.CalleeAddr && ViaTable == O.ViaTable;
   }
 };
 

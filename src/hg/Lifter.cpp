@@ -195,11 +195,15 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
   Exec.setStats(&FR.Stats);
   A.solver().setLiftStats(&FR.Stats);
 
-  SymState Init;
-  Init.P = Pred::entry(Ctx, FR.RetSym);
-  // Seed the memory model with the return-address region.
-  const Expr *Rsp0 = Init.P.reg64(x86::Reg::RSP);
-  Init.M.Forest.push_back(mem::MemTree{{smt::Region{Rsp0, 8}}, {}});
+  auto mkInit = [&]() {
+    SymState Init;
+    Init.P = Pred::entry(Ctx, FR.RetSym);
+    // Seed the memory model with the return-address region.
+    const Expr *Rsp0 = Init.P.reg64(x86::Reg::RSP);
+    Init.M.Forest.push_back(mem::MemTree{{smt::Region{Rsp0, 8}}, {}});
+    return Init;
+  };
+  SymState Init = mkInit();
 
   HoareGraph &G = FR.Graph;
   G.Initial = VertexKey{Entry, ctrlHash(Init)};
@@ -245,6 +249,35 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
   // Annotation/resolution sites (re-exploration of a vertex after joins
   // must not double-count).
   std::set<uint64_t> ResolvedSites, UnresJumpSites, UnresCallSites;
+  // VSA retry (docs/VSA.md): indices of table-shaped indirections that
+  // lost their bound — usually to a widening join — are protected across
+  // subsequent joins and the function is re-explored from scratch in the
+  // same arena (expressions intern identically across attempts, so the
+  // protected pointers stay valid and recognizable). The attempt cap and
+  // the join-count cutoff below keep termination.
+  std::vector<const Expr *> Protected;
+  constexpr unsigned MaxVsaRestarts = 2;
+  unsigned Attempt = 0;
+  bool NewProtected = false;
+  auto restart = [&]() {
+    ++Attempt;
+    ++FR.Stats.VsaRestarts;
+    NewProtected = false;
+    G.Vertices.clear();
+    G.Edges.clear();
+    FR.Diags.clear();
+    FR.Obligations.clear();
+    FR.Callees.clear();
+    FR.MayReturn = false;
+    ResolvedSites.clear();
+    UnresJumpSites.clear();
+    UnresCallSites.clear();
+    Ordered.clear();
+    Lifo.clear();
+    Pending = 0;
+    Serial = 0;
+    push(mkInit(), Entry);
+  };
   auto finish = [&]() {
     FR.ResolvedIndirections = static_cast<unsigned>(ResolvedSites.size());
     FR.UnresolvedJumps = static_cast<unsigned>(UnresJumpSites.size());
@@ -334,7 +367,17 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
     return D;
   };
 
-  while (Pending) {
+  for (;;) {
+    if (!Pending) {
+      // Fixpoint reached. If this attempt discovered table-shaped
+      // indirections whose index lost its bound, protect those indices
+      // and re-explore; otherwise we are done.
+      if (Cfg.Sym.Vsa && NewProtected && Attempt < MaxVsaRestarts) {
+        restart();
+        continue;
+      }
+      break;
+    }
     if (G.Vertices.size() > Cfg.MaxVertices)
       return fail(LiftOutcome::Timeout,
                   "vertex fuel exhausted (partial graph retained)");
@@ -390,7 +433,15 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
           Memo.memLeq(Sigma.M, V->State.M))
         continue; // line 4: already covered
       bool Widen = V->JoinCount >= Cfg.WidenAfterJoins;
-      Cur.P = Pred::join(Ctx, V->State.P, Sigma.P, Widen);
+      // Protected table indices keep their interval bound through a
+      // bounded number of widened joins (then full widening resumes, so
+      // termination is unaffected).
+      const std::vector<const Expr *> *Prot =
+          (Widen && !Protected.empty() &&
+           V->JoinCount < Cfg.WidenAfterJoins + 8)
+              ? &Protected
+              : nullptr;
+      Cur.P = Pred::join(Ctx, V->State.P, Sigma.P, Widen, Prot);
       Cur.M = mem::MemModel::join(V->State.M, Sigma.M);
       V->JoinCount++;
       ++FR.Stats.Joins;
@@ -445,6 +496,12 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
       }
       FR.Diags.push_back(std::move(D));
     }
+    if (Out.UnboundedIndex &&
+        std::find(Protected.begin(), Protected.end(), Out.UnboundedIndex) ==
+            Protected.end()) {
+      Protected.push_back(Out.UnboundedIndex);
+      NewProtected = true;
+    }
     if (Out.SawConcurrency)
       return fail(LiftOutcome::Concurrency,
                   "call to concurrency primitive " + Out.ExtName, I.Addr);
@@ -469,6 +526,7 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
       E.From = Key;
       E.Instr = I;
       E.Kind = S.K;
+      E.ViaTable = S.ViaTable;
       switch (S.K) {
       case CtrlKind::Fall:
       case CtrlKind::CallExternal: {
@@ -479,8 +537,10 @@ FunctionResult Lifter::liftFunctionIn(LiftArena &A, uint64_t Entry) {
       }
       case CtrlKind::CallInternal: {
         E.To = VertexKey{S.NextAddr, ctrlHash(S.S)};
-        E.CalleeAddr = Out.CalleeAddr;
-        FR.Callees.insert(Out.CalleeAddr);
+        // Per-successor callee: a VSA-resolved indirect call fans out to
+        // one CallInternal successor per table entry.
+        E.CalleeAddr = S.CalleeAddr ? S.CalleeAddr : Out.CalleeAddr;
+        FR.Callees.insert(E.CalleeAddr);
         G.addEdge(E);
         push(std::move(S.S), S.NextAddr);
         break;

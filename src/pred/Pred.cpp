@@ -622,7 +622,8 @@ std::vector<uint64_t> Pred::witnessSeeds(const Expr *Var) const {
 
 // --- join ---------------------------------------------------------------------
 
-Pred Pred::join(ExprContext &Ctx, const Pred &A, const Pred &B, bool Widen) {
+Pred Pred::join(ExprContext &Ctx, const Pred &A, const Pred &B, bool Widen,
+                const std::vector<const Expr *> *Protect) {
   if (A.Bottom)
     return B;
   if (B.Bottom)
@@ -678,6 +679,20 @@ Pred Pred::join(ExprContext &Ctx, const Pred &A, const Pred &B, bool Widen) {
           J.addRange(C.E, RelOp::SGe, static_cast<uint64_t>(U.lo()));
         if (U.hi() != INT64_MAX)
           J.addRange(C.E, RelOp::SLe, static_cast<uint64_t>(U.hi()));
+      }
+    }
+  } else if (Protect) {
+    // Widening normally drops every range clause. The VSA retry loop asks
+    // for specific expressions (unbounded jump-table indices) to keep
+    // their interval-join bound anyway, so the bounding `cmp`/`ja` guard
+    // of a table reached through a widened loop is not erased.
+    for (const Expr *E : *Protect) {
+      Interval U = A.intervalOf(E).join(B.intervalOf(E));
+      if (!U.isTop() && !U.isEmpty()) {
+        if (U.lo() != INT64_MIN)
+          J.addRange(E, RelOp::SGe, static_cast<uint64_t>(U.lo()));
+        if (U.hi() != INT64_MAX)
+          J.addRange(E, RelOp::SLe, static_cast<uint64_t>(U.hi()));
       }
     }
   }

@@ -216,9 +216,13 @@ public:
   /// Least upper bound. Fresh variables introduced for dropped clauses are
   /// allocated from Ctx. If Widen is set, disagreeing constants are dropped
   /// instead of range-abstracted (used after repeated joins at the same
-  /// vertex to force termination).
+  /// vertex to force termination). Protect (optional, VSA retry loop in
+  /// Lifter.cpp) lists expressions whose interval-join bound is kept even
+  /// under widening, so a jump-table guard clause survives the loop join;
+  /// the lifter bounds how long it passes Protect, preserving termination.
   static Pred join(ExprContext &Ctx, const Pred &A, const Pred &B,
-                   bool Widen = false);
+                   bool Widen = false,
+                   const std::vector<const Expr *> *Protect = nullptr);
 
   /// Partial order: does A imply B (modulo renaming of B's Fresh
   /// variables)? This is the ⊑ test of Algorithm 1 line 4 and also the

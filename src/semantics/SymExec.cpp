@@ -1,6 +1,7 @@
 #include "semantics/SymExec.h"
 
 #include "support/Format.h"
+#include "vsa/ValueSet.h"
 
 #include <algorithm>
 #include <atomic>
@@ -345,51 +346,32 @@ SymExec::RipRes SymExec::resolveRip(const Expr *Val, const Pred &P) {
     }
   }
 
-  // Jump-table pattern: (zext of) a read from base + stride*index with a
-  // bounded index, where the table lives in read-only memory.
-  const Expr *D = Val;
-  if (D->isOp() && D->opcode() == Opcode::ZExt)
-    D = D->operand(0);
-  if (D->isDeref()) {
-    unsigned EntrySize = D->derefSize();
-    LinearForm LF = expr::linearize(D->derefAddr());
-    if ((EntrySize == 4 || EntrySize == 8) && LF.Terms.size() == 1 &&
-        LF.Terms[0].first > 0) {
-      int64_t Stride = LF.Terms[0].first;
-      const Expr *Index = LF.Terms[0].second;
-      uint64_t Base = static_cast<uint64_t>(LF.Constant);
-
-      // Bound on the index; look through zext.
-      std::optional<uint64_t> Bound = P.unsignedUpperBound(Index);
-      if (!Bound && Index->isOp() && Index->opcode() == Opcode::ZExt)
-        Bound = P.unsignedUpperBound(Index->operand(0));
-      if (Bound && *Bound + 1 <= Cfg.MaxJumpTableEntries) {
-        std::vector<uint64_t> Targets;
-        bool OK = true;
-        for (uint64_t I = 0; I <= *Bound && OK; ++I) {
-          uint64_t EntryAddr = Base + I * static_cast<uint64_t>(Stride);
-          if (!Img.isReadOnly(EntryAddr, EntrySize)) {
-            OK = false;
-            break;
-          }
-          auto T = Img.read(EntryAddr, EntrySize);
-          if (!T || !Img.isExec(*T)) {
-            OK = false;
-            break;
-          }
-          if (std::find(Targets.begin(), Targets.end(), *T) == Targets.end())
-            Targets.push_back(*T);
-        }
-        if (OK && !Targets.empty()) {
-          R.K = RipRes::Kind::Table;
-          R.Targets = std::move(Targets);
-          return R;
-        }
-      }
+  // Jump-table patterns (absolute and, with Cfg.Vsa, offset tables and
+  // interval-derived bounds): delegated to the value-set analysis, which
+  // is a pure function of (invariant, image) so Step-1 and Step-2 agree.
+  vsa::VsaConfig VC;
+  VC.Extended = Cfg.Vsa;
+  VC.MaxTargets = Cfg.VsaMaxTargets;
+  VC.MaxJumpTableEntries = Cfg.MaxJumpTableEntries;
+  // The vsa_* counters attribute the analysis, not the legacy resolver it
+  // subsumes: under --no-vsa they must read zero (docs/CLI.md).
+  if (Stats && Cfg.Vsa)
+    ++Stats->VsaQueries;
+  vsa::Resolution VR = vsa::resolveValueSet(Img, P, Val, VC);
+  if (VR.resolved()) {
+    R.K = RipRes::Kind::Table;
+    R.Targets = std::move(VR.Targets);
+    R.TableAddr = VR.TableAddr;
+    R.UsedExtended = VR.UsedExtended;
+    if (Stats && Cfg.Vsa) {
+      ++Stats->VsaResolved;
+      Stats->VsaTargets += R.Targets.size();
     }
+    return R;
   }
 
   R.K = RipRes::Kind::Unresolved;
+  R.UnboundedIndex = VR.Index;
   return R;
 }
 
@@ -871,9 +853,45 @@ StepOut SymExec::stepImpl(const SymState &S0, const Instr &I,
           SymState NS = TS;
           cleanForCall(NS, "f_" + hexStr(T), I.Addr, Out);
           Out.CalleeAddr = T;
-          Out.Succs.push_back(
-              Succ{std::move(NS), CtrlKind::CallInternal, Next, Target});
+          Succ Sc{std::move(NS), CtrlKind::CallInternal, Next, Target};
+          Sc.CalleeAddr = T;
+          Out.Succs.push_back(std::move(Sc));
           continue;
+        }
+      }
+      // VSA: an indirect call through a read-only function-pointer table
+      // resolves to one CallInternal successor per callee. Each edge is
+      // re-derived by the Step-2 checker from the same invariant, so a
+      // wrong resolution fails checking instead of trusting the claim.
+      if (Cfg.Vsa && !Target->isConst()) {
+        RipRes RR = resolveRip(Target, TS.P);
+        if (RR.K == RipRes::Kind::Table) {
+          bool AllInternal = true;
+          for (uint64_t T : RR.Targets)
+            if (Img.externalName(T)) {
+              AllInternal = false;
+              break;
+            }
+          if (AllInternal && !RR.Targets.empty()) {
+            Out.ResolvedTargets += RR.Targets.size();
+            for (uint64_t T : RR.Targets) {
+              SymState NS = TS;
+              cleanForCall(NS, "f_" + hexStr(T), I.Addr, Out);
+              Succ Sc{std::move(NS), CtrlKind::CallInternal, Next, Target};
+              Sc.CalleeAddr = T;
+              Sc.ViaTable = RR.TableAddr;
+              Out.Succs.push_back(std::move(Sc));
+            }
+            // Call resolutions are new behavior (legacy never resolved
+            // calls), so they always carry a provenance obligation.
+            Out.Obligations.push_back(
+                "@" + hexStr(I.Addr) + " : vsa resolved indirect call via "
+                "jump-table@" + hexStr(RR.TableAddr) + " (" +
+                std::to_string(RR.Targets.size()) + " targets)");
+            continue;
+          }
+        } else if (RR.UnboundedIndex) {
+          Out.UnboundedIndex = RR.UnboundedIndex;
         }
       }
       // Unresolved call: annotate, continue as unknown external (§5.1).
@@ -952,16 +970,29 @@ StepOut SymExec::stepImpl(const SymState &S0, const Instr &I,
           return fail("jump to non-executable address " + hexStr(RR.Addr));
         Out.Succs.push_back(Succ{TS, CtrlKind::Fall, RR.Addr, Target});
         break;
-      case RipRes::Kind::Table:
+      case RipRes::Kind::Table: {
         Out.ResolvedTargets += RR.Targets.size();
-        for (uint64_t T : RR.Targets)
-          Out.Succs.push_back(Succ{TS, CtrlKind::Fall, T, Target});
+        for (uint64_t T : RR.Targets) {
+          Succ Sc{TS, CtrlKind::Fall, T, Target};
+          Sc.ViaTable = RR.TableAddr;
+          Out.Succs.push_back(std::move(Sc));
+        }
+        // Provenance obligation only when the extended VSA machinery was
+        // needed: legacy-resolvable tables keep byte-identical reports.
+        if (RR.UsedExtended)
+          Out.Obligations.push_back(
+              "@" + hexStr(I.Addr) + " : vsa resolved indirect jump via "
+              "jump-table@" + hexStr(RR.TableAddr) + " (" +
+              std::to_string(RR.Targets.size()) + " targets)");
         break;
+      }
       case RipRes::Kind::RetSym:
         // Tail-call style return through jmp.
         Out.Succs.push_back(Succ{TS, CtrlKind::Ret, 0, Target});
         break;
       case RipRes::Kind::Unresolved:
+        if (Cfg.Vsa)
+          Out.UnboundedIndex = RR.UnboundedIndex;
         Out.Succs.push_back(Succ{TS, CtrlKind::UnresJump, 0, Target});
         break;
       }

@@ -57,6 +57,13 @@ struct Succ {
   uint64_t NextAddr = 0;
   /// For Ret/Unres*: the symbolic rip value, for diagnostics and export.
   const Expr *RipVal = nullptr;
+  /// For CallInternal: the callee's entry address (per-successor, so a
+  /// table-resolved indirect call yields one successor per callee).
+  uint64_t CalleeAddr = 0;
+  /// Non-zero when this successor came from a VSA table resolution: the
+  /// table's first-entry address, carried into the graph edge and the
+  /// DotExport provenance label.
+  uint64_t ViaTable = 0;
 };
 
 struct StepOut {
@@ -83,12 +90,23 @@ struct StepOut {
   std::string ExtName;
   /// Number of distinct jump-table targets resolved here (column A).
   unsigned ResolvedTargets = 0;
+  /// Set when an indirect transfer matched a table shape but its index had
+  /// no usable bound under the current invariant. The lifter protects this
+  /// expression across widening joins and re-explores the function (see
+  /// docs/VSA.md), turning "unbounded" into a resolved table when the
+  /// guard clause survives.
+  const Expr *UnboundedIndex = nullptr;
 };
 
 struct SymConfig {
   mem::UnknownPolicy Policy = mem::UnknownPolicy::BranchAliasOrSep;
   /// Maximum enumerated jump-table entries before giving up (annotation).
   unsigned MaxJumpTableEntries = 1024;
+  /// Value-set analysis for indirect jumps/calls (docs/VSA.md). Off
+  /// reproduces the legacy absolute-jump-table-only resolver exactly.
+  bool Vsa = true;
+  /// Cap on distinct targets one VSA-resolved site may fan out to.
+  unsigned VsaMaxTargets = 64;
 };
 
 /// Test-only semantics-mutation hook (mutation testing of the verifier,
@@ -159,6 +177,13 @@ private:
     enum class Kind : uint8_t { Imm, Table, RetSym, Unresolved } K;
     uint64_t Addr = 0;
     std::vector<uint64_t> Targets;
+    /// For Table: the table's first-entry address (edge provenance).
+    uint64_t TableAddr = 0;
+    /// True when the resolution needed the extended VSA machinery and must
+    /// therefore be annotated with a provenance obligation.
+    bool UsedExtended = false;
+    /// For Unresolved: the index of a recognized-but-unbounded table shape.
+    const Expr *UnboundedIndex = nullptr;
   };
   RipRes resolveRip(const Expr *Val, const pred::Pred &P);
 

@@ -371,9 +371,9 @@ void processJob(Server &S, store::CacheStore *Store, Job &J) {
   SO.Lift.MaxSeconds = MaxSec;
   if (MaxInsns > 0)
     SO.Lift.MaxVertices = MaxInsns;
-  SO.SharedCache = Store; // null when no --cache-dir
-  SO.WitnessDir = S.Opt.WitnessDir;
-  SO.WitnessBudget = S.Opt.WitnessBudget;
+  SO.Cache.Shared = Store; // null when no --cache-dir
+  SO.Witness.Dir = S.Opt.WitnessDir;
+  SO.Witness.Budget = S.Opt.WitnessBudget;
 
   std::chrono::steady_clock::time_point T0 = std::chrono::steady_clock::now();
   Session Sess(*Img, SO);

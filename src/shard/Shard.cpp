@@ -110,9 +110,9 @@ std::string liftOneFragment(const ShardOptions &Opt, size_t Idx,
 
   Options O;
   O.Library = Opt.Library;
-  O.CacheDir = Opt.CacheDir;
-  O.CacheMaxMB = Opt.CacheMaxMB;
-  O.CacheValidate = Opt.CacheValidate;
+  O.Cache.Dir = Opt.CacheDir;
+  O.Cache.MaxMB = Opt.CacheMaxMB;
+  O.Cache.Validate = Opt.CacheValidate;
   O.Lift.Solver.Portfolio = Opt.Portfolio;
   if (Opt.MaxSeconds > 0)
     O.Lift.MaxSeconds = Opt.MaxSeconds;

@@ -534,6 +534,7 @@ void writeGraph(Writer &W, ExprTable &T, const hg::HoareGraph &G) {
     writeInstr(W, E.Instr);
     W.u8(static_cast<uint8_t>(E.Kind));
     W.u64(E.CalleeAddr);
+    W.u64(E.ViaTable);
   }
 }
 
@@ -568,6 +569,7 @@ bool readGraph(Reader &R, const std::vector<const Expr *> &Table,
     }
     E.Kind = static_cast<sem::CtrlKind>(Kind);
     E.CalleeAddr = R.u64();
+    E.ViaTable = R.u64();
     G.Edges.push_back(std::move(E));
   }
   return !R.Fail;
@@ -591,6 +593,8 @@ uint64_t configDigest(const hg::LiftConfig &Cfg) {
   H = fnv1aU64(H, Cfg.CtrlImmediateException);
   H = fnv1aU64(H, Cfg.OrderedWorklist);
   H = fnv1aU64(H, Cfg.Solver.AllocClassAssumptions);
+  H = fnv1aU64(H, Cfg.Sym.Vsa ? 2 : 1);
+  H = fnv1aU64(H, Cfg.Sym.VsaMaxTargets);
   // Whether Z3 answers queries changes what is provable, and whether it
   // *can* answer is a compile-time property of this binary — a shared
   // cache dir must not leak graphs across differently-built lifters.
@@ -649,7 +653,8 @@ std::vector<uint8_t> serializeFunction(const hg::FunctionResult &F,
   for (uint64_t C : {S.Vertices, S.Joins, S.Widenings, S.Steps, S.Forks,
                      S.SolverQueries, S.Z3Queries, S.RelCacheHits,
                      S.RelCacheMisses, S.RelCacheInvalidated, S.LeqHits,
-                     S.LeqMisses})
+                     S.LeqMisses, S.VsaQueries, S.VsaResolved, S.VsaTargets,
+                     S.VsaRestarts})
     Body.u64(C);
 
   // Structures; expression-table indices are assigned on first use, in
@@ -746,7 +751,9 @@ deserializeFunction(const std::vector<uint8_t> &Bytes,
       &F.Stats.Forks,         &F.Stats.SolverQueries,
       &F.Stats.Z3Queries,     &F.Stats.RelCacheHits,
       &F.Stats.RelCacheMisses, &F.Stats.RelCacheInvalidated,
-      &F.Stats.LeqHits,       &F.Stats.LeqMisses};
+      &F.Stats.LeqHits,       &F.Stats.LeqMisses,
+      &F.Stats.VsaQueries,    &F.Stats.VsaResolved,
+      &F.Stats.VsaTargets,    &F.Stats.VsaRestarts};
   for (uint64_t *C : Counters)
     *C = R.u64();
 

@@ -45,7 +45,7 @@
 namespace hglift::store {
 
 /// Bump on any change to the serialized layout below.
-constexpr uint32_t StoreSchemaVersion = 1;
+constexpr uint32_t StoreSchemaVersion = 2;
 
 /// Bump whenever the instruction semantics or the abstract domains change
 /// in a way that can alter a lifted graph (see the header comment).

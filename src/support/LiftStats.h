@@ -70,6 +70,17 @@ struct LiftStats {
   uint64_t LeqHits = 0;
   /// leq probes that fell through to the full comparison.
   uint64_t LeqMisses = 0;
+  /// Value-set-analysis resolution attempts on indirect jump/call targets
+  /// (docs/VSA.md): one per non-constant rip candidate probed.
+  uint64_t VsaQueries = 0;
+  /// VSA queries that resolved to a concrete target set.
+  uint64_t VsaResolved = 0;
+  /// Total concrete targets across resolved VSA queries (column A's
+  /// resolved-indirection fan-out).
+  uint64_t VsaTargets = 0;
+  /// Function re-explorations triggered by a table-shaped-but-unbounded
+  /// index (the widening-protection retry loop in Lifter.cpp).
+  uint64_t VsaRestarts = 0;
   /// Wall-clock seconds (per function: the lift; aggregated: sum of
   /// per-function times, which exceeds elapsed wall time when parallel).
   double Seconds = 0;
@@ -95,6 +106,10 @@ struct LiftStats {
     RelCacheEvicted += O.RelCacheEvicted;
     LeqHits += O.LeqHits;
     LeqMisses += O.LeqMisses;
+    VsaQueries += O.VsaQueries;
+    VsaResolved += O.VsaResolved;
+    VsaTargets += O.VsaTargets;
+    VsaRestarts += O.VsaRestarts;
     Seconds += O.Seconds;
   }
 };

@@ -1,0 +1,196 @@
+//===- ValueSet.cpp - Binary-level value-set analysis ---------------------===//
+
+#include "vsa/ValueSet.h"
+
+#include <algorithm>
+
+namespace hglift::vsa {
+
+using expr::Expr;
+using expr::LinearForm;
+using expr::Opcode;
+
+namespace {
+
+/// Inclusive unsigned upper bound on a table index under P. The legacy
+/// queries (direct unsigned clauses, one look-through-zext) run first so
+/// programs resolvable today keep the exact same bound; the linear-form
+/// interval (and-mask / shift structural bounds) is Extended-only and
+/// marks the resolution as needing a provenance obligation.
+std::optional<uint64_t> indexBound(const pred::Pred &P, const Expr *Index,
+                                   bool Extended, bool &UsedExtended) {
+  std::optional<uint64_t> Bound = P.unsignedUpperBound(Index);
+  if (!Bound && Index->isOp() && Index->opcode() == Opcode::ZExt)
+    Bound = P.unsignedUpperBound(Index->operand(0));
+  if (Extended) {
+    auto IV = P.intervalOfForm(expr::linearize(Index));
+    // A widened-then-protected guard leaves its interval on the 32-bit
+    // sub-register expression under the zext (the cmp compares the
+    // sub-register). Zero-extension preserves unsigned values, so a
+    // non-negative inner interval bounds the index more tightly than the
+    // zext's structural width — which the legacy fallback may already have
+    // returned as Bound, so the refinement applies whenever it is strictly
+    // tighter, not only when the legacy queries found nothing.
+    for (const Expr *X = Index; X->isOp() && X->opcode() == Opcode::ZExt;) {
+      X = X->operand(0);
+      auto II = P.intervalOf(X);
+      if (!II.isEmpty() && !II.isTop() && II.lo() >= 0)
+        IV = IV.meet(II);
+    }
+    if (!IV.isEmpty() && !IV.isTop() && IV.lo() >= 0 &&
+        (!Bound || static_cast<uint64_t>(IV.hi()) < *Bound)) {
+      Bound = static_cast<uint64_t>(IV.hi());
+      UsedExtended = true;
+    }
+  }
+  return Bound;
+}
+
+/// Scan `Bound + 1` entries of a table at Base with the given stride,
+/// mapping each raw entry to a target via `ToTarget` (identity for
+/// absolute tables, base+displacement for offset tables). Every entry must
+/// lie in read-only memory and map to an executable address.
+bool scanTable(const elf::BinaryImage &Img, uint64_t Base, uint64_t Stride,
+               unsigned EntrySize, uint64_t Bound, const VsaConfig &Cfg,
+               uint64_t (*ToTarget)(uint64_t Entry, uint64_t Ctx),
+               uint64_t ToTargetCtx, std::vector<uint64_t> &Targets) {
+  for (uint64_t I = 0; I <= Bound; ++I) {
+    uint64_t EntryAddr = Base + I * Stride;
+    if (!Img.isReadOnly(EntryAddr, EntrySize))
+      return false;
+    auto E = Img.read(EntryAddr, EntrySize);
+    if (!E)
+      return false;
+    uint64_t T = ToTarget(*E, ToTargetCtx);
+    if (!Img.isExec(T))
+      return false;
+    if (std::find(Targets.begin(), Targets.end(), T) == Targets.end()) {
+      // The legacy resolver has no target cap (the entry cap bounds it);
+      // keep that exact behavior when Extended is off.
+      if (Cfg.Extended && Targets.size() >= Cfg.MaxTargets)
+        return false;
+      Targets.push_back(T);
+    }
+  }
+  return !Targets.empty();
+}
+
+/// The expression to protect across widening when a table index lost its
+/// bound: a 32-bit cmp guard's range clause lives on the sub-register
+/// expression, which indexBound reaches by looking through the zext — so
+/// that inner atom, not the zext wrapper, is what Pred::join must keep an
+/// interval for.
+const Expr *protectAtom(const Expr *Index) {
+  if (Index->isOp() && Index->opcode() == Opcode::ZExt)
+    return Index->operand(0);
+  return Index;
+}
+
+uint64_t identityEntry(uint64_t Entry, uint64_t) { return Entry; }
+
+uint64_t signedDisp(uint64_t Entry, uint64_t Base) {
+  return Base + static_cast<uint64_t>(
+                    static_cast<int64_t>(static_cast<int32_t>(Entry)));
+}
+
+uint64_t unsignedDisp(uint64_t Entry, uint64_t Base) { return Base + Entry; }
+
+} // namespace
+
+Resolution resolveValueSet(const elf::BinaryImage &Img, const pred::Pred &P,
+                           const Expr *Val, const VsaConfig &Cfg) {
+  Resolution R;
+
+  // --- absolute table: (zext of) a read from base + stride*index with a
+  // bounded index, where the table lives in read-only memory. This is the
+  // legacy resolver shape, byte-exact when Cfg.Extended is off.
+  const Expr *D = Val;
+  if (D->isOp() && D->opcode() == Opcode::ZExt)
+    D = D->operand(0);
+  if (D->isDeref()) {
+    unsigned EntrySize = D->derefSize();
+    LinearForm LF = expr::linearize(D->derefAddr());
+    if ((EntrySize == 4 || EntrySize == 8) && LF.Terms.size() == 1 &&
+        LF.Terms[0].first > 0) {
+      uint64_t Stride = static_cast<uint64_t>(LF.Terms[0].first);
+      const Expr *Index = LF.Terms[0].second;
+      uint64_t Base = static_cast<uint64_t>(LF.Constant);
+
+      std::optional<uint64_t> Bound =
+          indexBound(P, Index, Cfg.Extended, R.UsedExtended);
+      bool Usable = Bound && *Bound + 1 <= Cfg.MaxJumpTableEntries;
+      if (!Usable)
+        // Table-shaped but unbounded — including a structural bound past
+        // the entry cap (e.g. the bare zext width once a guard clause was
+        // widened away): the one failure a protected-interval restart can
+        // repair. (A failed scan cannot: reads past the table stay
+        // unreadable however the index is bounded.)
+        R.Index = protectAtom(Index);
+      if (Usable) {
+        std::vector<uint64_t> Targets;
+        if (scanTable(Img, Base, Stride, EntrySize, *Bound, Cfg,
+                      identityEntry, 0, Targets)) {
+          R.K = Resolution::Kind::Table;
+          R.Targets = std::move(Targets);
+          R.TableAddr = Base;
+          R.EntrySize = EntrySize;
+          R.Stride = Stride;
+          R.Bound = *Bound;
+          return R;
+        }
+      }
+      R.UsedExtended = false; // nothing resolved, nothing to annotate
+      return R;
+    }
+  }
+
+  // --- offset table (Extended only): base + {s,z}ext32([tbl + idx*4]),
+  // the -fPIC relative-jump-table idiom. The linear form of the whole
+  // value is base (constant) plus a unit-coefficient extended 32-bit read.
+  if (Cfg.Extended) {
+    LinearForm VF = expr::linearize(Val);
+    if (VF.Terms.size() == 1 && VF.Terms[0].first == 1 && VF.Constant != 0) {
+      const Expr *A = VF.Terms[0].second;
+      if (A->isOp() &&
+          (A->opcode() == Opcode::SExt || A->opcode() == Opcode::ZExt) &&
+          A->operand(0)->isDeref() && A->operand(0)->derefSize() == 4) {
+        bool Signed = A->opcode() == Opcode::SExt;
+        const Expr *Dv = A->operand(0);
+        uint64_t Base = static_cast<uint64_t>(VF.Constant);
+        LinearForm TF = expr::linearize(Dv->derefAddr());
+        if (TF.Terms.size() == 1 && TF.Terms[0].first > 0) {
+          uint64_t Stride = static_cast<uint64_t>(TF.Terms[0].first);
+          const Expr *Index = TF.Terms[0].second;
+          uint64_t TblBase = static_cast<uint64_t>(TF.Constant);
+
+          std::optional<uint64_t> Bound =
+              indexBound(P, Index, /*Extended=*/true, R.UsedExtended);
+          bool Usable = Bound && *Bound + 1 <= Cfg.MaxJumpTableEntries;
+          if (!Usable)
+            R.Index = protectAtom(Index);
+          if (Usable) {
+            std::vector<uint64_t> Targets;
+            if (scanTable(Img, TblBase, Stride, 4, *Bound, Cfg,
+                          Signed ? signedDisp : unsignedDisp, Base,
+                          Targets)) {
+              R.K = Resolution::Kind::OffsetTable;
+              R.Targets = std::move(Targets);
+              R.TableAddr = TblBase;
+              R.EntrySize = 4;
+              R.Stride = Stride;
+              R.Bound = *Bound;
+              R.UsedExtended = true; // offset tables are extended-only
+              return R;
+            }
+          }
+          R.UsedExtended = false;
+          return R;
+        }
+      }
+    }
+  }
+
+  return R;
+}
+
+} // namespace hglift::vsa

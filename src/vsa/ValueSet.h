@@ -1,0 +1,79 @@
+//===- ValueSet.h - Binary-level value-set analysis -------------*- C++ -*-===//
+//
+// Resolves indirect control transfers by computing the concrete value set of
+// the target expression under the current vertex invariant P. The analysis
+// recognizes the jump-table idioms gcc/clang (and the corpus generator)
+// emit and reads the table through the read-only image:
+//
+//   absolute table:  jmp/call [table + idx*stride]      (stride 4 or 8)
+//   offset table:    lea base; movsxd off,[tbl+idx*4]; jmp base+off
+//
+// The index bound comes from `Pred` interval queries only — the same
+// strided-interval clauses Algorithm 1 already tracks — so a resolution is
+// a pure function of (invariant, image). That purity is the validate-
+// don't-trust contract: the Step-2 checker re-runs the identical
+// resolution from the re-checked invariant, and every resolved edge must
+// be re-derived and covered. A wrong resolution can therefore only fail
+// checking (degrading to today's unsoundness annotation), never introduce
+// a silently missing edge. See docs/VSA.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HGLIFT_VSA_VALUESET_H
+#define HGLIFT_VSA_VALUESET_H
+
+#include "elf/Binary.h"
+#include "expr/ExprContext.h"
+#include "pred/Pred.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace hglift::vsa {
+
+struct VsaConfig {
+  /// Extended resolution: linear-form interval bounds (masked indices),
+  /// offset tables, and indirect-call tables. When false the analysis is
+  /// exactly the legacy absolute-table resolver.
+  bool Extended = true;
+  /// Cap on distinct concrete targets a single site may resolve to.
+  unsigned MaxTargets = 64;
+  /// Cap on table entries scanned (index bound + 1 must not exceed this).
+  unsigned MaxJumpTableEntries = 1024;
+};
+
+/// Result of resolving one target expression.
+struct Resolution {
+  enum class Kind : uint8_t {
+    None,        ///< not resolved (Index non-null => table-shaped, unbounded)
+    Table,       ///< absolute table of code pointers
+    OffsetTable, ///< base + sign/zero-extended 32-bit displacement table
+  };
+  Kind K = Kind::None;
+  std::vector<uint64_t> Targets; ///< deduplicated, discovery order
+  uint64_t TableAddr = 0;        ///< first entry address (provenance)
+  unsigned EntrySize = 0;        ///< bytes per entry (4 or 8)
+  uint64_t Stride = 0;           ///< byte distance between entries
+  uint64_t Bound = 0;            ///< inclusive index upper bound
+  /// The index expression of a recognized table shape. Set even when
+  /// K == None if the shape matched but the index had no usable bound —
+  /// the lifter uses this to protect the index across widening and retry.
+  const expr::Expr *Index = nullptr;
+  /// True when the resolution needed Extended machinery (linear-form
+  /// bounds, offset table, call-through-table). Drives provenance
+  /// obligations: legacy-resolvable sites stay byte-identical in reports.
+  bool UsedExtended = false;
+
+  bool resolved() const { return K != Kind::None; }
+};
+
+/// Resolve the value set of `Val` (a 64-bit rip candidate) under invariant
+/// `P`, reading tables through the read-only segments of `Img`. Pure:
+/// depends only on the arguments, so Step-1 and Step-2 agree by
+/// construction.
+Resolution resolveValueSet(const elf::BinaryImage &Img, const pred::Pred &P,
+                           const expr::Expr *Val, const VsaConfig &Cfg);
+
+} // namespace hglift::vsa
+
+#endif // HGLIFT_VSA_VALUESET_H

@@ -617,8 +617,8 @@ diag::WitnessSummary searchBinary(const elf::BinaryImage &Img,
 const diag::WitnessSummary &
 attachWitnesses(Session &S, const std::vector<uint8_t> *ElfBytes) {
   WitnessOptions WO;
-  WO.Dir = S.options().WitnessDir;
-  WO.Budget = S.options().WitnessBudget;
+  WO.Dir = S.options().Witness.Dir;
+  WO.Budget = S.options().Witness.Budget;
   S.setWitnesses(
       searchBinary(S.image(), S.lift(), S.checkResult(), WO, ElfBytes));
   return *S.witnesses();

@@ -285,6 +285,12 @@ void Asm::movsxdRR(Reg Dst, Reg Src) {
   emitModRMReg(regNum(Dst), regNum(Src));
 }
 
+void Asm::movsxdRM(Reg Dst, const MemOperand &M) {
+  emitRex(8, regNum(Dst), M, false);
+  byte(0x63);
+  emitModRMMem(regNum(Dst), M);
+}
+
 void Asm::leaRM(Reg Dst, const MemOperand &M, unsigned Sz) {
   opSizePrefix(Sz);
   emitRex(Sz, regNum(Dst), M, false);

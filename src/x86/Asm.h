@@ -63,6 +63,8 @@ public:
   void movsxRM(Reg Dst, const MemOperand &M, unsigned SrcSz,
                unsigned DstSz = 8);
   void movsxdRR(Reg Dst, Reg Src);
+  /// movsxd Dst, dword ptr [M] — the gcc offset-jump-table load.
+  void movsxdRM(Reg Dst, const MemOperand &M);
   void leaRM(Reg Dst, const MemOperand &M, unsigned Sz = 8);
   /// lea Dst, [rip + <label>]
   void leaRL(Reg Dst, Label L);

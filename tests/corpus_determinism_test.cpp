@@ -83,4 +83,17 @@ TEST(CorpusDeterminism, HandwrittenProgramsAreStable) {
   EXPECT_EQ(C->ElfBytes, D->ElfBytes);
 }
 
+TEST(CorpusDeterminism, VsaTableProgramsAreStable) {
+  // The VSA corpus: offsetTableBinary is a double-build (the 32-bit
+  // offsets are filled from a first pass's addresses), so instability
+  // here would also mean the two passes disagree about the layout.
+  for (auto *Builder :
+       {corpus::offsetTableBinary, corpus::callbackTableBinary,
+        corpus::maskedTableBinary, corpus::widenedGuardTableBinary}) {
+    auto A = Builder(), B = Builder();
+    ASSERT_TRUE(A && B);
+    EXPECT_EQ(A->ElfBytes, B->ElfBytes) << A->Name;
+  }
+}
+
 } // namespace

@@ -9,10 +9,13 @@
 # WITNESSDOC/DIAG_H are given, additionally requires the witness sidecar
 # spec (docs/WITNESSES.md) to document the witness flags and both it and
 # docs/CLI.md to pin the exact "witness_schema_version N" literal declared
-# in src/diag/Diag.h. Run as:
+# in src/diag/Diag.h. When VSADOC is given, additionally requires the VSA
+# design doc (docs/VSA.md) to document the --no-vsa and --vsa-max-targets
+# flags. Run as:
 #   cmake -DMAIN=<hglift_main.cpp> -DDOC=<CLI.md>
 #         [-DSERVE_SRC=<Serve.cpp> -DSERVEDOC=<SERVE.md>]
 #         [-DWITNESSDOC=<WITNESSES.md> -DDIAG_H=<Diag.h>]
+#         [-DVSADOC=<VSA.md>]
 #         -P doc_drift_check.cmake
 
 if(NOT EXISTS "${MAIN}")
@@ -153,4 +156,22 @@ if(WITNESSDOC)
                         "\"${WVER}\" (the literal from src/diag/Diag.h)")
   endif()
   message(STATUS "doc_drift_check: witness flags and ${WVER} documented")
+endif()
+
+# ---- VSA drift: the analysis doc must explain its CLI surface
+if(VSADOC)
+  if(NOT EXISTS "${VSADOC}")
+    message(FATAL_ERROR "doc_drift_check: docs/VSA.md does not exist -- the "
+                        "value-set analysis and its validate-don't-trust "
+                        "contract must be specified there")
+  endif()
+  file(READ "${VSADOC}" VSADOC_TXT)
+  foreach(T "--no-vsa" "--vsa-max-targets")
+    string(FIND "${VSADOC_TXT}" "${T}" VPOS)
+    if(VPOS EQUAL -1)
+      message(FATAL_ERROR "doc_drift_check: docs/VSA.md must document "
+                          "the ${T} flag")
+    endif()
+  endforeach()
+  message(STATUS "doc_drift_check: VSA flags documented")
 endif()

@@ -43,7 +43,7 @@ TEST(ParallelCache, WorkersShareOneStore) {
   TempDir Dir("workers");
 
   Options O;
-  O.CacheDir = Dir.str();
+  O.Cache.Dir = Dir.str();
   O.Lift.Threads = 4;
 
   std::string Cold, Warm;
@@ -140,7 +140,7 @@ TEST(ParallelCache, RacingSessionsAgreeOnResults) {
   for (unsigned I = 0; I < N; ++I)
     Threads.emplace_back([&, I] {
       Options O;
-      O.CacheDir = Dir.str();
+      O.Cache.Dir = Dir.str();
       Session S(BB->Img, O);
       S.lift();
       S.check();

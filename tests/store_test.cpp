@@ -381,7 +381,7 @@ TEST(StoreSession, WarmReportJsonByteIdenticalToCold) {
     auto Render = [&](bool UseCache) {
       Options O;
       if (UseCache)
-        O.CacheDir = Dir.str();
+        O.Cache.Dir = Dir.str();
       Session S(BB->Img, O);
       S.lift();
       S.check();
@@ -405,7 +405,7 @@ TEST(StoreSession, CacheStatsExposedThroughFacade) {
   ASSERT_TRUE(BB.has_value());
   TempDir Dir("facade_stats");
   Options O;
-  O.CacheDir = Dir.str();
+  O.Cache.Dir = Dir.str();
   {
     Session S(BB->Img, O);
     S.lift();
